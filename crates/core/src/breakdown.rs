@@ -1,0 +1,215 @@
+//! Per-module execution-time breakdowns — the Figure 7 panels.
+
+use dgnn_device::{DurationNs, ScopeRecord};
+
+use crate::tablefmt::TextTable;
+
+/// One module's share of an inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownEntry {
+    /// Module name (the scope's final path component).
+    pub module: String,
+    /// Accumulated time across all occurrences.
+    pub time: DurationNs,
+    /// Share of the root scope's total time, in `[0, 1]`.
+    pub share: f64,
+    /// Number of scope occurrences aggregated (≈ iterations).
+    pub count: usize,
+}
+
+/// A per-module breakdown of a run, aggregated by module name across
+/// iterations, sorted by descending time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Breakdown {
+    entries: Vec<BreakdownEntry>,
+    total: DurationNs,
+}
+
+impl Breakdown {
+    /// Aggregates module scopes under `root`.
+    ///
+    /// A *module scope* is any scope whose relative path under `root` is a
+    /// single segment, or two segments where the first is `"iteration"`.
+    /// The remainder of the root's time not covered by any module is
+    /// reported as `"other"`.
+    pub fn from_scopes(scopes: &[ScopeRecord], root: &str) -> Self {
+        let total: DurationNs = scopes
+            .iter()
+            .filter(|s| s.path == root)
+            .map(ScopeRecord::duration)
+            .sum();
+
+        let prefix = format!("{root}/");
+        let mut acc: Vec<(String, DurationNs, usize)> = Vec::new();
+        for s in scopes {
+            let Some(rel) = s.path.strip_prefix(&prefix) else { continue };
+            let segments: Vec<&str> = rel.split('/').collect();
+            let module = match segments.as_slice() {
+                [name] if *name != "iteration" => *name,
+                ["iteration", name] => *name,
+                _ => continue,
+            };
+            match acc.iter_mut().find(|(m, _, _)| m == module) {
+                Some((_, t, c)) => {
+                    *t += s.duration();
+                    *c += 1;
+                }
+                None => acc.push((module.to_string(), s.duration(), 1)),
+            }
+        }
+
+        let covered: DurationNs = acc.iter().map(|(_, t, _)| *t).sum();
+        if total > covered {
+            let other = total - covered;
+            // Only report an "other" slice when it is non-trivial (>0.5%).
+            if other.as_nanos() * 200 > total.as_nanos() {
+                acc.push(("other".to_string(), other, 1));
+            }
+        }
+
+        acc.sort_by(|a, b| b.1.cmp(&a.1));
+        let entries = acc
+            .into_iter()
+            .map(|(module, time, count)| BreakdownEntry {
+                module,
+                share: if total.as_nanos() > 0 {
+                    time.as_nanos() as f64 / total.as_nanos() as f64
+                } else {
+                    0.0
+                },
+                time,
+                count,
+            })
+            .collect();
+        Breakdown { entries, total }
+    }
+
+    /// The aggregated entries, largest first.
+    pub fn entries(&self) -> &[BreakdownEntry] {
+        &self.entries
+    }
+
+    /// Total time of the root scope.
+    pub fn total(&self) -> DurationNs {
+        self.total
+    }
+
+    /// Looks up one module's entry by name.
+    pub fn module(&self, name: &str) -> Option<&BreakdownEntry> {
+        self.entries.iter().find(|e| e.module == name)
+    }
+
+    /// Share of a module (0 when absent).
+    pub fn share_of(&self, name: &str) -> f64 {
+        self.module(name).map_or(0.0, |e| e.share)
+    }
+
+    /// Renders the breakdown as a text table with the paper's annotation
+    /// style: time (ms) and percentage per module.
+    pub fn to_table(&self, title: &str) -> String {
+        let mut t = TextTable::new(title, &["module", "time (ms)", "share"]);
+        for e in &self.entries {
+            t.row(&[
+                e.module.clone(),
+                format!("{:.3}", e.time.as_millis_f64()),
+                format!("{:.1}%", e.share * 100.0),
+            ]);
+        }
+        t.row(&[
+            "total".to_string(),
+            format!("{:.3}", self.total.as_millis_f64()),
+            "100.0%".to_string(),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scope(path: &str, depth: usize, start: u64, end: u64) -> ScopeRecord {
+        ScopeRecord {
+            path: path.to_string(),
+            depth,
+            start: DurationNs::from_nanos(start),
+            end: DurationNs::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn aggregates_repeated_modules() {
+        let scopes = vec![
+            scope("inference/sampling", 1, 0, 50),
+            scope("inference/attention", 1, 50, 70),
+            scope("inference/sampling", 1, 70, 130),
+            scope("inference", 0, 0, 130),
+        ];
+        let b = Breakdown::from_scopes(&scopes, "inference");
+        assert_eq!(b.total().as_nanos(), 130);
+        let s = b.module("sampling").unwrap();
+        assert_eq!(s.time.as_nanos(), 110);
+        assert_eq!(s.count, 2);
+        assert!((b.share_of("sampling") - 110.0 / 130.0).abs() < 1e-9);
+        // Sorted descending.
+        assert_eq!(b.entries()[0].module, "sampling");
+    }
+
+    #[test]
+    fn iteration_wrapper_is_transparent() {
+        let scopes = vec![
+            scope("run/iteration/gnn", 2, 0, 10),
+            scope("run/iteration", 1, 0, 10),
+            scope("run/iteration/gnn", 2, 10, 30),
+            scope("run/iteration", 1, 10, 30),
+            scope("run", 0, 0, 30),
+        ];
+        let b = Breakdown::from_scopes(&scopes, "run");
+        let g = b.module("gnn").unwrap();
+        assert_eq!(g.time.as_nanos(), 30);
+        assert_eq!(g.count, 2);
+        assert!(b.module("iteration").is_none());
+    }
+
+    #[test]
+    fn uncovered_time_becomes_other() {
+        let scopes = vec![
+            scope("run/gnn", 1, 0, 40),
+            scope("run", 0, 0, 100),
+        ];
+        let b = Breakdown::from_scopes(&scopes, "run");
+        assert_eq!(b.module("other").unwrap().time.as_nanos(), 60);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let scopes = vec![
+            scope("run/a", 1, 0, 30),
+            scope("run/b", 1, 30, 100),
+            scope("run", 0, 0, 100),
+        ];
+        let b = Breakdown::from_scopes(&scopes, "run");
+        let sum: f64 = b.entries().iter().map(|e| e.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_root_yields_empty_total() {
+        let b = Breakdown::from_scopes(&[], "run");
+        assert_eq!(b.total(), DurationNs::ZERO);
+        assert!(b.entries().is_empty());
+    }
+
+    #[test]
+    fn table_renders_all_modules() {
+        let scopes = vec![
+            scope("run/sampling", 1, 0, 90),
+            scope("run/gnn", 1, 90, 100),
+            scope("run", 0, 0, 100),
+        ];
+        let table = Breakdown::from_scopes(&scopes, "run").to_table("fig7");
+        assert!(table.contains("sampling"));
+        assert!(table.contains("90.0%"));
+        assert!(table.contains("total"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Schedule re-simulation for the paper's §5 optimization proposals.
+//!
+//! Rather than complicating the sequential executor with streams, the
+//! proposed optimizations are evaluated by *re-scheduling recorded stage
+//! durations*: take the per-timestep durations a real (sequential) run
+//! measured, and compute the makespan a pipelined schedule would achieve.
+//! This mirrors how Figure 10 argues the optimization — RNN of step
+//! `t+1` overlaps GNN of step `t`.
+
+use dgnn_device::DurationNs;
+
+/// Per-timestep durations of a two-stage computation
+/// (e.g. EvolveGCN's RNN stage and GNN stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StagePair {
+    /// First stage (producer — e.g. RNN weight update).
+    pub first: DurationNs,
+    /// Second stage (consumer — e.g. GNN using the updated weights).
+    pub second: DurationNs,
+}
+
+/// Sequential makespan: `Σ (first + second)`.
+pub fn sequential_makespan(steps: &[StagePair]) -> DurationNs {
+    steps.iter().map(|s| s.first + s.second).sum()
+}
+
+/// Two-stage pipelined makespan (Fig 10): stage one of step `t+1` runs
+/// concurrently with stage two of step `t`; within a step, stage two
+/// still waits for stage one.
+pub fn pipelined_makespan(steps: &[StagePair]) -> DurationNs {
+    let mut first_done = DurationNs::ZERO;
+    let mut second_done = DurationNs::ZERO;
+    for s in steps {
+        first_done += s.first;
+        second_done = first_done.max(second_done) + s.second;
+    }
+    second_done
+}
+
+/// Speedup of pipelining over sequential execution (≥ 1).
+pub fn pipeline_speedup(steps: &[StagePair]) -> f64 {
+    let seq = sequential_makespan(steps).as_nanos();
+    let pipe = pipelined_makespan(steps).as_nanos();
+    if pipe == 0 {
+        return 1.0;
+    }
+    seq as f64 / pipe as f64
+}
+
+/// Overlap of host preprocessing with device compute (§5.1.1, the
+/// Zhang et al. style sampling/inference overlap): host work for batch
+/// `t+1` proceeds while the device processes batch `t`. `pairs` holds
+/// `(host, device)` durations per batch.
+pub fn overlapped_makespan(pairs: &[(DurationNs, DurationNs)]) -> DurationNs {
+    let mut host_done = DurationNs::ZERO;
+    let mut device_done = DurationNs::ZERO;
+    for &(host, device) in pairs {
+        host_done += host;
+        device_done = host_done.max(device_done) + device;
+    }
+    device_done
+}
+
+/// Bytes saved by delta-snapshot transfer (§5.2.2): transferring only the
+/// changed portion of each snapshot. `sizes` are per-snapshot byte
+/// counts; `similarity` in `[0, 1]` is the fraction shared with the
+/// previous snapshot (the first snapshot always ships whole).
+pub fn delta_transfer_bytes(sizes: &[u64], similarity: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&similarity), "similarity must be in [0, 1]");
+    let mut total = 0u64;
+    for (i, &s) in sizes.iter().enumerate() {
+        if i == 0 {
+            total += s;
+        } else {
+            total += (s as f64 * (1.0 - similarity)).round() as u64;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> DurationNs {
+        DurationNs::from_nanos(v)
+    }
+
+    #[test]
+    fn balanced_stages_approach_2x_speedup() {
+        let steps: Vec<StagePair> =
+            (0..100).map(|_| StagePair { first: ns(10), second: ns(10) }).collect();
+        let s = pipeline_speedup(&steps);
+        assert!(s > 1.9, "speedup {s}");
+        assert!(s <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn pipelining_never_hurts() {
+        let steps = vec![
+            StagePair { first: ns(5), second: ns(20) },
+            StagePair { first: ns(30), second: ns(2) },
+            StagePair { first: ns(1), second: ns(1) },
+        ];
+        assert!(pipelined_makespan(&steps) <= sequential_makespan(&steps));
+        assert!(pipeline_speedup(&steps) >= 1.0);
+    }
+
+    #[test]
+    fn pipelined_respects_intra_step_dependency() {
+        // One step: no overlap possible; makespan equals sequential.
+        let steps = vec![StagePair { first: ns(7), second: ns(9) }];
+        assert_eq!(pipelined_makespan(&steps), ns(16));
+    }
+
+    #[test]
+    fn skewed_stages_bound_by_bottleneck_stage() {
+        let steps: Vec<StagePair> =
+            (0..50).map(|_| StagePair { first: ns(100), second: ns(1) }).collect();
+        // Makespan is dominated by the slow first stage.
+        let m = pipelined_makespan(&steps).as_nanos();
+        assert!(m >= 50 * 100);
+        assert!(m <= 50 * 100 + 101);
+    }
+
+    #[test]
+    fn overlap_hides_cheap_host_work() {
+        let pairs: Vec<(DurationNs, DurationNs)> =
+            (0..20).map(|_| (ns(2), ns(10))).collect();
+        let overlapped = overlapped_makespan(&pairs);
+        // Only the first host stage is exposed.
+        assert_eq!(overlapped.as_nanos(), 2 + 20 * 10);
+    }
+
+    #[test]
+    fn overlap_degrades_to_host_bound_when_sampling_dominates() {
+        let pairs: Vec<(DurationNs, DurationNs)> =
+            (0..20).map(|_| (ns(50), ns(5))).collect();
+        let overlapped = overlapped_makespan(&pairs).as_nanos();
+        assert!(overlapped >= 20 * 50, "host chain lower-bounds makespan");
+    }
+
+    #[test]
+    fn delta_transfer_saves_bytes() {
+        let sizes = vec![1_000u64; 10];
+        let full: u64 = sizes.iter().sum();
+        let delta = delta_transfer_bytes(&sizes, 0.8);
+        assert_eq!(delta, 1_000 + 9 * 200);
+        assert!(delta < full);
+        assert_eq!(delta_transfer_bytes(&sizes, 0.0), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity")]
+    fn delta_transfer_validates_similarity() {
+        delta_transfer_bytes(&[1], 1.5);
+    }
+}

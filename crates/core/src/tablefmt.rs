@@ -1,0 +1,119 @@
+//! Minimal aligned text-table rendering for experiment reports.
+
+/// A simple column-aligned text table with a title row.
+///
+/// ```
+/// use dgnn_profile::TextTable;
+///
+/// let mut t = TextTable::new("demo", &["name", "value"]);
+/// t.row(&["alpha".to_string(), "1".to_string()]);
+/// let s = t.render();
+/// assert!(s.contains("alpha"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        TextTable {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str("== ");
+        out.push_str(&self.title);
+        out.push_str(" ==\n");
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep_len = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(sep_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = TextTable::new("t", &["a", "longheader"]);
+        t.row(&["xxxxxx".to_string(), "1".to_string()]);
+        t.row(&["y".to_string(), "22".to_string()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+        let col2_positions: Vec<usize> = lines[3..]
+            .iter()
+            .chain(std::iter::once(&lines[1]))
+            .map(|l| l.split_whitespace().count())
+            .collect();
+        assert!(col2_positions.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new("t", &["a", "b", "c"]);
+        t.row(&["1".to_string()]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new("empty", &["x"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("empty"));
+    }
+}

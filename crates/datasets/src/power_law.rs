@@ -1,0 +1,96 @@
+//! Power-law (Zipf) index sampling for skewed popularity.
+//!
+//! Real interaction networks are heavy-tailed: a few pages/items receive
+//! most interactions. That skew matters for the paper's bottlenecks (it
+//! shapes temporal-adjacency list lengths, hence sampling cost), so the
+//! generators draw item indices from a Zipf distribution.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws indices `0..n` with probability ∝ `1 / (i+1)^alpha` via a
+/// precomputed inverse CDF.
+#[derive(Debug, Clone)]
+pub struct PowerLawSampler {
+    cdf: Vec<f64>,
+}
+
+impl PowerLawSampler {
+    /// Builds the sampler for `n` items with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `alpha` is not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "power-law support must be non-empty");
+        assert!(alpha.is_finite(), "alpha must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        PowerLawSampler { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_indices_dominate() {
+        let s = PowerLawSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 8_000, "head mass {head} should dominate");
+        assert!(counts[0] > counts[50]);
+    }
+
+    #[test]
+    fn all_indices_in_range() {
+        let s = PowerLawSampler::new(7, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniformish() {
+        let s = PowerLawSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "count {c} not near uniform");
+        }
+    }
+}

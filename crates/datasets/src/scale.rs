@@ -1,0 +1,68 @@
+//! Dataset scale control.
+
+/// How large a generated dataset should be.
+///
+/// `Tiny` keeps unit tests and CI fast; `Small` is the default for the
+/// experiment harness; `Full` approaches the real datasets' published
+/// sizes (and the paper's runtimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// ~1% of real size; for tests.
+    Tiny,
+    /// ~10% of real size; default for experiments.
+    #[default]
+    Small,
+    /// Real published size.
+    Full,
+}
+
+impl Scale {
+    /// Multiplier applied to event/snapshot counts.
+    pub fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.01,
+            Scale::Small => 0.1,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Scales a full-size count, keeping at least `min`.
+    pub fn apply(self, full: usize, min: usize) -> usize {
+        ((full as f64 * self.factor()).round() as usize).max(min)
+    }
+
+    /// Parses from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_scales_and_clamps() {
+        assert_eq!(Scale::Tiny.apply(10_000, 50), 100);
+        assert_eq!(Scale::Tiny.apply(100, 50), 50);
+        assert_eq!(Scale::Full.apply(10_000, 50), 10_000);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(Scale::default(), Scale::Small);
+    }
+}

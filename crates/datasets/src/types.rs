@@ -1,0 +1,154 @@
+//! Dataset container types shared by all generators.
+
+use dgnn_graph::{EventStream, Graph, SnapshotSequence};
+use dgnn_tensor::Tensor;
+
+/// A continuous-time interaction dataset (JODIE format): an event stream
+/// plus node and per-event edge features. Consumed by JODIE, TGN, TGAT,
+/// DyRep and LDG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalDataset {
+    /// Dataset name (e.g. `"wikipedia"`).
+    pub name: &'static str,
+    /// Time-sorted interaction events.
+    pub stream: EventStream,
+    /// Static node features, `[n_nodes, node_dim]`.
+    pub node_features: Tensor,
+    /// Per-event edge features, `[n_events, edge_dim]`.
+    pub edge_features: Tensor,
+}
+
+impl TemporalDataset {
+    /// Node feature dimension.
+    pub fn node_dim(&self) -> usize {
+        self.node_features.dims()[1]
+    }
+
+    /// Edge feature dimension.
+    pub fn edge_dim(&self) -> usize {
+        self.edge_features.dims()[1]
+    }
+}
+
+/// A discrete-time snapshot dataset. Consumed by EvolveGCN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDataset {
+    /// Dataset name (e.g. `"bitcoin_alpha"`).
+    pub name: &'static str,
+    /// Time-ordered graph snapshots.
+    pub snapshots: SnapshotSequence,
+    /// Static node features, `[n_nodes, node_dim]`.
+    pub node_features: Tensor,
+}
+
+impl SnapshotDataset {
+    /// Node feature dimension.
+    pub fn node_dim(&self) -> usize {
+        self.node_features.dims()[1]
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.node_features.dims()[0]
+    }
+}
+
+/// A spatio-temporal sensor dataset (PeMS format). Consumed by ASTGNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesDataset {
+    /// Dataset name (e.g. `"pems"`).
+    pub name: &'static str,
+    /// Static road/sensor graph.
+    pub sensor_graph: Graph,
+    /// Traffic signal, `[T, n_sensors, n_channels]`.
+    pub signal: Tensor,
+}
+
+impl TimeSeriesDataset {
+    /// Number of time slots.
+    pub fn n_steps(&self) -> usize {
+        self.signal.dims()[0]
+    }
+
+    /// Number of sensors.
+    pub fn n_sensors(&self) -> usize {
+        self.signal.dims()[1]
+    }
+
+    /// Number of signal channels.
+    pub fn n_channels(&self) -> usize {
+        self.signal.dims()[2]
+    }
+}
+
+/// A molecular trajectory dataset (ISO17 format). Consumed by MolDGNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryDataset {
+    /// Dataset name (e.g. `"iso17"`).
+    pub name: &'static str,
+    /// Atoms per molecule (fixed — ISO17 is C7O2H10 isomers, 19 atoms).
+    pub n_atoms: usize,
+    /// One bond-graph trajectory per molecule.
+    pub molecules: Vec<SnapshotSequence>,
+    /// Atom positions, `[n_molecules * frames, n_atoms, 3]`.
+    pub positions: Tensor,
+}
+
+impl TrajectoryDataset {
+    /// Number of molecules.
+    pub fn n_molecules(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// Frames per molecule (uniform across the dataset).
+    pub fn frames_per_molecule(&self) -> usize {
+        self.molecules.first().map_or(0, SnapshotSequence::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_graph::{Snapshot, TemporalEvent};
+
+    #[test]
+    fn temporal_dataset_dims() {
+        let stream = EventStream::new(
+            3,
+            vec![TemporalEvent { src: 0, dst: 1, time: 0.5, feature_idx: 0 }],
+        )
+        .unwrap();
+        let d = TemporalDataset {
+            name: "t",
+            stream,
+            node_features: Tensor::zeros(&[3, 8]),
+            edge_features: Tensor::zeros(&[1, 4]),
+        };
+        assert_eq!(d.node_dim(), 8);
+        assert_eq!(d.edge_dim(), 4);
+    }
+
+    #[test]
+    fn snapshot_dataset_dims() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let d = SnapshotDataset {
+            name: "s",
+            snapshots: SnapshotSequence::new(vec![Snapshot { time: 0.0, graph: g }]).unwrap(),
+            node_features: Tensor::zeros(&[2, 5]),
+        };
+        assert_eq!(d.n_nodes(), 2);
+        assert_eq!(d.node_dim(), 5);
+    }
+
+    #[test]
+    fn time_series_dims() {
+        let d = TimeSeriesDataset {
+            name: "p",
+            sensor_graph: Graph::from_edges(4, &[(0, 1)]).unwrap(),
+            signal: Tensor::zeros(&[10, 4, 3]),
+        };
+        assert_eq!(d.n_steps(), 10);
+        assert_eq!(d.n_sensors(), 4);
+        assert_eq!(d.n_channels(), 3);
+    }
+}

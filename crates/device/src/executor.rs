@@ -1,0 +1,548 @@
+//! The sequential execution engine: one shared virtual clock, one timeline.
+//!
+//! The profiled frameworks execute DGNN inference as a strict sequence —
+//! sample on the CPU, copy over PCIe, launch kernels, copy back — and that
+//! serialization is the root of the paper's temporal-dependency and
+//! workload-imbalance bottlenecks. [`Executor`] models exactly that: every
+//! priced action advances a single clock. (The §5 optimization ablations
+//! re-schedule recorded scope intervals instead of complicating this engine
+//! with streams.)
+
+use crate::event::{EventCategory, Place, TimelineEvent, TransferDir};
+use crate::kernel::{HostWork, KernelDesc, KernelKind};
+use crate::memory::MemoryTracker;
+use crate::spec::PlatformSpec;
+use crate::time::DurationNs;
+use crate::timeline::Timeline;
+use crate::warmup::WarmupModel;
+
+/// Whether inference runs entirely on the CPU or offloads kernels to the
+/// simulated GPU (the paper's two measurement configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// All kernels on the CPU; no transfers, no GPU warm-up.
+    CpuOnly,
+    /// Kernels on the GPU; host work on the CPU; PCIe between them.
+    Gpu,
+}
+
+/// A closed profiler scope: the simulated PyTorch Profiler record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeRecord {
+    /// Slash-joined scope path, e.g. `"inference/sampling"`.
+    pub path: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Scope entry time.
+    pub start: DurationNs,
+    /// Scope exit time.
+    pub end: DurationNs,
+}
+
+impl ScopeRecord {
+    /// Scope duration.
+    pub fn duration(&self) -> DurationNs {
+        self.end - self.start
+    }
+
+    /// Final path component (the scope's own name).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+}
+
+/// The simulated runtime: prices kernels, host work, transfers and warm-up
+/// against the [`PlatformSpec`], advancing a virtual clock and recording a
+/// timeline plus profiler scopes.
+#[derive(Debug)]
+pub struct Executor {
+    spec: PlatformSpec,
+    mode: ExecMode,
+    clock: DurationNs,
+    timeline: Timeline,
+    scopes: Vec<ScopeRecord>,
+    scope_stack: Vec<String>,
+    cpu_mem: MemoryTracker,
+    gpu_mem: MemoryTracker,
+    context_ready: bool,
+}
+
+impl Executor {
+    /// Creates an executor at time zero.
+    pub fn new(spec: PlatformSpec, mode: ExecMode) -> Self {
+        Executor {
+            spec,
+            mode,
+            clock: DurationNs::ZERO,
+            timeline: Timeline::new(),
+            scopes: Vec::new(),
+            scope_stack: Vec::new(),
+            cpu_mem: MemoryTracker::new(),
+            gpu_mem: MemoryTracker::new(),
+            // CPU-only runs never pay GPU warm-up.
+            context_ready: mode == ExecMode::CpuOnly,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> DurationNs {
+        self.clock
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Platform specification.
+    pub fn spec(&self) -> &PlatformSpec {
+        &self.spec
+    }
+
+    /// The recorded kernel/transfer timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// All closed profiler scopes.
+    pub fn scopes(&self) -> &[ScopeRecord] {
+        &self.scopes
+    }
+
+    /// GPU memory accounting.
+    pub fn gpu_memory(&self) -> &MemoryTracker {
+        &self.gpu_mem
+    }
+
+    /// CPU memory accounting.
+    pub fn cpu_memory(&self) -> &MemoryTracker {
+        &self.cpu_mem
+    }
+
+    /// Memory tracker for the device kernels execute on.
+    pub fn compute_memory(&self) -> &MemoryTracker {
+        match self.mode {
+            ExecMode::CpuOnly => &self.cpu_mem,
+            ExecMode::Gpu => &self.gpu_mem,
+        }
+    }
+
+    fn current_path(&self) -> String {
+        self.scope_stack.join("/")
+    }
+
+    /// Runs `f` inside a named profiler scope; nesting builds slash paths.
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.scope_stack.push(name.to_string());
+        let depth = self.scope_stack.len() - 1;
+        let path = self.current_path();
+        let start = self.clock;
+        let result = f(self);
+        let end = self.clock;
+        self.scope_stack.pop();
+        self.scopes.push(ScopeRecord { path, depth, start, end });
+        result
+    }
+
+    /// Runs `f` and returns its result together with the simulated time it
+    /// consumed.
+    pub fn timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, DurationNs) {
+        let start = self.clock;
+        let result = f(self);
+        (result, self.clock - start)
+    }
+
+    fn push_event(
+        &mut self,
+        label: &'static str,
+        category: EventCategory,
+        place: Place,
+        duration: DurationNs,
+        occupancy: f64,
+        flops: u64,
+        bytes: u64,
+    ) {
+        let start = self.clock;
+        let end = start + duration;
+        self.timeline.push(TimelineEvent {
+            label,
+            scope: self.current_path(),
+            category,
+            place,
+            start,
+            end,
+            occupancy,
+            flops,
+            bytes,
+        });
+        self.clock = end;
+    }
+
+    /// Lazily initializes the CUDA context on first GPU activity
+    /// (the paper's "lazy initialization" warm-up component). Returns the
+    /// cost paid, which is zero after the first call and always zero in
+    /// CPU-only mode.
+    pub fn ensure_context(&mut self) -> DurationNs {
+        if self.context_ready {
+            return DurationNs::ZERO;
+        }
+        self.context_ready = true;
+        let d = WarmupModel::context(&self.spec.gpu);
+        self.push_event("cuda_context_init", EventCategory::WarmupContext, Place::Gpu, d, 0.0, 0, 0);
+        d
+    }
+
+    /// Performs model initialization: allocates and uploads `weight_bytes`
+    /// of parameters in `n_param_tensors` tensors. On the GPU this is the
+    /// expensive warm-up component of Section 4.4; on the CPU it is a
+    /// cheap host-memory copy. Returns the simulated cost.
+    pub fn model_init(&mut self, weight_bytes: u64, n_param_tensors: u64) -> DurationNs {
+        match self.mode {
+            ExecMode::Gpu => {
+                self.ensure_context();
+                let d = WarmupModel::model_init_gpu(
+                    &self.spec.gpu,
+                    &self.spec.pcie,
+                    weight_bytes,
+                    n_param_tensors,
+                );
+                self.gpu_mem.alloc(weight_bytes);
+                self.push_event(
+                    "model_init",
+                    EventCategory::WarmupModelInit,
+                    Place::Gpu,
+                    d,
+                    0.0,
+                    0,
+                    weight_bytes,
+                );
+                d
+            }
+            ExecMode::CpuOnly => {
+                let d = WarmupModel::model_init_cpu(&self.spec.cpu, weight_bytes, n_param_tensors);
+                self.cpu_mem.alloc(weight_bytes);
+                self.push_event(
+                    "model_init",
+                    EventCategory::WarmupModelInit,
+                    Place::Cpu,
+                    d,
+                    0.0,
+                    0,
+                    weight_bytes,
+                );
+                d
+            }
+        }
+    }
+
+    /// Per-run activation allocation warm-up (the batch-dependent part of
+    /// Table 2). No-op in CPU-only mode. Returns the simulated cost.
+    pub fn alloc_warmup(&mut self, activation_bytes: u64) -> DurationNs {
+        if self.mode == ExecMode::CpuOnly {
+            self.cpu_mem.alloc(activation_bytes);
+            return DurationNs::ZERO;
+        }
+        self.ensure_context();
+        let d = WarmupModel::alloc(&self.spec.gpu, activation_bytes);
+        self.gpu_mem.alloc(activation_bytes);
+        self.push_event(
+            "activation_alloc",
+            EventCategory::WarmupAlloc,
+            Place::Gpu,
+            d,
+            0.0,
+            0,
+            activation_bytes,
+        );
+        d
+    }
+
+    /// Releases previously allocated activation memory.
+    pub fn release(&mut self, bytes: u64) {
+        match self.mode {
+            ExecMode::Gpu => self.gpu_mem.free(bytes),
+            ExecMode::CpuOnly => self.cpu_mem.free(bytes),
+        }
+    }
+
+    fn gpu_kernel_duration(&self, desc: &KernelDesc) -> (DurationNs, f64) {
+        let g = &self.spec.gpu;
+        let occupancy = (desc.parallelism as f64 / g.saturation_width as f64)
+            .clamp(1.0 / g.sm_count as f64, 1.0);
+        let compute_s = desc.flops as f64 / (g.peak_flops * g.kernel_efficiency * occupancy);
+        let bw = if desc.kind.is_irregular() { g.mem_bw * g.irregular_efficiency } else { g.mem_bw };
+        let memory_s = desc.bytes as f64 / bw;
+        let busy = DurationNs::from_secs_f64(compute_s.max(memory_s));
+        (DurationNs::from_nanos(g.launch_overhead_ns) + busy, occupancy)
+    }
+
+    fn cpu_kernel_duration(&self, desc: &KernelDesc) -> (DurationNs, f64) {
+        let c = &self.spec.cpu;
+        let occupancy = (desc.parallelism as f64 / c.saturation_width as f64)
+            .clamp(1.0 / c.cores as f64, 1.0);
+        let compute_s = desc.flops as f64 / (c.peak_flops * c.kernel_efficiency * occupancy);
+        let bw = if desc.kind.is_irregular() { c.mem_bw * c.irregular_efficiency } else { c.mem_bw };
+        let memory_s = desc.bytes as f64 / bw;
+        let busy = DurationNs::from_secs_f64(compute_s.max(memory_s));
+        (DurationNs::from_nanos(c.dispatch_overhead_ns) + busy, occupancy)
+    }
+
+    /// Launches one kernel on the compute device of the current mode,
+    /// advancing the clock. Returns the simulated duration (including
+    /// launch/dispatch overhead).
+    pub fn launch(&mut self, desc: KernelDesc) -> DurationNs {
+        match self.mode {
+            ExecMode::Gpu => {
+                self.ensure_context();
+                let (d, occ) = self.gpu_kernel_duration(&desc);
+                self.push_event(
+                    desc.label,
+                    EventCategory::Kernel(desc.kind),
+                    Place::Gpu,
+                    d,
+                    occ,
+                    desc.flops,
+                    desc.bytes,
+                );
+                d
+            }
+            ExecMode::CpuOnly => {
+                let (d, occ) = self.cpu_kernel_duration(&desc);
+                self.push_event(
+                    desc.label,
+                    EventCategory::Kernel(desc.kind),
+                    Place::Cpu,
+                    d,
+                    occ,
+                    desc.flops,
+                    desc.bytes,
+                );
+                d
+            }
+        }
+    }
+
+    /// Executes host-side preprocessing work on the simulated CPU
+    /// (always the CPU, in both modes). Returns the simulated duration.
+    pub fn host(&mut self, work: HostWork) -> DurationNs {
+        let c = &self.spec.cpu;
+        let ops_s = work.ops as f64 / c.host_ops_per_sec;
+        let seq_s = work.seq_bytes as f64 / c.mem_bw;
+        let irr_s = work.irregular_bytes as f64 / (c.mem_bw * c.irregular_efficiency);
+        let d = DurationNs::from_nanos(c.dispatch_overhead_ns)
+            + DurationNs::from_secs_f64(ops_s + seq_s + irr_s);
+        self.push_event(
+            work.label,
+            EventCategory::Host,
+            Place::Cpu,
+            d,
+            1.0,
+            work.ops,
+            work.seq_bytes + work.irregular_bytes,
+        );
+        d
+    }
+
+    /// Copies `bytes` across PCIe. Free (and unrecorded) in CPU-only mode,
+    /// where no transfer exists. Returns the simulated duration.
+    pub fn transfer(&mut self, dir: TransferDir, bytes: u64) -> DurationNs {
+        if self.mode == ExecMode::CpuOnly {
+            return DurationNs::ZERO;
+        }
+        self.ensure_context();
+        let p = &self.spec.pcie;
+        let d = DurationNs::from_nanos(p.latency_ns)
+            + DurationNs::from_secs_f64(bytes as f64 / p.bandwidth);
+        self.push_event(dir.name(), EventCategory::Transfer(dir), Place::Pcie, d, 1.0, 0, bytes);
+        d
+    }
+
+    /// Idle-waits until the clock reaches `t` (used by pipelined ablations
+    /// when replaying schedules). No event is recorded; the gap is visible
+    /// on the timeline as missing coverage.
+    pub fn advance_to(&mut self, t: DurationNs) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Launches a "synchronization" marker: zero-work kernel representing
+    /// `cudaStreamSynchronize`, charged one launch overhead.
+    pub fn synchronize(&mut self) -> DurationNs {
+        self.launch(KernelDesc {
+            label: "cuda_synchronize",
+            kind: KernelKind::Elementwise,
+            flops: 0,
+            bytes: 0,
+            parallelism: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_executor() -> Executor {
+        Executor::new(PlatformSpec::default(), ExecMode::Gpu)
+    }
+
+    #[test]
+    fn clock_is_monotone_across_actions() {
+        let mut ex = gpu_executor();
+        let t0 = ex.now();
+        ex.launch(KernelDesc::gemm("k", 32, 32, 32));
+        let t1 = ex.now();
+        ex.transfer(TransferDir::H2D, 1024);
+        let t2 = ex.now();
+        ex.host(HostWork::sequential("pack", 100, 1024));
+        let t3 = ex.now();
+        assert!(t0 < t1 && t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn first_gpu_action_pays_context_init() {
+        let mut ex = gpu_executor();
+        ex.launch(KernelDesc::gemm("k", 8, 8, 8));
+        let warmup = ex
+            .timeline()
+            .category_time(|c| c == EventCategory::WarmupContext);
+        assert_eq!(warmup.as_nanos(), PlatformSpec::default().gpu.context_init_ns);
+        // Second launch pays nothing extra.
+        let before = ex.now();
+        ex.launch(KernelDesc::gemm("k", 8, 8, 8));
+        let kernel_time = ex.now() - before;
+        assert!(kernel_time.as_nanos() < 100_000);
+    }
+
+    #[test]
+    fn cpu_mode_has_no_warmup_or_transfers() {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+        ex.launch(KernelDesc::gemm("k", 8, 8, 8));
+        assert_eq!(ex.transfer(TransferDir::H2D, 1 << 20), DurationNs::ZERO);
+        assert_eq!(ex.timeline().busy_time(Place::Pcie), DurationNs::ZERO);
+        assert_eq!(
+            ex.timeline().category_time(EventCategory::is_warmup),
+            DurationNs::ZERO
+        );
+        assert_eq!(ex.timeline().busy_time(Place::Gpu), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn tiny_gpu_kernels_are_launch_bound() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let d = ex.launch(KernelDesc::gemm("tiny", 16, 16, 16));
+        let launch = PlatformSpec::default().gpu.launch_overhead_ns;
+        // Launch overhead must dominate: busy time < 20% of total.
+        assert!(d.as_nanos() < launch * 12 / 10, "duration {d}");
+    }
+
+    #[test]
+    fn large_gpu_kernels_beat_cpu() {
+        let mut gpu = gpu_executor();
+        gpu.ensure_context();
+        let mut cpu = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+        let desc = KernelDesc::gemm("big", 2048, 2048, 2048);
+        let dg = gpu.launch(desc.clone());
+        let dc = cpu.launch(desc);
+        assert!(
+            dc.as_nanos() > 5 * dg.as_nanos(),
+            "cpu {dc} should be ≫ gpu {dg}"
+        );
+    }
+
+    #[test]
+    fn irregular_kernels_pay_bandwidth_penalty() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let regular = ex.launch(KernelDesc::elementwise("r", 1 << 20, 1, 1));
+        let irregular = ex.launch(KernelDesc::gather("g", 1 << 18, 4));
+        // gather moves 8 MiB at ~12% efficiency vs 8 MiB sequential.
+        assert!(irregular > regular);
+    }
+
+    #[test]
+    fn scopes_nest_and_record_spans() {
+        let mut ex = gpu_executor();
+        ex.scope("inference", |ex| {
+            ex.scope("sampling", |ex| {
+                ex.host(HostWork::irregular("sample", 1000, 4096));
+            });
+            ex.scope("attention", |ex| {
+                ex.launch(KernelDesc::gemm("qk", 64, 64, 64));
+            });
+        });
+        let paths: Vec<&str> = ex.scopes().iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"inference/sampling"));
+        assert!(paths.contains(&"inference/attention"));
+        assert!(paths.contains(&"inference"));
+        let outer = ex.scopes().iter().find(|s| s.path == "inference").unwrap();
+        let inner = ex.scopes().iter().find(|s| s.path == "inference/sampling").unwrap();
+        assert!(outer.start <= inner.start && inner.end <= outer.end);
+        assert_eq!(inner.name(), "sampling");
+    }
+
+    #[test]
+    fn events_inherit_scope_path() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        ex.scope("run", |ex| {
+            ex.scope("gnn", |ex| {
+                ex.launch(KernelDesc::gemm("agg", 32, 32, 32));
+            });
+        });
+        let e = ex.timeline().events().last().unwrap();
+        assert_eq!(e.scope, "run/gnn");
+    }
+
+    #[test]
+    fn model_init_gpu_much_slower_than_cpu() {
+        let mut gpu = gpu_executor();
+        let mut cpu = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+        let dg = gpu.model_init(1 << 22, 30);
+        let dc = cpu.model_init(1 << 22, 30);
+        assert!(dg.as_nanos() > 40 * dc.as_nanos());
+        assert_eq!(gpu.gpu_memory().live_bytes(), 1 << 22);
+        assert_eq!(cpu.cpu_memory().live_bytes(), 1 << 22);
+    }
+
+    #[test]
+    fn alloc_warmup_tracks_memory_and_grows() {
+        let mut ex = gpu_executor();
+        let small = ex.alloc_warmup(1 << 16);
+        ex.release(1 << 16);
+        let large = ex.alloc_warmup(1 << 28);
+        assert!(large > small);
+        assert_eq!(ex.gpu_memory().live_bytes(), 1 << 28);
+    }
+
+    #[test]
+    fn timed_measures_simulated_time() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let ((), d) = ex.timed(|ex| {
+            ex.launch(KernelDesc::gemm("k", 64, 64, 64));
+        });
+        assert!(d.as_nanos() > 0);
+        assert_eq!(ex.now().saturating_sub(d), DurationNs::from_nanos(
+            PlatformSpec::default().gpu.context_init_ns,
+        ));
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let mut ex = gpu_executor();
+        ex.advance_to(DurationNs::from_nanos(100));
+        ex.advance_to(DurationNs::from_nanos(50));
+        assert_eq!(ex.now().as_nanos(), 100);
+    }
+
+    #[test]
+    fn synchronize_costs_one_launch() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let d = ex.synchronize();
+        assert_eq!(d.as_nanos(), PlatformSpec::default().gpu.launch_overhead_ns);
+    }
+}

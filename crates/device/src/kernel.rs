@@ -1,0 +1,201 @@
+//! Kernel and host-work descriptors: the unit of pricing in the simulator.
+
+use dgnn_tensor::cost;
+
+/// The kernel families the profiled DGNNs exercise.
+///
+/// These mirror the categories an Nsight Systems trace groups CUDA kernels
+/// into for these models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense matrix multiplication (cuBLAS GEMM).
+    Gemm,
+    /// Element-wise arithmetic / activation.
+    Elementwise,
+    /// Reduction (sum/max) or softmax.
+    Reduce,
+    /// Gather / scatter / embedding lookup — irregular access.
+    Gather,
+    /// Sort or bisection-heavy index manipulation — irregular access.
+    Sort,
+}
+
+impl KernelKind {
+    /// Whether this family pays the irregular-access bandwidth penalty.
+    pub fn is_irregular(self) -> bool {
+        matches!(self, KernelKind::Gather | KernelKind::Sort)
+    }
+
+    /// Short display name used in breakdown tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Gemm => "gemm",
+            KernelKind::Elementwise => "elementwise",
+            KernelKind::Reduce => "reduce",
+            KernelKind::Gather => "gather",
+            KernelKind::Sort => "sort",
+        }
+    }
+}
+
+/// Work description of one device kernel.
+///
+/// Constructed via the family helpers ([`KernelDesc::gemm`] etc.) so FLOP
+/// and byte estimates stay consistent across the model zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Human-readable label (appears on the timeline).
+    pub label: &'static str,
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Floating-point operations performed.
+    pub flops: u64,
+    /// Bytes moved to/from device memory.
+    pub bytes: u64,
+    /// Data-parallel lanes of work (drives occupancy).
+    pub parallelism: u64,
+}
+
+impl KernelDesc {
+    /// A dense `[m, k] × [k, n]` GEMM.
+    pub fn gemm(label: &'static str, m: usize, k: usize, n: usize) -> Self {
+        KernelDesc {
+            label,
+            kind: KernelKind::Gemm,
+            flops: cost::matmul_flops(m, k, n),
+            bytes: cost::matmul_bytes(m, k, n),
+            parallelism: cost::matmul_parallelism(m, n),
+        }
+    }
+
+    /// A batched GEMM of `b` independent `[m, k] × [k, n]` products.
+    pub fn batched_gemm(label: &'static str, b: usize, m: usize, k: usize, n: usize) -> Self {
+        KernelDesc {
+            label,
+            kind: KernelKind::Gemm,
+            flops: b as u64 * cost::matmul_flops(m, k, n),
+            bytes: b as u64 * cost::matmul_bytes(m, k, n),
+            parallelism: b as u64 * cost::matmul_parallelism(m, n),
+        }
+    }
+
+    /// An element-wise kernel over `len` elements with `ops_per_elem`
+    /// arithmetic ops and `n_inputs` input operands.
+    pub fn elementwise(label: &'static str, len: usize, ops_per_elem: u64, n_inputs: u64) -> Self {
+        KernelDesc {
+            label,
+            kind: KernelKind::Elementwise,
+            flops: cost::elementwise_flops(len, ops_per_elem),
+            bytes: cost::elementwise_bytes(len, n_inputs),
+            parallelism: len as u64,
+        }
+    }
+
+    /// A reduction/softmax kernel over an `[m, n]` matrix.
+    pub fn reduce(label: &'static str, m: usize, n: usize) -> Self {
+        KernelDesc {
+            label,
+            kind: KernelKind::Reduce,
+            flops: cost::softmax_flops(m, n),
+            bytes: 2 * cost::f32_bytes(m * n),
+            parallelism: m as u64,
+        }
+    }
+
+    /// A gather/scatter of `rows` rows of `width` f32 each.
+    pub fn gather(label: &'static str, rows: usize, width: usize) -> Self {
+        KernelDesc {
+            label,
+            kind: KernelKind::Gather,
+            flops: 0,
+            bytes: 2 * cost::f32_bytes(rows * width),
+            parallelism: rows as u64,
+        }
+    }
+
+    /// A sort over `len` keys (comparison count `len·log2(len)`).
+    pub fn sort(label: &'static str, len: usize) -> Self {
+        let l = len.max(2) as u64;
+        let log = 64 - l.leading_zeros() as u64;
+        KernelDesc {
+            label,
+            kind: KernelKind::Sort,
+            flops: l * log,
+            bytes: 2 * cost::f32_bytes(len) * log,
+            parallelism: len as u64 / 2,
+        }
+    }
+}
+
+/// Host-side (CPU) work description: graph preprocessing, sampling,
+/// snapshot assembly. Always executes on the simulated CPU regardless of
+/// execution mode — exactly as in the profiled frameworks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostWork {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// Arithmetic/comparison operations performed.
+    pub ops: u64,
+    /// Bytes touched sequentially.
+    pub seq_bytes: u64,
+    /// Bytes touched with irregular (random) access — priced against
+    /// `mem_bw × irregular_efficiency`.
+    pub irregular_bytes: u64,
+}
+
+impl HostWork {
+    /// Sequential host work (e.g. packing a contiguous batch).
+    pub fn sequential(label: &'static str, ops: u64, bytes: u64) -> Self {
+        HostWork { label, ops, seq_bytes: bytes, irregular_bytes: 0 }
+    }
+
+    /// Irregular host work (e.g. temporal neighbor sampling with
+    /// bisection over per-node timestamp arrays).
+    pub fn irregular(label: &'static str, ops: u64, bytes: u64) -> Self {
+        HostWork { label, ops, seq_bytes: 0, irregular_bytes: bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_descriptor_matches_cost_helpers() {
+        let d = KernelDesc::gemm("t", 4, 5, 6);
+        assert_eq!(d.flops, 240);
+        assert_eq!(d.parallelism, 24);
+        assert_eq!(d.kind, KernelKind::Gemm);
+        assert!(!d.kind.is_irregular());
+    }
+
+    #[test]
+    fn batched_gemm_scales_by_batch() {
+        let single = KernelDesc::gemm("t", 4, 5, 6);
+        let batched = KernelDesc::batched_gemm("t", 3, 4, 5, 6);
+        assert_eq!(batched.flops, 3 * single.flops);
+        assert_eq!(batched.parallelism, 3 * single.parallelism);
+    }
+
+    #[test]
+    fn gather_and_sort_are_irregular() {
+        assert!(KernelDesc::gather("g", 10, 8).kind.is_irregular());
+        assert!(KernelDesc::sort("s", 100).kind.is_irregular());
+    }
+
+    #[test]
+    fn sort_cost_grows_superlinearly() {
+        let small = KernelDesc::sort("s", 1_000);
+        let large = KernelDesc::sort("s", 100_000);
+        assert!(large.flops > 100 * small.flops);
+    }
+
+    #[test]
+    fn host_work_constructors() {
+        let s = HostWork::sequential("pack", 10, 100);
+        assert_eq!(s.irregular_bytes, 0);
+        let i = HostWork::irregular("sample", 10, 100);
+        assert_eq!(i.seq_bytes, 0);
+        assert_eq!(i.irregular_bytes, 100);
+    }
+}

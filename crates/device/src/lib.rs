@@ -1,0 +1,53 @@
+//! # dgnn-device
+//!
+//! A deterministic, simulated CPU/GPU heterogeneous platform.
+//!
+//! The IISWC'22 paper this suite reproduces profiles DGNN inference on an
+//! Intel Xeon 6226R and an NVIDIA A6000. This crate replaces that silicon
+//! with an *analytical performance model* driven by a virtual nanosecond
+//! clock:
+//!
+//! * every kernel costs `launch_overhead + max(flops / effective_throughput,
+//!   bytes / bandwidth)`, where effective throughput scales with the
+//!   kernel's data parallelism (occupancy) — tiny DGNN kernels are
+//!   launch-bound exactly as the paper observes;
+//! * host-side work (temporal neighbor sampling, snapshot preparation,
+//!   t-batching) runs on the simulated CPU, optionally with an
+//!   irregular-access bandwidth penalty;
+//! * CPU↔GPU traffic pays PCIe latency + bandwidth;
+//! * GPU warm-up is modeled as lazy context creation plus model
+//!   initialization (weight upload + per-tensor allocation) plus per-run
+//!   activation allocation — the three components of Section 4.4.
+//!
+//! Everything an execution does is recorded on a [`timeline::Timeline`]
+//! (the simulated Nsight trace) and in scope records (the simulated PyTorch
+//! Profiler trace); the `dgnn-profile` crate turns those into the paper's
+//! tables and figures.
+//!
+//! ```
+//! use dgnn_device::{Executor, ExecMode, KernelDesc, PlatformSpec};
+//!
+//! let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+//! ex.scope("attention", |ex| {
+//!     ex.launch(KernelDesc::gemm("qk", 64, 32, 64));
+//! });
+//! assert!(ex.now().as_nanos() > 0);
+//! ```
+
+mod event;
+mod executor;
+mod kernel;
+mod memory;
+mod spec;
+mod time;
+pub mod timeline;
+mod warmup;
+
+pub use event::{EventCategory, Place, TimelineEvent, TransferDir};
+pub use executor::{ExecMode, Executor, ScopeRecord};
+pub use kernel::{HostWork, KernelDesc, KernelKind};
+pub use memory::MemoryTracker;
+pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec};
+pub use time::DurationNs;
+pub use timeline::Timeline;
+pub use warmup::WarmupModel;

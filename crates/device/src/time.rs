@@ -1,0 +1,157 @@
+//! Virtual time: all durations in the simulator are integer nanoseconds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of simulated time in nanoseconds.
+///
+/// The newtype keeps simulated time from being confused with host
+/// wall-clock time anywhere in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DurationNs(u64);
+
+impl DurationNs {
+    /// Zero duration.
+    pub const ZERO: DurationNs = DurationNs(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        DurationNs(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        DurationNs(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        DurationNs(ms * 1_000_000)
+    }
+
+    /// Constructs from (possibly fractional) seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        DurationNs((s * 1e9).round() as u64)
+    }
+
+    /// Nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0.max(rhs.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0.min(rhs.0))
+    }
+}
+
+impl Add for DurationNs {
+    type Output = DurationNs;
+    fn add(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for DurationNs {
+    fn add_assign(&mut self, rhs: DurationNs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for DurationNs {
+    type Output = DurationNs;
+    fn sub(self, rhs: DurationNs) -> DurationNs {
+        DurationNs(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl Sum for DurationNs {
+    fn sum<I: Iterator<Item = DurationNs>>(iter: I) -> DurationNs {
+        DurationNs(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for DurationNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(DurationNs::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(DurationNs::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(DurationNs::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert!((DurationNs::from_millis(3).as_millis_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = DurationNs::from_nanos(10);
+        let b = DurationNs::from_nanos(3);
+        assert_eq!((a + b).as_nanos(), 13);
+        assert_eq!((a - b).as_nanos(), 7);
+        assert_eq!(b.saturating_sub(a), DurationNs::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn sub_underflow_panics() {
+        let _ = DurationNs::from_nanos(1) - DurationNs::from_nanos(2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(DurationNs::from_nanos(12).to_string(), "12ns");
+        assert_eq!(DurationNs::from_micros(12).to_string(), "12.000µs");
+        assert_eq!(DurationNs::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(DurationNs::from_secs_f64(1.2).to_string(), "1.200s");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: DurationNs = (1..=4).map(DurationNs::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+}

@@ -1,0 +1,269 @@
+//! The simulated Nsight trace: an ordered list of timeline events with
+//! query helpers.
+
+use crate::event::{EventCategory, Place, TimelineEvent};
+use crate::kernel::KernelKind;
+use crate::time::DurationNs;
+
+/// An append-only record of everything the [`crate::Executor`] did.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when the event's end precedes its start.
+    pub fn push(&mut self, event: TimelineEvent) {
+        debug_assert!(event.end >= event.start, "event ends before it starts");
+        self.events.push(event);
+    }
+
+    /// All events, in emission order (which is also start-time order for
+    /// the sequential executor).
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// End time of the last-ending event (simulation makespan).
+    pub fn span_end(&self) -> DurationNs {
+        self.events.iter().map(|e| e.end).max().unwrap_or(DurationNs::ZERO)
+    }
+
+    /// Total busy time at a place (sum of event durations there).
+    pub fn busy_time(&self, place: Place) -> DurationNs {
+        self.events
+            .iter()
+            .filter(|e| e.place == place)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Total time in a category.
+    pub fn category_time(&self, pred: impl Fn(EventCategory) -> bool) -> DurationNs {
+        self.events
+            .iter()
+            .filter(|e| pred(e.category))
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Total bytes transferred over PCIe in the given direction (or both
+    /// when `dir` is `None`).
+    pub fn transfer_bytes(&self, dir: Option<crate::event::TransferDir>) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| match (e.category, dir) {
+                (EventCategory::Transfer(d), Some(want)) => d == want,
+                (EventCategory::Transfer(_), None) => true,
+                _ => false,
+            })
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Occupancy-weighted GPU utilization over `[win_start, win_end)`:
+    /// `Σ(kernel overlap × occupancy) / window`. This approximates what
+    /// `nvidia-smi` reports for the window.
+    ///
+    /// Returns 0 for an empty window.
+    pub fn gpu_utilization(&self, win_start: DurationNs, win_end: DurationNs) -> f64 {
+        let window = win_end.saturating_sub(win_start).as_nanos();
+        if window == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .events
+            .iter()
+            .filter(|e| e.category.is_gpu_compute())
+            .map(|e| e.overlap(win_start, win_end).as_nanos() as f64 * e.occupancy)
+            .sum();
+        weighted / window as f64
+    }
+
+    /// Kernel-resident fraction of `[win_start, win_end)`: the share of
+    /// the window during which *some* kernel was executing, ignoring
+    /// occupancy. This is what `nvidia-smi`'s "GPU utilization" reports
+    /// and what the paper's utilization numbers mean.
+    pub fn gpu_busy_fraction(&self, win_start: DurationNs, win_end: DurationNs) -> f64 {
+        let window = win_end.saturating_sub(win_start).as_nanos();
+        if window == 0 {
+            return 0.0;
+        }
+        // The sequential executor never overlaps kernels, so summing
+        // per-event overlaps is exact.
+        let busy: u64 = self
+            .events
+            .iter()
+            .filter(|e| e.category.is_gpu_compute())
+            .map(|e| e.overlap(win_start, win_end).as_nanos())
+            .sum();
+        busy as f64 / window as f64
+    }
+
+    /// GPU utilization sampled over fixed-width windows spanning the whole
+    /// timeline — the Figure 9 time-series.
+    pub fn gpu_utilization_series(&self, window: DurationNs) -> Vec<(DurationNs, f64)> {
+        assert!(window.as_nanos() > 0, "window must be positive");
+        let end = self.span_end();
+        let mut out = Vec::new();
+        let mut t = DurationNs::ZERO;
+        while t < end {
+            let next = (t + window).min(end);
+            out.push((t, self.gpu_utilization(t, next)));
+            t = t + window;
+        }
+        out
+    }
+
+    /// Per-kernel-family histogram: (kind, count, total time).
+    pub fn kernel_histogram(&self) -> Vec<(KernelKind, usize, DurationNs)> {
+        let kinds = [
+            KernelKind::Gemm,
+            KernelKind::Elementwise,
+            KernelKind::Reduce,
+            KernelKind::Gather,
+            KernelKind::Sort,
+        ];
+        kinds
+            .iter()
+            .filter_map(|&kind| {
+                let mut count = 0usize;
+                let mut total = DurationNs::ZERO;
+                for e in &self.events {
+                    if e.category == EventCategory::Kernel(kind) {
+                        count += 1;
+                        total += e.duration();
+                    }
+                }
+                (count > 0).then_some((kind, count, total))
+            })
+            .collect()
+    }
+
+    /// Events whose scope path starts with `prefix`.
+    pub fn events_in_scope<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TimelineEvent> {
+        self.events.iter().filter(move |e| e.scope.starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TransferDir;
+
+    fn kernel(start: u64, end: u64, occ: f64) -> TimelineEvent {
+        TimelineEvent {
+            label: "k",
+            scope: "run/attn".to_string(),
+            category: EventCategory::Kernel(KernelKind::Gemm),
+            place: Place::Gpu,
+            start: DurationNs::from_nanos(start),
+            end: DurationNs::from_nanos(end),
+            occupancy: occ,
+            flops: 100,
+            bytes: 10,
+        }
+    }
+
+    fn transfer(start: u64, end: u64, bytes: u64, dir: TransferDir) -> TimelineEvent {
+        TimelineEvent {
+            label: dir.name(),
+            scope: "run".to_string(),
+            category: EventCategory::Transfer(dir),
+            place: Place::Pcie,
+            start: DurationNs::from_nanos(start),
+            end: DurationNs::from_nanos(end),
+            occupancy: 1.0,
+            flops: 0,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn busy_time_sums_by_place() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 10, 1.0));
+        tl.push(kernel(20, 35, 1.0));
+        tl.push(transfer(10, 20, 64, TransferDir::H2D));
+        assert_eq!(tl.busy_time(Place::Gpu).as_nanos(), 25);
+        assert_eq!(tl.busy_time(Place::Pcie).as_nanos(), 10);
+        assert_eq!(tl.span_end().as_nanos(), 35);
+    }
+
+    #[test]
+    fn utilization_weights_by_occupancy() {
+        let mut tl = Timeline::new();
+        // Kernel busy half the window at 50% occupancy → 25% utilization.
+        tl.push(kernel(0, 50, 0.5));
+        let u = tl.gpu_utilization(DurationNs::ZERO, DurationNs::from_nanos(100));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_ignores_transfers() {
+        let mut tl = Timeline::new();
+        tl.push(transfer(0, 100, 1000, TransferDir::H2D));
+        assert_eq!(tl.gpu_utilization(DurationNs::ZERO, DurationNs::from_nanos(100)), 0.0);
+    }
+
+    #[test]
+    fn utilization_series_covers_span() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 10, 1.0));
+        tl.push(kernel(90, 100, 1.0));
+        let series = tl.gpu_utilization_series(DurationNs::from_nanos(50));
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 0.2).abs() < 1e-9);
+        assert!((series[1].1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_bytes_filters_direction() {
+        let mut tl = Timeline::new();
+        tl.push(transfer(0, 10, 100, TransferDir::H2D));
+        tl.push(transfer(10, 20, 40, TransferDir::D2H));
+        assert_eq!(tl.transfer_bytes(Some(TransferDir::H2D)), 100);
+        assert_eq!(tl.transfer_bytes(Some(TransferDir::D2H)), 40);
+        assert_eq!(tl.transfer_bytes(None), 140);
+    }
+
+    #[test]
+    fn kernel_histogram_groups() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 10, 1.0));
+        tl.push(kernel(10, 30, 1.0));
+        let h = tl.kernel_histogram();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].0, KernelKind::Gemm);
+        assert_eq!(h[0].1, 2);
+        assert_eq!(h[0].2.as_nanos(), 30);
+    }
+
+    #[test]
+    fn scope_filter_matches_prefix() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 10, 1.0));
+        tl.push(transfer(10, 20, 8, TransferDir::H2D));
+        assert_eq!(tl.events_in_scope("run/attn").count(), 1);
+        assert_eq!(tl.events_in_scope("run").count(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! GPU warm-up cost model (Section 4.4 of the paper).
+//!
+//! The paper decomposes warm-up into (i) lazy CUDA context creation,
+//! (ii) model initialization — weight upload over PCIe, per-tensor
+//! allocation/registration and stream capture — and (iii) per-run
+//! activation allocation that grows with batch size (Table 2).
+
+use crate::spec::{CpuSpec, GpuSpec, PcieSpec};
+use crate::time::DurationNs;
+
+/// Computes warm-up durations from the platform specification.
+///
+/// Stateless; methods are associated functions grouped here for
+/// discoverability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmupModel;
+
+impl WarmupModel {
+    /// One-time lazy CUDA context initialization.
+    pub fn context(gpu: &GpuSpec) -> DurationNs {
+        DurationNs::from_nanos(gpu.context_init_ns)
+    }
+
+    /// GPU model initialization: fixed stream-capture/plan cost, plus the
+    /// weight upload over PCIe, plus a per-parameter-tensor allocation
+    /// and registration cost.
+    pub fn model_init_gpu(
+        gpu: &GpuSpec,
+        pcie: &PcieSpec,
+        weight_bytes: u64,
+        n_param_tensors: u64,
+    ) -> DurationNs {
+        let upload =
+            pcie.latency_ns as f64 * n_param_tensors as f64 + weight_bytes as f64 / pcie.bandwidth * 1e9;
+        DurationNs::from_nanos(
+            gpu.model_init_base_ns
+                + gpu.model_init_per_tensor_ns * n_param_tensors
+                + upload.round() as u64,
+        )
+    }
+
+    /// CPU model initialization: just materializing the weights in host
+    /// memory. This is the denominator of the paper's "model
+    /// initialization on GPU takes 40×–937× compared to CPU" claim.
+    pub fn model_init_cpu(cpu: &CpuSpec, weight_bytes: u64, n_param_tensors: u64) -> DurationNs {
+        let copy = weight_bytes as f64 / cpu.mem_bw * 1e9;
+        DurationNs::from_nanos(
+            cpu.model_init_per_tensor_ns * n_param_tensors + copy.round() as u64,
+        )
+    }
+
+    /// Per-run activation allocation warm-up: constant base plus a term
+    /// proportional to the peak activation footprint. Reproduces Table 2's
+    /// growth of warm-up share with batch size.
+    pub fn alloc(gpu: &GpuSpec, activation_bytes: u64) -> DurationNs {
+        DurationNs::from_nanos(
+            gpu.alloc_base_ns + (gpu.alloc_per_byte_ns * activation_bytes as f64).round() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PlatformSpec;
+
+    #[test]
+    fn gpu_model_init_dwarfs_cpu() {
+        let p = PlatformSpec::default();
+        let weights = 4 * 1024 * 1024; // 4 MiB of parameters
+        let gpu = WarmupModel::model_init_gpu(&p.gpu, &p.pcie, weights, 20);
+        let cpu = WarmupModel::model_init_cpu(&p.cpu, weights, 20);
+        let ratio = gpu.as_nanos() as f64 / cpu.as_nanos() as f64;
+        assert!(ratio > 30.0, "gpu/cpu init ratio {ratio}");
+    }
+
+    #[test]
+    fn alloc_warmup_grows_with_footprint() {
+        let p = PlatformSpec::default();
+        let small = WarmupModel::alloc(&p.gpu, 1 << 20);
+        let large = WarmupModel::alloc(&p.gpu, 1 << 27);
+        assert!(large > small);
+        // The constant base keeps small-batch warm-up non-trivial.
+        assert!(small.as_nanos() >= p.gpu.alloc_base_ns);
+    }
+
+    #[test]
+    fn context_cost_is_seconds_scale() {
+        let p = PlatformSpec::default();
+        let c = WarmupModel::context(&p.gpu);
+        assert!(c.as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn model_init_scales_with_tensor_count() {
+        let p = PlatformSpec::default();
+        let few = WarmupModel::model_init_gpu(&p.gpu, &p.pcie, 1024, 2);
+        let many = WarmupModel::model_init_gpu(&p.gpu, &p.pcie, 1024, 200);
+        assert!(many > few);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests over the simulated platform's invariants.
+
+use dgnn_device::{
+    DurationNs, ExecMode, Executor, HostWork, KernelDesc, PlatformSpec, TransferDir,
+};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..256, 1usize..256, 1usize..256)
+}
+
+proptest! {
+    #[test]
+    fn kernel_time_is_positive_and_monotone_in_work((m, k, n) in dims()) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        ex.ensure_context();
+        let small = ex.launch(KernelDesc::gemm("s", m, k, n));
+        let large = ex.launch(KernelDesc::gemm("l", m * 2, k * 2, n * 2));
+        prop_assert!(small > DurationNs::ZERO);
+        prop_assert!(large >= small);
+    }
+
+    #[test]
+    fn clock_equals_span_end_for_sequential_execution(
+        works in prop::collection::vec((1usize..64, 1usize..64, 1usize..64), 1..20)
+    ) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        for (m, k, n) in works {
+            ex.launch(KernelDesc::gemm("k", m, k, n));
+        }
+        prop_assert_eq!(ex.now(), ex.timeline().span_end());
+    }
+
+    #[test]
+    fn transfers_scale_with_bytes(b1 in 1u64..1_000_000, b2 in 1u64..1_000_000) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        ex.ensure_context();
+        let d1 = ex.transfer(TransferDir::H2D, b1.min(b2));
+        let d2 = ex.transfer(TransferDir::D2H, b1.max(b2));
+        prop_assert!(d2 >= d1);
+    }
+
+    #[test]
+    fn same_seed_same_schedule((m, k, n) in dims()) {
+        let run = || {
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+            ex.scope("run", |ex| {
+                ex.host(HostWork::irregular("sample", 1000, 8192));
+                ex.transfer(TransferDir::H2D, (m * k * 4) as u64);
+                ex.launch(KernelDesc::gemm("mm", m, k, n));
+                ex.transfer(TransferDir::D2H, (m * n * 4) as u64);
+            });
+            ex.now()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn utilization_is_a_fraction(ops in prop::collection::vec(dims(), 1..15)) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        ex.ensure_context();
+        for (m, k, n) in ops {
+            ex.launch(KernelDesc::gemm("k", m, k, n));
+        }
+        let u = ex.timeline().gpu_utilization(DurationNs::ZERO, ex.now());
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn scope_intervals_contain_their_events(
+        ops in prop::collection::vec(dims(), 1..10)
+    ) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        ex.ensure_context();
+        ex.scope("outer", |ex| {
+            for (m, k, n) in &ops {
+                ex.scope("inner", |ex| {
+                    ex.launch(KernelDesc::gemm("k", *m, *k, *n));
+                });
+            }
+        });
+        let outer = ex
+            .scopes()
+            .iter()
+            .find(|s| s.path == "outer")
+            .expect("outer scope recorded")
+            .clone();
+        for e in ex.timeline().events_in_scope("outer") {
+            prop_assert!(e.start >= outer.start && e.end <= outer.end);
+        }
+    }
+
+    #[test]
+    fn cpu_only_mode_never_touches_gpu(ops in prop::collection::vec(dims(), 1..10)) {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+        for (m, k, n) in ops {
+            ex.launch(KernelDesc::gemm("k", m, k, n));
+            ex.transfer(TransferDir::H2D, 4096);
+        }
+        prop_assert_eq!(ex.timeline().busy_time(dgnn_device::Place::Gpu), DurationNs::ZERO);
+        prop_assert_eq!(ex.gpu_memory().peak_bytes(), 0);
+    }
+}

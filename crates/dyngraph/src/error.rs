@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Error produced by graph construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referenced a node beyond the declared node count.
+    NodeOutOfBounds {
+        /// Offending node id.
+        node: usize,
+        /// Declared node count.
+        n_nodes: usize,
+    },
+    /// Event timestamps were not non-decreasing.
+    UnsortedEvents {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+    /// A timestamp was NaN or infinite.
+    InvalidTimestamp {
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// The operation requires a non-empty input.
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A window parameter was zero or otherwise degenerate.
+    InvalidWindow {
+        /// Human-readable description.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, n_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {n_nodes} nodes")
+            }
+            GraphError::UnsortedEvents { index } => {
+                write!(f, "event stream is not time-sorted at index {index}")
+            }
+            GraphError::InvalidTimestamp { index } => {
+                write!(f, "event {index} has a non-finite timestamp")
+            }
+            GraphError::EmptyInput { op } => write!(f, "`{op}` requires a non-empty input"),
+            GraphError::InvalidWindow { reason } => write!(f, "invalid window: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_informatively() {
+        let e = GraphError::NodeOutOfBounds { node: 9, n_nodes: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

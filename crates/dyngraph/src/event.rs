@@ -1,0 +1,166 @@
+//! Continuous-time dynamic graphs: timestamped interaction events.
+
+use crate::{GraphError, NodeId, Result};
+
+/// One timestamped interaction `(src, dst)` at time `time`, optionally
+/// carrying an edge-feature row index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemporalEvent {
+    /// Source node (e.g. the user in a bipartite interaction graph).
+    pub src: NodeId,
+    /// Destination node (e.g. the item).
+    pub dst: NodeId,
+    /// Event time in seconds since stream start.
+    pub time: f64,
+    /// Row into the stream's edge-feature matrix.
+    pub feature_idx: usize,
+}
+
+/// A time-sorted stream of interaction events over `n_nodes` nodes —
+/// the input representation of the continuous-time models (JODIE, TGN,
+/// TGAT, DyRep, LDG).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventStream {
+    n_nodes: usize,
+    events: Vec<TemporalEvent>,
+}
+
+impl EventStream {
+    /// Creates a stream after validating node bounds, timestamp finiteness
+    /// and non-decreasing time order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`],
+    /// [`GraphError::InvalidTimestamp`] or [`GraphError::UnsortedEvents`].
+    pub fn new(n_nodes: usize, events: Vec<TemporalEvent>) -> Result<Self> {
+        let mut prev = f64::NEG_INFINITY;
+        for (i, e) in events.iter().enumerate() {
+            if e.src >= n_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: e.src, n_nodes });
+            }
+            if e.dst >= n_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: e.dst, n_nodes });
+            }
+            if !e.time.is_finite() {
+                return Err(GraphError::InvalidTimestamp { index: i });
+            }
+            if e.time < prev {
+                return Err(GraphError::UnsortedEvents { index: i });
+            }
+            prev = e.time;
+        }
+        Ok(EventStream { n_nodes, events })
+    }
+
+    /// Number of nodes in the stream's node table.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// All events, time-sorted.
+    pub fn events(&self) -> &[TemporalEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (0 for an empty stream).
+    pub fn end_time(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.time)
+    }
+
+    /// Events whose time lies in `[t0, t1)`.
+    pub fn events_in(&self, t0: f64, t1: f64) -> &[TemporalEvent] {
+        let start = self.events.partition_point(|e| e.time < t0);
+        let end = self.events.partition_point(|e| e.time < t1);
+        &self.events[start..end]
+    }
+
+    /// Splits the stream into consecutive mini-batches of `batch_size`
+    /// events (the continuous-time models' inference unit). The last
+    /// batch may be short.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[TemporalEvent]> {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.events.chunks(batch_size)
+    }
+
+    /// Approximate bytes of one event record when marshalled for a PCIe
+    /// transfer (src, dst, time, feature index).
+    pub const EVENT_BYTES: u64 = 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: usize, dst: usize, time: f64) -> TemporalEvent {
+        TemporalEvent { src, dst, time, feature_idx: 0 }
+    }
+
+    #[test]
+    fn new_validates_order_and_bounds() {
+        assert!(EventStream::new(3, vec![ev(0, 1, 1.0), ev(1, 2, 2.0)]).is_ok());
+        assert!(matches!(
+            EventStream::new(3, vec![ev(0, 1, 2.0), ev(1, 2, 1.0)]),
+            Err(GraphError::UnsortedEvents { index: 1 })
+        ));
+        assert!(matches!(
+            EventStream::new(2, vec![ev(0, 5, 1.0)]),
+            Err(GraphError::NodeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            EventStream::new(2, vec![ev(0, 1, f64::NAN)]),
+            Err(GraphError::InvalidTimestamp { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn events_in_window() {
+        let s = EventStream::new(
+            4,
+            vec![ev(0, 1, 0.0), ev(1, 2, 1.0), ev(2, 3, 2.0), ev(3, 0, 3.0)],
+        )
+        .unwrap();
+        let w = s.events_in(1.0, 3.0);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].time, 1.0);
+        assert_eq!(w[1].time, 2.0);
+        assert!(s.events_in(5.0, 6.0).is_empty());
+    }
+
+    #[test]
+    fn batches_chunk_in_order() {
+        let s = EventStream::new(
+            4,
+            (0..10).map(|i| ev(i % 4, (i + 1) % 4, i as f64)).collect(),
+        )
+        .unwrap();
+        let sizes: Vec<usize> = s.batches(4).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn end_time_handles_empty() {
+        let s = EventStream::new(2, vec![]).unwrap();
+        assert_eq!(s.end_time(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_are_allowed() {
+        assert!(EventStream::new(2, vec![ev(0, 1, 1.0), ev(1, 0, 1.0)]).is_ok());
+    }
+}

@@ -1,0 +1,246 @@
+//! Static graph snapshot in compressed sparse row (CSR) form.
+
+use crate::{GraphError, NodeId, Result};
+
+/// A directed graph in CSR layout with optional edge weights.
+///
+/// Snapshots handed to the discrete-time models (EvolveGCN, ASTGNN,
+/// MolDGNN) are `Graph`s; continuous-time models consume
+/// [`crate::EventStream`]s instead.
+///
+/// ```
+/// use dgnn_graph::Graph;
+///
+/// # fn main() -> Result<(), dgnn_graph::GraphError> {
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2), (2, 1)])?;
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(2), &[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    n_nodes: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<NodeId>,
+    weights: Vec<f32>,
+}
+
+impl Graph {
+    /// Builds a graph from an unordered edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] when an endpoint exceeds
+    /// `n_nodes`.
+    pub fn from_edges(n_nodes: usize, edges: &[(NodeId, NodeId)]) -> Result<Self> {
+        let weighted: Vec<(NodeId, NodeId, f32)> =
+            edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
+        Graph::from_weighted_edges(n_nodes, &weighted)
+    }
+
+    /// Builds a graph from an unordered weighted edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfBounds`] when an endpoint exceeds
+    /// `n_nodes`.
+    pub fn from_weighted_edges(n_nodes: usize, edges: &[(NodeId, NodeId, f32)]) -> Result<Self> {
+        for &(s, d, _) in edges {
+            if s >= n_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: s, n_nodes });
+            }
+            if d >= n_nodes {
+                return Err(GraphError::NodeOutOfBounds { node: d, n_nodes });
+            }
+        }
+        let mut counts = vec![0usize; n_nodes];
+        for &(s, _, _) in edges {
+            counts[s] += 1;
+        }
+        let mut row_ptr = vec![0usize; n_nodes + 1];
+        for i in 0..n_nodes {
+            row_ptr[i + 1] = row_ptr[i] + counts[i];
+        }
+        let mut col_idx = vec![0 as NodeId; edges.len()];
+        let mut weights = vec![0.0f32; edges.len()];
+        let mut cursor = row_ptr.clone();
+        for &(s, d, w) in edges {
+            col_idx[cursor[s]] = d;
+            weights[cursor[s]] = w;
+            cursor[s] += 1;
+        }
+        // Sort each row for deterministic neighbor order.
+        for i in 0..n_nodes {
+            let range = row_ptr[i]..row_ptr[i + 1];
+            let mut pairs: Vec<(NodeId, f32)> = col_idx[range.clone()]
+                .iter()
+                .copied()
+                .zip(weights[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_by_key(|&(d, _)| d);
+            for (k, (d, w)) in pairs.into_iter().enumerate() {
+                col_idx[row_ptr[i] + k] = d;
+                weights[row_ptr[i] + k] = w;
+            }
+        }
+        Ok(Graph { n_nodes, row_ptr, col_idx, weights })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node >= n_nodes`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.row_ptr[node + 1] - self.row_ptr[node]
+    }
+
+    /// Out-neighbors of `node`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node >= n_nodes`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.col_idx[self.row_ptr[node]..self.row_ptr[node + 1]]
+    }
+
+    /// Edge weights parallel to [`Graph::neighbors`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node >= n_nodes`.
+    pub fn neighbor_weights(&self, node: NodeId) -> &[f32] {
+        &self.weights[self.row_ptr[node]..self.row_ptr[node + 1]]
+    }
+
+    /// Iterates all `(src, dst, weight)` triples.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f32)> + '_ {
+        (0..self.n_nodes).flat_map(move |s| {
+            self.neighbors(s)
+                .iter()
+                .zip(self.neighbor_weights(s))
+                .map(move |(&d, &w)| (s, d, w))
+        })
+    }
+
+    /// Approximate in-memory footprint of the CSR arrays in bytes
+    /// (what moving this snapshot over PCIe costs).
+    pub fn byte_len(&self) -> u64 {
+        (self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<NodeId>()
+            + self.weights.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// The dense adjacency matrix as a row-major `n × n` buffer
+    /// (MolDGNN ships dense adjacency matrices between CPU and GPU).
+    pub fn to_dense_adjacency(&self) -> Vec<f32> {
+        let n = self.n_nodes;
+        let mut dense = vec![0.0f32; n * n];
+        for (s, d, w) in self.iter_edges() {
+            dense[s * n + d] = w;
+        }
+        dense
+    }
+
+    /// Symmetric-normalized adjacency with self-loops,
+    /// `Â = D^{-1/2} (A + I) D^{-1/2}`, as a dense row-major buffer —
+    /// the propagation operator of a GCN layer.
+    pub fn normalized_adjacency(&self) -> Vec<f32> {
+        let n = self.n_nodes;
+        let mut a = self.to_dense_adjacency();
+        for i in 0..n {
+            a[i * n + i] += 1.0;
+        }
+        let mut deg = vec![0.0f32; n];
+        for i in 0..n {
+            deg[i] = a[i * n..(i + 1) * n].iter().sum::<f32>();
+        }
+        let inv_sqrt: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] *= inv_sqrt[i] * inv_sqrt[j];
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_builds_sorted_csr() {
+        let g = Graph::from_edges(4, &[(1, 3), (1, 0), (0, 2), (3, 1)]).unwrap();
+        assert_eq!(g.n_nodes(), 4);
+        assert_eq!(g.n_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_nodes() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 2)]),
+            Err(GraphError::NodeOutOfBounds { node: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_edges_preserved() {
+        let g = Graph::from_weighted_edges(2, &[(0, 1, 0.5)]).unwrap();
+        assert_eq!(g.neighbor_weights(0), &[0.5]);
+    }
+
+    #[test]
+    fn iter_edges_round_trips() {
+        let edges = vec![(0, 1), (2, 0), (1, 2)];
+        let g = Graph::from_edges(3, &edges).unwrap();
+        let mut out: Vec<(usize, usize)> = g.iter_edges().map(|(s, d, _)| (s, d)).collect();
+        out.sort_unstable();
+        let mut expect = edges;
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dense_adjacency_matches_csr() {
+        let g = Graph::from_edges(3, &[(0, 1), (2, 2)]).unwrap();
+        let d = g.to_dense_adjacency();
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[8], 1.0);
+        assert_eq!(d.iter().sum::<f32>(), 2.0);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_bounded() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let a = g.normalized_adjacency();
+        // Symmetric normalization of a symmetric graph stays symmetric.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a[i * 3 + j] - a[j * 3 + i]).abs() < 1e-6);
+            }
+        }
+        // All entries in [0, 1].
+        assert!(a.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn byte_len_is_positive() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(g.byte_len() > 0);
+    }
+}

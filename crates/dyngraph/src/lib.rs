@@ -1,0 +1,42 @@
+//! # dgnn-graph
+//!
+//! The dynamic-graph substrate: everything the eight DGNNs consume.
+//!
+//! The paper's taxonomy (its Table 1) splits dynamic graph neural networks
+//! into *discrete-time* models that consume a sequence of graph snapshots
+//! ([`SnapshotSequence`]) and *continuous-time* models that consume a
+//! stream of timestamped interaction events ([`EventStream`]). This crate
+//! provides both representations plus the preprocessing machinery whose
+//! CPU cost the paper identifies as a first-class bottleneck:
+//!
+//! * [`TemporalAdjacency`] — per-node, time-sorted neighbor lists with
+//!   bisection lookup, and [`NeighborSampler`] implementing TGAT-style
+//!   temporal neighbor sampling (most-recent and uniform);
+//! * [`TBatcher`] — JODIE's t-batch parallelization algorithm;
+//! * [`snapshots_from_events`] — sliding-window snapshot extraction for
+//!   discrete-time models.
+//!
+//! Sampling routines return a [`sampler::SampleCost`] describing the
+//! comparisons and irregular bytes they touched, so the device layer can
+//! price the work the way the paper observed it (irregular memory access
+//! on the CPU).
+
+mod error;
+mod event;
+mod graph;
+pub mod sampler;
+mod snapshot;
+mod tbatch;
+
+pub use error::GraphError;
+pub use event::{EventStream, TemporalEvent};
+pub use graph::Graph;
+pub use sampler::{NeighborSampler, SampleStrategy, TemporalAdjacency};
+pub use snapshot::{snapshots_from_events, Snapshot, SnapshotSequence};
+pub use tbatch::{TBatch, TBatcher};
+
+/// Node identifier (dense index into the node table).
+pub type NodeId = usize;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

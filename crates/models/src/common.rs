@@ -1,0 +1,159 @@
+//! Shared model-execution machinery.
+
+use dgnn_device::{DurationNs, Executor};
+
+use crate::registry::ModelInfo;
+use crate::Result;
+
+/// Cap on the number of rows the *functional* tensor math processes per
+/// unit of work. Kernel and transfer costs are always priced at the full
+/// configured batch size; the representative subset only bounds host-side
+/// arithmetic so full-scale sweeps stay fast.
+pub const REP_CAP: usize = 32;
+
+/// Clamps a workload size to the representative cap.
+pub fn representative(n: usize) -> usize {
+    n.clamp(1, REP_CAP)
+}
+
+/// Inference configuration shared by all models. Fields a model does not
+/// use (e.g. `n_neighbors` for MolDGNN) are ignored by that model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceConfig {
+    /// Mini-batch size: events per batch (continuous models), subgraphs
+    /// or molecules per batch (ASTGNN/MolDGNN).
+    pub batch_size: usize,
+    /// Temporal neighbors sampled per node (TGAT, TGN).
+    pub n_neighbors: usize,
+    /// Number of units (mini-batches or snapshots) to process; the
+    /// datasets usually contain more than needed for stable profiles.
+    pub max_units: usize,
+    /// Seed for model weights and samplers.
+    pub seed: u64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig { batch_size: 200, n_neighbors: 20, max_units: 8, seed: 42 }
+    }
+}
+
+impl InferenceConfig {
+    /// Builder-style batch size override.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Builder-style neighbor count override.
+    pub fn with_neighbors(mut self, n_neighbors: usize) -> Self {
+        self.n_neighbors = n_neighbors;
+        self
+    }
+
+    /// Builder-style unit-count override.
+    pub fn with_max_units(mut self, max_units: usize) -> Self {
+        self.max_units = max_units;
+        self
+    }
+}
+
+/// Outcome of one inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Units (mini-batches / snapshots) processed.
+    pub iterations: usize,
+    /// Total simulated time inside the `"inference"` scope.
+    pub inference_time: DurationNs,
+    /// Mean time per unit — the denominator of the §4.4 warm-up ratios.
+    pub unit_time: DurationNs,
+    /// Deterministic checksum over representative outputs (numeric
+    /// sanity: finite and reproducible).
+    pub checksum: f32,
+}
+
+impl RunSummary {
+    /// Builds a summary from totals.
+    pub fn new(iterations: usize, inference_time: DurationNs, checksum: f32) -> Self {
+        let unit_time = if iterations > 0 {
+            DurationNs::from_nanos(inference_time.as_nanos() / iterations as u64)
+        } else {
+            DurationNs::ZERO
+        };
+        RunSummary { iterations, inference_time, unit_time, checksum }
+    }
+}
+
+/// A profiled dynamic graph neural network.
+///
+/// Implementations price kernels/transfers at full batch size, compute
+/// representative numerics, and annotate profiler scopes per the Figure 7
+/// module taxonomy.
+pub trait DgnnModel {
+    /// Model name (lowercase, e.g. `"tgat"`).
+    fn name(&self) -> &'static str;
+
+    /// Table 1 metadata.
+    fn info(&self) -> ModelInfo;
+
+    /// Total parameter bytes (drives model-init warm-up).
+    fn param_bytes(&self) -> u64;
+
+    /// Number of parameter tensors (drives model-init warm-up).
+    fn param_tensors(&self) -> u64;
+
+    /// Peak activation bytes for a run with `cfg` (drives per-run
+    /// allocation warm-up, Table 2).
+    fn activation_bytes(&self, cfg: &InferenceConfig) -> u64;
+
+    /// Runs inference inside an `"inference"` scope. Assumes warm-up has
+    /// already been performed (see [`DgnnModel::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelError`] on shape or configuration problems.
+    fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary>;
+
+    /// Full measured run: model initialization, activation allocation,
+    /// then inference — the sequence the paper profiles end-to-end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DgnnModel::infer`] errors.
+    fn run(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        ex.model_init(self.param_bytes(), self.param_tensors());
+        ex.alloc_warmup(self.activation_bytes(cfg));
+        self.infer(ex, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_is_capped_and_positive() {
+        assert_eq!(representative(0), 1);
+        assert_eq!(representative(5), 5);
+        assert_eq!(representative(100_000), REP_CAP);
+    }
+
+    #[test]
+    fn summary_divides_unit_time() {
+        let s = RunSummary::new(4, DurationNs::from_nanos(100), 1.0);
+        assert_eq!(s.unit_time.as_nanos(), 25);
+        let z = RunSummary::new(0, DurationNs::from_nanos(100), 1.0);
+        assert_eq!(z.unit_time, DurationNs::ZERO);
+    }
+
+    #[test]
+    fn config_builders_chain() {
+        let c = InferenceConfig::default()
+            .with_batch_size(4_000)
+            .with_neighbors(100)
+            .with_max_units(2);
+        assert_eq!(c.batch_size, 4_000);
+        assert_eq!(c.n_neighbors, 100);
+        assert_eq!(c.max_units, 2);
+    }
+}

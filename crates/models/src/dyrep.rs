@@ -1,0 +1,249 @@
+//! DyRep (Trivedi et al., ICLR'19) — temporal point process over
+//! dynamic graphs.
+//!
+//! Events are processed **one at a time**: computing the conditional
+//! intensity at time `t` requires the node embeddings as of the previous
+//! event, so updating embeddings and evaluating intensities strictly
+//! alternate (Fig 4a). On the GPU this produces thousands of tiny,
+//! serialized kernels; inference on the GPU never beats the CPU at any
+//! batch size (Fig 8) and utilization stays under 2%.
+
+use dgnn_datasets::TemporalDataset;
+use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_nn::{EmbeddingTable, Linear, Module, RnnCell};
+use dgnn_tensor::TensorRng;
+
+use crate::common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
+use crate::registry::{all_model_infos, ModelInfo};
+use crate::Result;
+
+/// Framework ops per event in the reference implementation's Python
+/// event loop (embedding gathering, neighborhood bookkeeping, intensity
+/// bookkeeping) — DyRep processes events at roughly millisecond cost.
+const EVENT_LOOP_OPS: u64 = 400_000;
+
+/// DyRep hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DyRepConfig {
+    /// Node-embedding dimension.
+    pub dim: usize,
+}
+
+impl Default for DyRepConfig {
+    fn default() -> Self {
+        DyRepConfig { dim: 32 }
+    }
+}
+
+/// The DyRep model bound to a dataset.
+#[derive(Debug)]
+pub struct DyRep {
+    data: TemporalDataset,
+    cfg: DyRepConfig,
+    embeddings: EmbeddingTable,
+    update_rnn: RnnCell,
+    intensity: Linear,
+    attention_w: Linear,
+}
+
+impl DyRep {
+    /// Builds DyRep over an event dataset.
+    pub fn new(data: TemporalDataset, cfg: DyRepConfig, seed: u64) -> Self {
+        let mut rng = TensorRng::seed(seed);
+        let d = cfg.dim;
+        // RNN input: local propagation + self propagation + exogenous drive.
+        DyRep {
+            embeddings: EmbeddingTable::new(data.stream.n_nodes(), d, &mut rng),
+            update_rnn: RnnCell::new(3 * d, d, &mut rng),
+            intensity: Linear::new(2 * d, 1, &mut rng),
+            attention_w: Linear::new(2 * d, 1, &mut rng),
+            data,
+            cfg,
+        }
+    }
+
+    fn modules(&self) -> Vec<&dyn Module> {
+        vec![&self.embeddings, &self.update_rnn, &self.intensity, &self.attention_w]
+    }
+
+    /// Per-event GPU kernels: the serialized inner loop shared with LDG.
+    pub(crate) fn event_kernels(ex: &mut Executor, d: usize) {
+        // Embedding update: tiny GEMMs over a single node pair.
+        ex.launch(KernelDesc::gemm("dyrep_update", 2, 3 * d + d, d));
+        ex.launch(KernelDesc::elementwise("dyrep_tanh", 2 * d, 1, 1));
+        // Conditional intensity (bilinear + softplus).
+        ex.launch(KernelDesc::gemm("intensity", 1, 2 * d, 1));
+        ex.launch(KernelDesc::elementwise("softplus", 1, 4, 1));
+        // Temporal attention weight refresh.
+        ex.launch(KernelDesc::gemm("attn_weight", 1, 2 * d, 1));
+    }
+}
+
+impl DgnnModel for DyRep {
+    fn name(&self) -> &'static str {
+        "dyrep"
+    }
+
+    fn info(&self) -> ModelInfo {
+        all_model_infos().into_iter().find(|i| i.name == "dyrep").expect("dyrep registered")
+    }
+
+    fn param_bytes(&self) -> u64 {
+        self.modules().iter().map(|m| m.param_bytes()).sum()
+    }
+
+    fn param_tensors(&self) -> u64 {
+        self.modules().iter().map(|m| m.param_tensor_count()).sum()
+    }
+
+    fn activation_bytes(&self, cfg: &InferenceConfig) -> u64 {
+        (cfg.batch_size * self.cfg.dim * 4 * 4) as u64
+    }
+
+    fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let d = self.cfg.dim;
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        let batches: Vec<Vec<dgnn_graph::TemporalEvent>> = self
+            .data
+            .stream
+            .batches(cfg.batch_size)
+            .take(cfg.max_units.max(1))
+            .map(|b| b.to_vec())
+            .collect();
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            for batch in &batches {
+                // Batch features to device once per batch.
+                ex.scope("memcpy_h2d", |ex| {
+                    ex.transfer(
+                        TransferDir::H2D,
+                        (batch.len() * (self.data.edge_dim() + 4) * 4) as u64,
+                    );
+                });
+
+                // Serial per-event processing — the temporal dependency.
+                for (i, e) in batch.iter().enumerate() {
+                    ex.scope("event_loop", |ex| {
+                        ex.host(HostWork {
+                            label: "event_bookkeeping",
+                            ops: EVENT_LOOP_OPS,
+                            seq_bytes: 512,
+                            irregular_bytes: (4 * d * 4) as u64,
+                        });
+                    });
+                    let functional = i < REP_CAP;
+                    ex.scope("embedding_update", |ex| -> Result<()> {
+                        DyRep::event_kernels(ex, d);
+                        if functional {
+                            let mut cpu = Executor::new(
+                                ex.spec().clone(),
+                                dgnn_device::ExecMode::CpuOnly,
+                            );
+                            let pair = [e.src, e.dst];
+                            let emb = self.embeddings.table().gather_rows(&pair)?;
+                            let x = emb.concat_cols(&emb)?.concat_cols(&emb)?;
+                            let new = self.update_rnn.forward(&mut cpu, &x, &emb)?;
+                            self.embeddings.update(&mut cpu, &pair, &new)?;
+                            let both = new.reshape(&[1, 2 * d])?;
+                            let lambda =
+                                self.intensity.forward(&mut cpu, &both)?.softplus();
+                            checksum += lambda.sum();
+                        }
+                        Ok(())
+                    })?;
+                }
+
+                ex.scope("memcpy_d2h", |ex| {
+                    ex.transfer(TransferDir::D2H, (batch.len() * d * 4) as u64);
+                });
+                iterations += 1;
+            }
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_datasets::{social_evolution, Scale};
+    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_profile::InferenceProfile;
+
+    fn build() -> DyRep {
+        DyRep::new(social_evolution(Scale::Tiny, 1), DyRepConfig::default(), 7)
+    }
+
+    fn cfg(bs: usize) -> InferenceConfig {
+        InferenceConfig::default().with_batch_size(bs).with_max_units(2)
+    }
+
+    #[test]
+    fn runs_and_produces_finite_intensities() {
+        let mut m = build();
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        let s = m.run(&mut ex, &cfg(64)).unwrap();
+        assert_eq!(s.iterations, 2);
+        assert!(s.checksum.is_finite());
+        assert!(s.checksum > 0.0, "softplus intensities are positive");
+    }
+
+    #[test]
+    fn gpu_utilization_below_two_percent() {
+        let mut m = build();
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        m.run(&mut ex, &cfg(64)).unwrap();
+        let p = InferenceProfile::capture(&ex, "inference");
+        assert!(
+            p.utilization.busy_fraction < 0.05,
+            "DyRep util {}",
+            p.utilization.busy_fraction
+        );
+    }
+
+    #[test]
+    fn gpu_never_beats_cpu() {
+        for bs in [32usize, 128] {
+            let time = |mode| {
+                let mut m = build();
+                let mut ex = Executor::new(PlatformSpec::default(), mode);
+                m.run(&mut ex, &cfg(bs)).unwrap().inference_time
+            };
+            let cpu = time(ExecMode::CpuOnly);
+            let gpu = time(ExecMode::Gpu);
+            assert!(gpu >= cpu, "bs={bs}: gpu {gpu} should not beat cpu {cpu}");
+        }
+    }
+
+    #[test]
+    fn embeddings_update_serially() {
+        let mut m = build();
+        let before = m.embeddings.table().clone();
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        m.run(&mut ex, &cfg(32)).unwrap();
+        assert_ne!(&before, m.embeddings.table());
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+            let s = m.run(&mut ex, &cfg(32)).unwrap();
+            (s.checksum, ex.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

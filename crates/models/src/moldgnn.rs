@@ -1,0 +1,303 @@
+//! MolDGNN (Ashby & Bilbrey, 2021) — discrete-time GCN-LSTM over
+//! molecular dynamics trajectories.
+//!
+//! Per frame of a trajectory (frames are strictly sequential through the
+//! LSTM), a batch of molecules is processed together:
+//! 1. the CPU ships every molecule's dense adjacency matrix of the frame
+//!    to the GPU (the paper's dominant cost — memcpy is 80–90% of GPU
+//!    working time, Fig 7b),
+//! 2. a GCN encodes each molecular graph,
+//! 3. an LSTM carries the temporal state,
+//! 4. the predicted next-frame adjacency matrices return to the CPU for
+//!    atom-distance calculation.
+
+use dgnn_datasets::TrajectoryDataset;
+use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_nn::{GcnLayer, Linear, LstmCell, Module};
+use dgnn_tensor::{Tensor, TensorRng};
+
+use crate::common::{representative, DgnnModel, InferenceConfig, RunSummary};
+use crate::registry::{all_model_infos, ModelInfo};
+use crate::Result;
+
+/// Framework ops per molecule per frame for the vectorized (numpy)
+/// pairwise-distance and adjacency assembly.
+const FRAME_MOLECULE_OPS: u64 = 400;
+/// Fixed framework ops per frame: the reference steps frames from a
+/// Python loop (slicing trajectories, rebuilding tensors) at roughly a
+/// millisecond per frame regardless of batch size.
+const FRAME_LOOP_OPS: u64 = 300_000;
+
+/// MolDGNN hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MolDgnnConfig {
+    /// GCN output width per atom.
+    pub gcn_dim: usize,
+    /// LSTM hidden width (over the flattened molecule embedding).
+    pub lstm_dim: usize,
+    /// Frames to roll through per run.
+    pub frames: usize,
+}
+
+impl Default for MolDgnnConfig {
+    fn default() -> Self {
+        MolDgnnConfig { gcn_dim: 16, lstm_dim: 64, frames: 10 }
+    }
+}
+
+/// The MolDGNN model bound to a trajectory dataset.
+#[derive(Debug)]
+pub struct MolDgnn {
+    data: TrajectoryDataset,
+    cfg: MolDgnnConfig,
+    gcn: GcnLayer,
+    lstm: LstmCell,
+    decoder: Linear,
+}
+
+impl MolDgnn {
+    /// Builds MolDGNN over a trajectory dataset.
+    pub fn new(data: TrajectoryDataset, cfg: MolDgnnConfig, seed: u64) -> Self {
+        let mut rng = TensorRng::seed(seed);
+        let atoms = data.n_atoms;
+        let flat = atoms * cfg.gcn_dim;
+        MolDgnn {
+            gcn: GcnLayer::new(3, cfg.gcn_dim, &mut rng),
+            lstm: LstmCell::new(flat, cfg.lstm_dim, &mut rng),
+            decoder: Linear::new(cfg.lstm_dim, atoms * atoms, &mut rng),
+            data,
+            cfg,
+        }
+    }
+
+    fn modules(&self) -> Vec<&dyn Module> {
+        vec![&self.gcn, &self.lstm, &self.decoder]
+    }
+
+    /// Bytes of one batch's dense adjacency matrices per frame.
+    fn adjacency_bytes(&self, batch: usize) -> u64 {
+        (batch * self.data.n_atoms * self.data.n_atoms * 4) as u64
+    }
+}
+
+impl DgnnModel for MolDgnn {
+    fn name(&self) -> &'static str {
+        "moldgnn"
+    }
+
+    fn info(&self) -> ModelInfo {
+        all_model_infos().into_iter().find(|i| i.name == "moldgnn").expect("moldgnn registered")
+    }
+
+    fn param_bytes(&self) -> u64 {
+        self.modules().iter().map(|m| m.param_bytes()).sum()
+    }
+
+    fn param_tensors(&self) -> u64 {
+        self.modules().iter().map(|m| m.param_tensor_count()).sum()
+    }
+
+    fn activation_bytes(&self, cfg: &InferenceConfig) -> u64 {
+        self.adjacency_bytes(cfg.batch_size) * 2
+            + (cfg.batch_size * self.cfg.lstm_dim * 4) as u64
+    }
+
+    fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let atoms = self.data.n_atoms;
+        let b = cfg.batch_size.max(1);
+        let rep = representative(b.min(self.data.n_molecules()));
+        let frames = self
+            .cfg
+            .frames
+            .min(self.data.frames_per_molecule())
+            .max(1);
+        let flat = atoms * self.cfg.gcn_dim;
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        // Representative per-molecule state.
+        let mut state = self.lstm.zero_state(rep);
+        let n_runs = cfg.max_units.max(1);
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            for _ in 0..n_runs {
+                for frame in 0..frames {
+                    // 1. Adjacency assembly on CPU + H2D of the batch.
+                    ex.scope("frame_prep", |ex| {
+                        ex.host(HostWork::sequential(
+                            "assemble_adjacency",
+                            FRAME_LOOP_OPS + b as u64 * FRAME_MOLECULE_OPS,
+                            self.adjacency_bytes(b),
+                        ));
+                    });
+                    ex.scope("memcpy_h2d", |ex| {
+                        // Adjacency matrices plus pairwise distances and
+                        // atom coordinates for the frame.
+                        ex.transfer(TransferDir::H2D, 3 * self.adjacency_bytes(b));
+                    });
+
+                    // 2. GCN over each molecule (batched small GEMMs).
+                    let rep_emb = ex.scope("gnn", |ex| -> Result<Tensor> {
+                        ex.launch(KernelDesc::batched_gemm("mol_gcn_prop", b, atoms, atoms, 3));
+                        ex.launch(KernelDesc::batched_gemm(
+                            "mol_gcn_xform",
+                            b,
+                            atoms,
+                            3,
+                            self.cfg.gcn_dim,
+                        ));
+                        let mut cpu =
+                            Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
+                        let mut rows = Vec::with_capacity(rep);
+                        for mol in 0..rep {
+                            let snap = &self.data.molecules[mol].snapshots()[frame];
+                            let adj = Tensor::from_vec(
+                                snap.graph.normalized_adjacency(),
+                                &[atoms, atoms],
+                            )?;
+                            let pos_idx = mol * self.data.frames_per_molecule() + frame;
+                            let coords = self
+                                .data
+                                .positions
+                                .reshape(&[
+                                    self.data.n_molecules()
+                                        * self.data.frames_per_molecule(),
+                                    atoms * 3,
+                                ])?
+                                .row(pos_idx)?
+                                .reshape(&[atoms, 3])?;
+                            let emb = self.gcn.forward(&mut cpu, &adj, &coords)?;
+                            rows.push(emb.reshape(&[flat])?);
+                        }
+                        Tensor::stack_rows(&rows).map_err(Into::into)
+                    })?;
+
+                    // 3. LSTM over the temporal sequence.
+                    state = ex.scope("rnn", |ex| -> Result<_> {
+                        ex.launch(KernelDesc::gemm("mol_lstm_x", b, flat, 4 * self.cfg.lstm_dim));
+                        ex.launch(KernelDesc::gemm(
+                            "mol_lstm_h",
+                            b,
+                            self.cfg.lstm_dim,
+                            4 * self.cfg.lstm_dim,
+                        ));
+                        ex.launch(KernelDesc::elementwise(
+                            "mol_lstm_gates",
+                            b * self.cfg.lstm_dim,
+                            6,
+                            4,
+                        ));
+                        let mut cpu =
+                            Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
+                        self.lstm.forward(&mut cpu, &rep_emb, &state).map_err(Into::into)
+                    })?;
+
+                    // 4. Decode next-frame adjacency + D2H + CPU distances.
+                    ex.scope("prediction", |ex| -> Result<()> {
+                        ex.launch(KernelDesc::gemm("mol_decode", b, self.cfg.lstm_dim, atoms * atoms));
+                        let mut cpu =
+                            Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
+                        let pred = self.decoder.forward(&mut cpu, &state.0)?;
+                        checksum += pred.sum() * 1e-3;
+                        Ok(())
+                    })?;
+                    ex.scope("memcpy_d2h", |ex| {
+                        // Predicted adjacency sequence returns to the CPU
+                        // for atom-to-atom distance calculation.
+                        ex.transfer(TransferDir::D2H, 2 * self.adjacency_bytes(b));
+                    });
+                }
+                iterations += 1;
+            }
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_datasets::{iso17, Scale};
+    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_profile::InferenceProfile;
+
+    fn build() -> MolDgnn {
+        MolDgnn::new(iso17(Scale::Tiny, 1), MolDgnnConfig::default(), 7)
+    }
+
+    fn cfg(bs: usize) -> InferenceConfig {
+        InferenceConfig::default().with_batch_size(bs).with_max_units(1)
+    }
+
+    #[test]
+    fn runs_and_profiles() {
+        let mut m = build();
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        let s = m.run(&mut ex, &cfg(32)).unwrap();
+        assert_eq!(s.iterations, 1);
+        assert!(s.checksum.is_finite());
+    }
+
+    #[test]
+    fn memcpy_dominates_gpu_working_time() {
+        let mut m = build();
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        m.run(&mut ex, &cfg(512)).unwrap();
+        let p = InferenceProfile::capture(&ex, "inference");
+        let memcpy =
+            p.breakdown.share_of("memcpy_h2d") + p.breakdown.share_of("memcpy_d2h");
+        let kernels = p.breakdown.share_of("gnn")
+            + p.breakdown.share_of("rnn")
+            + p.breakdown.share_of("prediction");
+        assert!(
+            memcpy > 2.0 * kernels,
+            "memcpy {memcpy} should dwarf kernels {kernels}"
+        );
+    }
+
+    #[test]
+    fn utilization_low_and_stable_across_batch_sizes() {
+        let util = |bs| {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+            m.run(&mut ex, &cfg(bs)).unwrap();
+            InferenceProfile::capture(&ex, "inference").utilization.busy_fraction
+        };
+        let u64_ = util(64);
+        let u1024 = util(1024);
+        assert!(u64_ < 0.35, "util {u64_}");
+        assert!(u1024 < 0.35, "util {u1024}");
+    }
+
+    #[test]
+    fn memory_grows_with_batch_size() {
+        let mem = |bs| {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+            m.run(&mut ex, &cfg(bs)).unwrap();
+            ex.gpu_memory().peak_bytes()
+        };
+        assert!(mem(1024) > mem(64));
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+            let s = m.run(&mut ex, &cfg(16)).unwrap();
+            (s.checksum, ex.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

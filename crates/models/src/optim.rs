@@ -1,0 +1,269 @@
+//! The paper's §5 optimization proposals, made measurable.
+//!
+//! The authors propose (but do not evaluate) several optimizations. Each
+//! function here runs a model on the sequential simulator, then
+//! re-schedules the *recorded* stage durations under the proposed
+//! optimization and reports the speedup:
+//!
+//! * [`pipelined_evolvegcn`] — Fig 10: RNN of step `t+1` overlaps GNN of
+//!   step `t` (§5.2.1);
+//! * [`overlapped_sampling_tgat`] — CPU sampling of batch `t+1` overlaps
+//!   GPU compute of batch `t` (§5.1.1, the Zhang et al. scheme);
+//! * [`delta_snapshot_evolvegcn`] — transfer only the changed fraction of
+//!   each snapshot (§5.2.2, sliding-window similarity).
+
+use dgnn_device::{DurationNs, EventCategory, ExecMode, Executor, PlatformSpec};
+use dgnn_profile::pipeline::{
+    delta_transfer_bytes, overlapped_makespan, pipelined_makespan, sequential_makespan,
+    StagePair,
+};
+
+use crate::common::{DgnnModel, InferenceConfig};
+use crate::evolvegcn::EvolveGcn;
+use crate::tgat::Tgat;
+use crate::Result;
+
+/// Outcome of one optimization ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationResult {
+    /// Simulated inference time of the unmodified (sequential) run.
+    pub baseline: DurationNs,
+    /// Simulated inference time under the proposed optimization.
+    pub optimized: DurationNs,
+}
+
+impl AblationResult {
+    /// Speedup factor (≥ 1 when the optimization helps).
+    pub fn speedup(&self) -> f64 {
+        if self.optimized.as_nanos() == 0 {
+            return 1.0;
+        }
+        self.baseline.as_nanos() as f64 / self.optimized.as_nanos() as f64
+    }
+}
+
+/// Durations of every occurrence of module scope `inference/<name>`, in
+/// execution order.
+fn module_durations(ex: &Executor, name: &str) -> Vec<DurationNs> {
+    let path = format!("inference/{name}");
+    ex.scopes()
+        .iter()
+        .filter(|s| s.path == path)
+        .map(|s| s.duration())
+        .collect()
+}
+
+fn inference_total(ex: &Executor) -> DurationNs {
+    ex.scopes()
+        .iter()
+        .filter(|s| s.path == "inference")
+        .map(|s| s.duration())
+        .sum()
+}
+
+/// Fig 10: pipeline EvolveGCN's RNN and GNN across adjacent time steps.
+///
+/// # Errors
+///
+/// Propagates inference errors from the baseline run.
+pub fn pipelined_evolvegcn(
+    model: &mut EvolveGcn,
+    cfg: &InferenceConfig,
+) -> Result<AblationResult> {
+    let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    model.run(&mut ex, cfg)?;
+    let rnn = module_durations(&ex, "rnn");
+    let gnn = module_durations(&ex, "gnn");
+    let steps: Vec<StagePair> = rnn
+        .iter()
+        .zip(&gnn)
+        .map(|(&first, &second)| StagePair { first, second })
+        .collect();
+    let baseline = inference_total(&ex);
+    let saved = sequential_makespan(&steps) - pipelined_makespan(&steps);
+    Ok(AblationResult { baseline, optimized: baseline - saved })
+}
+
+/// §5.1.1: overlap TGAT's CPU-side temporal sampling for batch `t+1`
+/// with the device work (transfers + kernels) of batch `t`.
+///
+/// # Errors
+///
+/// Propagates inference errors from the baseline run.
+pub fn overlapped_sampling_tgat(
+    model: &mut Tgat,
+    cfg: &InferenceConfig,
+) -> Result<AblationResult> {
+    let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    model.run(&mut ex, cfg)?;
+    let sampling = module_durations(&ex, "sampling");
+    let baseline = inference_total(&ex);
+    let n = sampling.len().max(1);
+    let total_sampling: DurationNs = sampling.iter().copied().sum();
+    let device_total = baseline.saturating_sub(total_sampling);
+    let per_device = DurationNs::from_nanos(device_total.as_nanos() / n as u64);
+    let pairs: Vec<(DurationNs, DurationNs)> =
+        sampling.iter().map(|&s| (s, per_device)).collect();
+    Ok(AblationResult { baseline, optimized: overlapped_makespan(&pairs) })
+}
+
+/// §5.1.1 applied to EvolveGCN: overlap the CPU snapshot preparation and
+/// upload of step `t+1` with the GPU stages (RNN/top-k/GNN) of step `t`.
+/// With preparation dominating each step, this recovers far more than
+/// Fig 10's RNN‖GNN pipelining alone.
+///
+/// # Errors
+///
+/// Propagates inference errors from the baseline run.
+pub fn overlapped_prep_evolvegcn(
+    model: &mut EvolveGcn,
+    cfg: &InferenceConfig,
+) -> Result<AblationResult> {
+    let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    model.run(&mut ex, cfg)?;
+    let baseline = inference_total(&ex);
+    let prep = module_durations(&ex, "snapshot_prep");
+    let h2d = module_durations(&ex, "memcpy_h2d");
+    let n = prep.len();
+    let device_total: DurationNs = ["topk", "rnn", "gnn", "memcpy_d2h"]
+        .iter()
+        .map(|m| module_durations(&ex, m).into_iter().sum::<DurationNs>())
+        .sum();
+    let per_device = DurationNs::from_nanos(device_total.as_nanos() / n.max(1) as u64);
+    let pairs: Vec<(DurationNs, DurationNs)> = prep
+        .iter()
+        .zip(&h2d)
+        .map(|(&p, &h)| (p + h, per_device))
+        .collect();
+    Ok(AblationResult { baseline, optimized: overlapped_makespan(&pairs) })
+}
+
+/// §3.3: quantify what JODIE's t-batch parallelization buys at inference
+/// time by comparing against the naive one-event-per-step schedule (the
+/// JODIE paper reports 9.2× for training).
+///
+/// # Errors
+///
+/// Propagates inference errors from either run.
+pub fn jodie_tbatch(
+    data: &dgnn_datasets::TemporalDataset,
+    cfg: &InferenceConfig,
+    seed: u64,
+) -> Result<AblationResult> {
+    let run = |use_tbatch: bool| -> Result<DurationNs> {
+        let mut model = crate::jodie::Jodie::new(
+            data.clone(),
+            crate::jodie::JodieConfig { dim: 128, use_tbatch },
+            seed,
+        );
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        model.run(&mut ex, cfg)?;
+        Ok(inference_total(&ex))
+    };
+    Ok(AblationResult { baseline: run(false)?, optimized: run(true)? })
+}
+
+/// §5.2.2: ship only the non-overlapping fraction of each EvolveGCN
+/// snapshot, assuming adjacent snapshots share `similarity ∈ [0, 1]` of
+/// their bytes (sliding-window overlap).
+///
+/// # Errors
+///
+/// Propagates inference errors from the baseline run.
+pub fn delta_snapshot_evolvegcn(
+    model: &mut EvolveGcn,
+    cfg: &InferenceConfig,
+    similarity: f64,
+) -> Result<AblationResult> {
+    let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    model.run(&mut ex, cfg)?;
+    let baseline = inference_total(&ex);
+    let h2d_sizes: Vec<u64> = ex
+        .timeline()
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(e.category, EventCategory::Transfer(dgnn_device::TransferDir::H2D))
+                && e.scope.starts_with("inference/")
+        })
+        .map(|e| e.bytes)
+        .collect();
+    let full: u64 = h2d_sizes.iter().sum();
+    let delta = delta_transfer_bytes(&h2d_sizes, similarity);
+    let saved_bytes = full.saturating_sub(delta);
+    let saved =
+        DurationNs::from_secs_f64(saved_bytes as f64 / ex.spec().pcie.bandwidth);
+    Ok(AblationResult { baseline, optimized: baseline.saturating_sub(saved) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolvegcn::{EvolveGcnConfig, EvolveGcnVersion};
+    use crate::tgat::TgatConfig;
+    use dgnn_datasets::{bitcoin_alpha, wikipedia, Scale};
+
+    fn egcn() -> EvolveGcn {
+        EvolveGcn::new(
+            bitcoin_alpha(Scale::Tiny, 1),
+            EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+            7,
+        )
+    }
+
+    #[test]
+    fn pipelining_evolvegcn_helps() {
+        let cfg = InferenceConfig::default().with_max_units(8);
+        let r = pipelined_evolvegcn(&mut egcn(), &cfg).unwrap();
+        assert!(r.optimized < r.baseline);
+        assert!(r.speedup() > 1.0);
+        assert!(r.speedup() < 2.0, "two-stage pipeline caps at 2x");
+    }
+
+    #[test]
+    fn overlapping_tgat_sampling_helps_substantially() {
+        let mut m = Tgat::new(wikipedia(Scale::Tiny, 1), TgatConfig::default(), 7);
+        let cfg = InferenceConfig::default().with_batch_size(100).with_max_units(4);
+        let r = overlapped_sampling_tgat(&mut m, &cfg).unwrap();
+        assert!(r.optimized < r.baseline);
+        // Sampling dominates, so overlap is bounded by the sampling chain:
+        // speedup stays modest but real.
+        assert!(r.speedup() > 1.05, "speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn prep_overlap_beats_fig10_pipelining_alone() {
+        let cfg = InferenceConfig::default().with_max_units(8);
+        let fig10 = pipelined_evolvegcn(&mut egcn(), &cfg).unwrap();
+        let prep = overlapped_prep_evolvegcn(&mut egcn(), &cfg).unwrap();
+        assert!(prep.optimized < prep.baseline);
+        assert!(
+            prep.speedup() >= fig10.speedup(),
+            "prep overlap {} should beat RNN||GNN {}",
+            prep.speedup(),
+            fig10.speedup()
+        );
+    }
+
+    #[test]
+    fn tbatching_speeds_up_jodie() {
+        let data = dgnn_datasets::wikipedia(Scale::Tiny, 3);
+        let cfg = InferenceConfig::default().with_batch_size(120).with_max_units(2);
+        let r = jodie_tbatch(&data, &cfg, 3).unwrap();
+        assert!(
+            r.speedup() > 1.3,
+            "t-batching should clearly beat per-event steps, got {}",
+            r.speedup()
+        );
+    }
+
+    #[test]
+    fn delta_transfer_scales_with_similarity() {
+        let cfg = InferenceConfig::default().with_max_units(6);
+        let none = delta_snapshot_evolvegcn(&mut egcn(), &cfg, 0.0).unwrap();
+        let most = delta_snapshot_evolvegcn(&mut egcn(), &cfg, 0.9).unwrap();
+        assert!((none.speedup() - 1.0).abs() < 1e-6);
+        assert!(most.speedup() > none.speedup());
+        assert!(most.optimized < most.baseline);
+    }
+}

@@ -1,0 +1,183 @@
+//! Model taxonomy metadata — the paper's Table 1.
+
+use std::fmt;
+
+/// Discrete-time vs continuous-time DGNN (the paper's DTDG/CTDG split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Processes snapshot sequences.
+    Discrete,
+    /// Processes event streams.
+    Continuous,
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelKind::Discrete => "discrete",
+            ModelKind::Continuous => "continuous",
+        })
+    }
+}
+
+/// Which parts of the model/graph evolve with time (Table 1 columns 3–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvolvingParts {
+    /// Node features evolve.
+    pub node_features: bool,
+    /// Edge features evolve.
+    pub edge_features: bool,
+    /// Graph topology evolves.
+    pub topology: bool,
+    /// Model weights evolve.
+    pub weights: bool,
+}
+
+/// One Table 1 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Model name.
+    pub name: &'static str,
+    /// DTDG or CTDG.
+    pub kind: ModelKind,
+    /// Evolving components.
+    pub evolving: EvolvingParts,
+    /// Time encoding method (Table 1 column 7).
+    pub time_encoding: &'static str,
+    /// Example tasks (Table 1 column 8).
+    pub tasks: &'static str,
+}
+
+/// All eight rows of Table 1, in the paper's order.
+pub fn all_model_infos() -> Vec<ModelInfo> {
+    vec![
+        ModelInfo {
+            name: "jodie",
+            kind: ModelKind::Continuous,
+            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            time_encoding: "RNN",
+            tasks: "future interaction prediction, state change prediction",
+        },
+        ModelInfo {
+            name: "tgn",
+            kind: ModelKind::Continuous,
+            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            time_encoding: "time embedding",
+            tasks: "future edge prediction",
+        },
+        ModelInfo {
+            name: "evolvegcn",
+            kind: ModelKind::Discrete,
+            evolving: EvolvingParts {
+                node_features: true,
+                topology: true,
+                weights: true,
+                ..Default::default()
+            },
+            time_encoding: "RNN",
+            tasks: "link prediction, node classification, edge classification",
+        },
+        ModelInfo {
+            name: "tgat",
+            kind: ModelKind::Continuous,
+            evolving: EvolvingParts {
+                node_features: true,
+                edge_features: true,
+                topology: true,
+                weights: false,
+            },
+            time_encoding: "time embedding",
+            tasks: "link prediction, link classification",
+        },
+        ModelInfo {
+            name: "astgnn",
+            kind: ModelKind::Discrete,
+            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            time_encoding: "self-attention",
+            tasks: "traffic flow prediction",
+        },
+        ModelInfo {
+            name: "dyrep",
+            kind: ModelKind::Continuous,
+            evolving: EvolvingParts {
+                node_features: true,
+                edge_features: true,
+                topology: true,
+                weights: false,
+            },
+            time_encoding: "RNN",
+            tasks: "dynamic link prediction, time prediction",
+        },
+        ModelInfo {
+            name: "ldg",
+            kind: ModelKind::Continuous,
+            evolving: EvolvingParts {
+                node_features: true,
+                edge_features: true,
+                topology: true,
+                weights: true,
+            },
+            time_encoding: "RNN + self-attention",
+            tasks: "dynamic link prediction",
+        },
+        ModelInfo {
+            name: "moldgnn",
+            kind: ModelKind::Discrete,
+            evolving: EvolvingParts {
+                edge_features: true,
+                topology: true,
+                weights: true,
+                ..Default::default()
+            },
+            time_encoding: "RNN",
+            tasks: "adjacency matrix prediction",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_eight_rows() {
+        let infos = all_model_infos();
+        assert_eq!(infos.len(), 8);
+        let names: Vec<&str> = infos.iter().map(|i| i.name).collect();
+        for expect in ["jodie", "tgn", "evolvegcn", "tgat", "astgnn", "dyrep", "ldg", "moldgnn"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+
+    #[test]
+    fn discrete_continuous_split_matches_paper() {
+        let infos = all_model_infos();
+        let discrete: Vec<&str> = infos
+            .iter()
+            .filter(|i| i.kind == ModelKind::Discrete)
+            .map(|i| i.name)
+            .collect();
+        assert_eq!(discrete, vec!["evolvegcn", "astgnn", "moldgnn"]);
+    }
+
+    #[test]
+    fn all_models_have_evolving_topology() {
+        for info in all_model_infos() {
+            assert!(info.evolving.topology, "{} should evolve topology", info.name);
+        }
+    }
+
+    #[test]
+    fn weight_evolving_models() {
+        let infos = all_model_infos();
+        let weights: Vec<&str> =
+            infos.iter().filter(|i| i.evolving.weights).map(|i| i.name).collect();
+        assert_eq!(weights, vec!["evolvegcn", "ldg", "moldgnn"]);
+    }
+
+    #[test]
+    fn kind_displays_lowercase() {
+        assert_eq!(ModelKind::Discrete.to_string(), "discrete");
+        assert_eq!(ModelKind::Continuous.to_string(), "continuous");
+    }
+}

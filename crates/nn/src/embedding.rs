@@ -1,0 +1,142 @@
+//! Embedding tables with gather-kernel accounting.
+
+use dgnn_device::{Executor, KernelDesc};
+use dgnn_tensor::{Initializer, Tensor, TensorRng};
+
+use crate::module::{Module, Param};
+use crate::Result;
+
+/// A dense embedding table `[rows, dim]` looked up by row index.
+///
+/// Lookups launch a gather kernel (irregular access), matching how the
+/// profiled frameworks fetch node/edge embeddings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingTable {
+    table: Param,
+    rows: usize,
+    dim: usize,
+}
+
+impl EmbeddingTable {
+    /// Creates a normally initialized table.
+    pub fn new(rows: usize, dim: usize, rng: &mut TensorRng) -> Self {
+        EmbeddingTable {
+            table: Param::new("table", rng.init(&[rows, dim], Initializer::Normal(1.0))),
+            rows,
+            dim,
+        }
+    }
+
+    /// Creates a table from existing values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is not rank 2.
+    pub fn from_tensor(values: Tensor) -> Self {
+        assert_eq!(values.rank(), 2, "embedding table must be rank 2");
+        let rows = values.dims()[0];
+        let dim = values.dims()[1];
+        EmbeddingTable { table: Param::new("table", values), rows, dim }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The raw table.
+    pub fn table(&self) -> &Tensor {
+        &self.table.value
+    }
+
+    /// Gathers the rows at `indices`, launching a gather kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when any index exceeds the table rows.
+    pub fn lookup(&self, ex: &mut Executor, indices: &[usize]) -> Result<Tensor> {
+        ex.launch(KernelDesc::gather("embedding_lookup", indices.len(), self.dim));
+        self.table.value.gather_rows(indices)
+    }
+
+    /// Writes updated rows back (scatter), launching a gather-family
+    /// kernel; returns the new table state and replaces the stored one.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/index errors from the scatter.
+    pub fn update(&mut self, ex: &mut Executor, indices: &[usize], rows: &Tensor) -> Result<()> {
+        ex.launch(KernelDesc::gather("embedding_update", indices.len(), self.dim));
+        self.table.value = self.table.value.scatter_rows(indices, rows)?;
+        Ok(())
+    }
+}
+
+impl Module for EmbeddingTable {
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.table]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_device::{ExecMode, KernelKind, PlatformSpec};
+
+    fn ex() -> Executor {
+        Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    #[test]
+    fn lookup_returns_requested_rows() {
+        let mut rng = TensorRng::seed(1);
+        let table = EmbeddingTable::new(10, 4, &mut rng);
+        let mut ex = ex();
+        let out = table.lookup(&mut ex, &[3, 3, 7]).unwrap();
+        assert_eq!(out.dims(), &[3, 4]);
+        assert_eq!(out.row(0).unwrap(), out.row(1).unwrap());
+        assert_eq!(out.row(2).unwrap(), table.table().row(7).unwrap());
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let mut rng = TensorRng::seed(2);
+        let mut table = EmbeddingTable::new(6, 3, &mut rng);
+        let mut ex = ex();
+        let new_rows = Tensor::full(&[2, 3], 9.0);
+        table.update(&mut ex, &[1, 4], &new_rows).unwrap();
+        let got = table.lookup(&mut ex, &[1, 4]).unwrap();
+        got.assert_close(&new_rows, 0.0);
+    }
+
+    #[test]
+    fn lookup_launches_gather_kernel() {
+        let mut rng = TensorRng::seed(3);
+        let table = EmbeddingTable::new(5, 2, &mut rng);
+        let mut ex = ex();
+        table.lookup(&mut ex, &[0]).unwrap();
+        let hist = ex.timeline().kernel_histogram();
+        assert!(hist.iter().any(|(k, _, _)| *k == KernelKind::Gather));
+    }
+
+    #[test]
+    fn out_of_range_index_errors() {
+        let mut rng = TensorRng::seed(4);
+        let table = EmbeddingTable::new(5, 2, &mut rng);
+        let mut ex = ex();
+        assert!(table.lookup(&mut ex, &[5]).is_err());
+    }
+
+    #[test]
+    fn from_tensor_wraps_values() {
+        let t = Tensor::eye(3);
+        let table = EmbeddingTable::from_tensor(t.clone());
+        assert_eq!(table.rows(), 3);
+        assert_eq!(table.table(), &t);
+    }
+}

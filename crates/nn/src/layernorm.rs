@@ -1,0 +1,113 @@
+//! Layer normalization (ASTGNN's attention blocks).
+
+use dgnn_device::{Executor, KernelDesc};
+use dgnn_tensor::{Tensor, TensorError, TensorRng};
+
+use crate::module::{Module, Param};
+use crate::Result;
+
+/// Row-wise layer normalization with learned gain and bias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNorm {
+    gain: Param,
+    bias: Param,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates a layer norm over feature width `dim`.
+    pub fn new(dim: usize, _rng: &mut TensorRng) -> Self {
+        LayerNorm {
+            gain: Param::new("gain", Tensor::ones(&[dim])),
+            bias: Param::new("bias", Tensor::zeros(&[dim])),
+            dim,
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalized feature width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Normalizes each row of `x: [m, dim]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `x` is not `[m, dim]`.
+    pub fn forward(&self, ex: &mut Executor, x: &Tensor) -> Result<Tensor> {
+        if x.rank() != 2 || x.dims()[1] != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: x.dims().to_vec(),
+                rhs: vec![0, self.dim],
+            });
+        }
+        let (m, n) = (x.dims()[0], self.dim);
+        ex.launch(KernelDesc::reduce("layer_norm", m, n));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row = &x.as_slice()[i * n..(i + 1) * n];
+            let mean: f32 = row.iter().sum::<f32>() / n as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            for j in 0..n {
+                out[i * n + j] = (row[j] - mean) * inv * self.gain.value.as_slice()[j]
+                    + self.bias.value.as_slice()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+impl Module for LayerNorm {
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gain, &self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_tensor::Initializer;
+
+    fn ex() -> Executor {
+        Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    #[test]
+    fn rows_become_zero_mean_unit_var() {
+        let mut rng = TensorRng::seed(1);
+        let ln = LayerNorm::new(8, &mut rng);
+        let mut ex = ex();
+        let x = TensorRng::seed(2).init(&[4, 8], Initializer::Normal(5.0));
+        let y = ln.forward(&mut ex, &x).unwrap();
+        for i in 0..4 {
+            let row = y.row(i).unwrap();
+            let mean = row.mean().unwrap();
+            let var = row.norm_sq() / 8.0 - mean * mean;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_rows_are_stable() {
+        let mut rng = TensorRng::seed(3);
+        let ln = LayerNorm::new(4, &mut rng);
+        let mut ex = ex();
+        let y = ln.forward(&mut ex, &Tensor::full(&[2, 4], 7.0)).unwrap();
+        assert!(y.all_finite());
+        assert!(y.as_slice().iter().all(|v| v.abs() < 1e-2));
+    }
+
+    #[test]
+    fn wrong_width_errors() {
+        let mut rng = TensorRng::seed(4);
+        let ln = LayerNorm::new(4, &mut rng);
+        let mut ex = ex();
+        assert!(ln.forward(&mut ex, &Tensor::zeros(&[2, 5])).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # dgnn-nn
+//!
+//! Neural-network modules over the simulated platform.
+//!
+//! Every layer does two things per forward pass: it computes the real
+//! numeric result with `dgnn-tensor`, and it *launches* matching kernel
+//! descriptors on the [`dgnn_device::Executor`] so the simulated clock
+//! advances the way the equivalent cuBLAS/cuDNN calls would. The layers
+//! are exactly the building blocks the eight profiled DGNNs share:
+//! linear/MLP transforms, GRU/LSTM/vanilla-RNN cells, multi-head
+//! attention, GCN propagation, Bochner/Time2Vec time encoding, layer
+//! norm and embedding tables.
+//!
+//! All parameters are registered ([`Module::parameters`]) so models can
+//! report their weight bytes and tensor counts to
+//! [`dgnn_device::Executor::model_init`] — the quantities that drive the
+//! paper's warm-up accounting.
+
+mod attention;
+mod embedding;
+mod gcn;
+mod layernorm;
+mod linear;
+mod module;
+mod rnn;
+mod time_encoding;
+
+pub use attention::MultiHeadAttention;
+pub use embedding::EmbeddingTable;
+pub use gcn::GcnLayer;
+pub use layernorm::LayerNorm;
+pub use linear::{Linear, Mlp};
+pub use module::{Module, Param};
+pub use rnn::{GruCell, LstmCell, RnnCell};
+pub use time_encoding::{BochnerTimeEncoder, Time2Vec};
+
+/// Result alias: layers surface tensor shape errors.
+pub type Result<T> = dgnn_tensor::Result<T>;

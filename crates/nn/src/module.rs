@@ -1,0 +1,65 @@
+//! Parameter registration shared by all layers.
+
+use dgnn_tensor::Tensor;
+
+/// One named parameter tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name (unique within its module).
+    pub name: String,
+    /// Parameter value.
+    pub value: Tensor,
+}
+
+impl Param {
+    /// Creates a named parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param { name: name.into(), value }
+    }
+}
+
+/// A neural module exposing its parameters.
+///
+/// The suite uses the registry for the warm-up model: GPU model
+/// initialization cost scales with [`Module::param_bytes`] and
+/// [`Module::param_tensor_count`].
+pub trait Module {
+    /// All parameters of this module (including nested submodules).
+    fn parameters(&self) -> Vec<&Param>;
+
+    /// Total parameter payload in bytes.
+    fn param_bytes(&self) -> u64 {
+        self.parameters().iter().map(|p| p.value.byte_len()).sum()
+    }
+
+    /// Number of parameter tensors.
+    fn param_tensor_count(&self) -> u64 {
+        self.parameters().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+
+    impl Module for Toy {
+        fn parameters(&self) -> Vec<&Param> {
+            vec![&self.a, &self.b]
+        }
+    }
+
+    #[test]
+    fn bytes_and_counts_aggregate() {
+        let t = Toy {
+            a: Param::new("a", Tensor::zeros(&[4, 4])),
+            b: Param::new("b", Tensor::zeros(&[4])),
+        };
+        assert_eq!(t.param_bytes(), (16 + 4) * 4);
+        assert_eq!(t.param_tensor_count(), 2);
+    }
+}

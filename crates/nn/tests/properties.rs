@@ -1,0 +1,161 @@
+//! Property tests over the neural-network layers.
+
+use dgnn_device::{ExecMode, Executor, PlatformSpec};
+use dgnn_nn::{
+    BochnerTimeEncoder, GcnLayer, GruCell, LayerNorm, Linear, LstmCell, Mlp, Module,
+    MultiHeadAttention, RnnCell, Time2Vec,
+};
+use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn cpu() -> Executor {
+    Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_output_shape_and_finiteness(
+        (m, i, o, seed) in (1usize..12, 1usize..24, 1usize..24, any::<u64>())
+    ) {
+        let mut rng = TensorRng::seed(seed);
+        let layer = Linear::new(i, o, &mut rng);
+        let x = TensorRng::seed(seed ^ 1).init(&[m, i], Initializer::Normal(2.0));
+        let y = layer.forward(&mut cpu(), &x).unwrap();
+        prop_assert_eq!(y.dims(), &[m, o]);
+        prop_assert!(y.all_finite());
+    }
+
+    #[test]
+    fn linear_is_linear((m, i, o, seed) in (1usize..8, 1usize..12, 1usize..12, any::<u64>())) {
+        let mut rng = TensorRng::seed(seed);
+        let layer = Linear::new(i, o, &mut rng);
+        let mut ex = cpu();
+        let a = TensorRng::seed(seed ^ 2).init(&[m, i], Initializer::Uniform(1.0));
+        let b = TensorRng::seed(seed ^ 3).init(&[m, i], Initializer::Uniform(1.0));
+        // f(a) + f(b) - f(0) == f(a + b)  (affine with shared bias)
+        let fa = layer.forward(&mut ex, &a).unwrap();
+        let fb = layer.forward(&mut ex, &b).unwrap();
+        let f0 = layer.forward(&mut ex, &Tensor::zeros(&[m, i])).unwrap();
+        let fab = layer.forward(&mut ex, &a.add(&b).unwrap()).unwrap();
+        fa.add(&fb).unwrap().sub(&f0).unwrap().assert_close(&fab, 1e-3);
+    }
+
+    #[test]
+    fn recurrent_cells_bound_their_state(
+        (b, i, h, seed) in (1usize..6, 1usize..10, 1usize..10, any::<u64>())
+    ) {
+        let mut rng = TensorRng::seed(seed);
+        let x = TensorRng::seed(seed ^ 4).init(&[b, i], Initializer::Normal(3.0));
+
+        let gru = GruCell::new(i, h, &mut rng);
+        let h0 = TensorRng::seed(seed ^ 5).init(&[b, h], Initializer::Uniform(1.0));
+        let h1 = gru.forward(&mut cpu(), &x, &h0).unwrap();
+        prop_assert!(h1.as_slice().iter().all(|v| v.abs() <= 1.01));
+
+        let rnn = RnnCell::new(i, h, &mut rng);
+        let r1 = rnn.forward(&mut cpu(), &x, &h0).unwrap();
+        prop_assert!(r1.as_slice().iter().all(|v| v.abs() <= 1.0));
+
+        let lstm = LstmCell::new(i, h, &mut rng);
+        let (hh, cc) = lstm.forward(&mut cpu(), &x, &lstm.zero_state(b)).unwrap();
+        prop_assert!(hh.all_finite() && cc.all_finite());
+        prop_assert!(hh.as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn attention_output_is_convex_ish_in_values(
+        (m, n, seed) in (1usize..5, 1usize..8, any::<u64>())
+    ) {
+        // With all values equal to a constant row v, attention output is
+        // Wo·(Wv·v) for every query regardless of scores.
+        let d = 8usize;
+        let mut rng = TensorRng::seed(seed);
+        let attn = MultiHeadAttention::new(d, 2, &mut rng);
+        let q = TensorRng::seed(seed ^ 6).init(&[m, d], Initializer::Normal(1.0));
+        let k = TensorRng::seed(seed ^ 7).init(&[n, d], Initializer::Normal(1.0));
+        let row = TensorRng::seed(seed ^ 8).init(&[1, d], Initializer::Normal(1.0));
+        let mut v = Tensor::zeros(&[n, d]);
+        for r in 0..n {
+            v = v.scatter_rows(&[r], &row).unwrap();
+        }
+        let out = attn.forward(&mut cpu(), &q, &k, &v).unwrap();
+        for r in 1..m {
+            out.row(0).unwrap().assert_close(&out.row(r).unwrap(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn gcn_respects_graph_locality((n, seed) in (2usize..10, any::<u64>())) {
+        // With identity adjacency (no edges, self-loops only), output row
+        // i depends only on input row i.
+        let d = 4usize;
+        let mut rng = TensorRng::seed(seed);
+        let layer = GcnLayer::new(d, d, &mut rng);
+        let adj = Tensor::eye(n);
+        let x1 = TensorRng::seed(seed ^ 9).init(&[n, d], Initializer::Normal(1.0));
+        let mut x2 = x1.clone();
+        // Perturb only the last row.
+        let noise = TensorRng::seed(seed ^ 10).init(&[1, d], Initializer::Normal(1.0));
+        x2 = x2.scatter_rows(&[n - 1], &noise).unwrap();
+        let y1 = layer.forward(&mut cpu(), &adj, &x1).unwrap();
+        let y2 = layer.forward(&mut cpu(), &adj, &x2).unwrap();
+        for r in 0..n - 1 {
+            y1.row(r).unwrap().assert_close(&y2.row(r).unwrap(), 1e-5);
+        }
+    }
+
+    #[test]
+    fn time_encoders_are_deterministic_and_bounded(
+        (n, d, seed) in (1usize..20, 1usize..16, any::<u64>())
+    ) {
+        let mut rng = TensorRng::seed(seed);
+        let bochner = BochnerTimeEncoder::new(d, &mut rng);
+        let t2v = Time2Vec::new(d, &mut rng);
+        let ts = TensorRng::seed(seed ^ 11).init(&[n], Initializer::Uniform(100.0));
+        let e1 = bochner.forward(&mut cpu(), &ts).unwrap();
+        let e2 = bochner.forward(&mut cpu(), &ts).unwrap();
+        prop_assert_eq!(&e1, &e2);
+        let bound = (1.0 / d as f32).sqrt() + 1e-5;
+        prop_assert!(e1.as_slice().iter().all(|v| v.abs() <= bound));
+        prop_assert!(t2v.forward(&mut cpu(), &ts).unwrap().all_finite());
+    }
+
+    #[test]
+    fn layernorm_is_shift_invariant((m, seed) in (1usize..8, any::<u64>())) {
+        let d = 8usize;
+        let mut rng = TensorRng::seed(seed);
+        let ln = LayerNorm::new(d, &mut rng);
+        let x = TensorRng::seed(seed ^ 12).init(&[m, d], Initializer::Normal(2.0));
+        let shifted = x.add_scalar(5.0);
+        let y1 = ln.forward(&mut cpu(), &x).unwrap();
+        let y2 = ln.forward(&mut cpu(), &shifted).unwrap();
+        y1.assert_close(&y2, 1e-3);
+    }
+
+    #[test]
+    fn param_counts_are_consistent((i, h, seed) in (1usize..16, 1usize..16, any::<u64>())) {
+        let mut rng = TensorRng::seed(seed);
+        let mlp = Mlp::new(&[i, h, 1], &mut rng);
+        let total: u64 = mlp.parameters().iter().map(|p| p.value.byte_len()).sum();
+        prop_assert_eq!(mlp.param_bytes(), total);
+        prop_assert_eq!(mlp.param_tensor_count(), 4);
+    }
+
+    #[test]
+    fn every_forward_advances_the_clock((m, seed) in (1usize..6, any::<u64>())) {
+        let d = 8usize;
+        let mut rng = TensorRng::seed(seed);
+        let layer = Linear::new(d, d, &mut rng);
+        let attn = MultiHeadAttention::new(d, 2, &mut rng);
+        let x = Tensor::ones(&[m, d]);
+        let mut ex = cpu();
+        let t0 = ex.now();
+        layer.forward(&mut ex, &x).unwrap();
+        let t1 = ex.now();
+        attn.forward(&mut ex, &x, &x, &x).unwrap();
+        let t2 = ex.now();
+        prop_assert!(t0 < t1 && t1 < t2);
+    }
+}

@@ -1,0 +1,73 @@
+//! FLOP and byte estimators for the simulated-kernel cost model.
+//!
+//! The device layer (`dgnn-device`) prices every kernel as
+//! `launch + max(flops / effective_throughput, bytes / bandwidth)`.
+//! These helpers centralize the arithmetic so models and layers report
+//! consistent work estimates.
+
+/// Bytes per `f32` element.
+pub const F32_BYTES: u64 = 4;
+
+/// FLOPs of a dense `[m, k] × [k, n]` matrix multiplication
+/// (multiply–add counted as 2 FLOPs).
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * m as u64 * k as u64 * n as u64
+}
+
+/// Bytes moved by a dense `[m, k] × [k, n]` matmul (read A, read B, write C).
+pub fn matmul_bytes(m: usize, k: usize, n: usize) -> u64 {
+    F32_BYTES * (m as u64 * k as u64 + k as u64 * n as u64 + m as u64 * n as u64)
+}
+
+/// FLOPs of an element-wise op over `len` elements with `ops_per_elem`
+/// arithmetic operations each.
+pub fn elementwise_flops(len: usize, ops_per_elem: u64) -> u64 {
+    len as u64 * ops_per_elem
+}
+
+/// Bytes moved by an element-wise op (`n_inputs` reads + one write).
+pub fn elementwise_bytes(len: usize, n_inputs: u64) -> u64 {
+    F32_BYTES * len as u64 * (n_inputs + 1)
+}
+
+/// Bytes of `len` `f32` elements.
+pub fn f32_bytes(len: usize) -> u64 {
+    F32_BYTES * len as u64
+}
+
+/// FLOPs of a row-wise softmax over an `[m, n]` matrix
+/// (max, exp, sum, divide ≈ 4 passes).
+pub fn softmax_flops(m: usize, n: usize) -> u64 {
+    4 * m as u64 * n as u64
+}
+
+/// Degree of data parallelism of a GEMM: one lane per output element.
+pub fn matmul_parallelism(m: usize, n: usize) -> u64 {
+    m as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_flops_counts_fma_as_two() {
+        assert_eq!(matmul_flops(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn matmul_bytes_counts_three_matrices() {
+        assert_eq!(matmul_bytes(2, 3, 4), 4 * (6 + 12 + 8));
+    }
+
+    #[test]
+    fn elementwise_estimates() {
+        assert_eq!(elementwise_flops(10, 3), 30);
+        assert_eq!(elementwise_bytes(10, 2), 4 * 10 * 3);
+    }
+
+    #[test]
+    fn parallelism_is_output_size() {
+        assert_eq!(matmul_parallelism(32, 64), 2048);
+    }
+}

@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Error produced by tensor construction and tensor operations.
+///
+/// Every public fallible function in this crate returns
+/// [`TensorError`] inside [`crate::Result`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the dimensions.
+    DataLenMismatch {
+        /// Number of elements supplied.
+        data_len: usize,
+        /// Number of elements the shape requires.
+        shape_len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: Vec<usize>,
+        /// Shape of the right operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a different rank (number of dimensions).
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation expected.
+        expected: usize,
+        /// Rank it received.
+        actual: usize,
+    },
+    /// An index was out of bounds for the given axis.
+    IndexOutOfBounds {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Length of the indexed axis.
+        len: usize,
+    },
+    /// An axis argument exceeded the tensor rank.
+    AxisOutOfBounds {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// The operation requires a non-empty input.
+    EmptyInput {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLenMismatch { data_len, shape_len } => write!(
+                f,
+                "data length {data_len} does not match shape element count {shape_len}"
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "rank mismatch in `{op}`: expected {expected}, got {actual}")
+            }
+            TensorError::IndexOutOfBounds { op, index, len } => {
+                write!(f, "index {index} out of bounds for axis of length {len} in `{op}`")
+            }
+            TensorError::AxisOutOfBounds { axis, rank } => {
+                write!(f, "axis {axis} out of bounds for tensor of rank {rank}")
+            }
+            TensorError::EmptyInput { op } => write!(f, "`{op}` requires a non-empty input"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

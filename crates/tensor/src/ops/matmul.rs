@@ -1,0 +1,215 @@
+//! Matrix multiplication kernels (the GEMM family).
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// ```
+    /// use dgnn_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), dgnn_tensor::TensorError> {
+    /// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+    /// let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2])?;
+    /// let c = a.matmul(&b)?;
+    /// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2
+    /// and [`TensorError::ShapeMismatch`] unless the inner dimensions agree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: rhs.rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the innermost access contiguous on both
+        // `b` and `out`.
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix–vector product: `[m, k] × [k] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors analogous to [`Tensor::matmul`].
+    pub fn matvec(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "matvec", expected: 2, actual: self.rank() });
+        }
+        if rhs.rank() != 1 {
+            return Err(TensorError::RankMismatch { op: "matvec", expected: 1, actual: rhs.rank() });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if rhs.dims()[0] != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let x = rhs.as_slice();
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(x).map(|(av, xv)| av * xv).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Batched matrix product of two rank-3 tensors:
+    /// `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when ranks are not 3, batch dimensions differ,
+    /// or inner dimensions disagree.
+    pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 3 {
+            return Err(TensorError::RankMismatch { op: "bmm", expected: 3, actual: self.rank() });
+        }
+        if rhs.rank() != 3 {
+            return Err(TensorError::RankMismatch { op: "bmm", expected: 3, actual: rhs.rank() });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "bmm",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        let a = self.as_slice();
+        let bb = rhs.as_slice();
+        for batch in 0..b {
+            let aoff = batch * m * k;
+            let boff = batch * k * n;
+            let ooff = batch * m * n;
+            for i in 0..m {
+                for kk in 0..k {
+                    let aik = a[aoff + i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        out[ooff + i * n + j] += aik * bb[boff + kk * n + j];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] × [n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 1.
+    pub fn outer(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 1 || rhs.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "outer",
+                expected: 1,
+                actual: self.rank().max(rhs.rank()),
+            });
+        }
+        let (m, n) = (self.len(), rhs.len());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = self.as_slice()[i] * rhs.as_slice()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let id = Tensor::eye(3);
+        a.matmul(&id).unwrap().assert_close(&a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 2.0, -1.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 1.0, 2.0, 1.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[3.0, 1.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, -1.0, 2.0], &[3]).unwrap();
+        let y = a.matvec(&x).unwrap();
+        let via_mm = a.matmul(&x.reshape(&[3, 1]).unwrap()).unwrap();
+        assert_eq!(y.as_slice(), via_mm.as_slice());
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 2, 2]).unwrap();
+        let id = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
+            &[2, 2, 2],
+        )
+        .unwrap();
+        a.bmm(&id).unwrap().assert_close(&a, 1e-6);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let u = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let v = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = u.outer(&v).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.at(&[1, 2]).unwrap(), 10.0);
+    }
+}

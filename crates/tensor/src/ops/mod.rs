@@ -1,0 +1,13 @@
+//! Tensor operations, grouped by kernel family.
+//!
+//! Each family maps onto a simulated-kernel category in `dgnn-device`:
+//! GEMM ([`matmul`]), element-wise ([`elementwise`], [`activation`]),
+//! reductions/softmax ([`reduce`]) and data-manipulation / gather-scatter
+//! ([`manip`]). The functions here compute real values; the device layer
+//! prices them.
+
+pub mod activation;
+pub mod elementwise;
+pub mod manip;
+pub mod matmul;
+pub mod reduce;

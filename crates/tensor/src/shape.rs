@@ -1,0 +1,183 @@
+use std::fmt;
+
+use crate::{Result, TensorError};
+
+/// Row-major tensor shape.
+///
+/// A thin validated wrapper over a dimension list. Rank 0 (scalar) is
+/// represented by an empty dimension list and has one element.
+///
+/// ```
+/// use dgnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+
+    /// Creates a scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfBounds`] when `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.dims
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::AxisOutOfBounds { axis, rank: self.rank() })
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index into a row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index rank differs from the shape rank or
+    /// any coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.rank(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0;
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { op: "offset", index: i, len: d });
+            }
+            let _ = axis;
+            off = off * d + i;
+        }
+        Ok(off)
+    }
+
+    /// Checks that this shape matches `other` exactly for operation `op`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn check_same(&self, other: &Shape, op: &'static str) -> Result<()> {
+        if self != other {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offset_flattens_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+    }
+
+    #[test]
+    fn offset_rejects_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn dim_out_of_bounds_errors() {
+        let s = Shape::new(&[5]);
+        assert_eq!(s.dim(0).unwrap(), 5);
+        assert!(matches!(s.dim(1), Err(TensorError::AxisOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(&[0, 4]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

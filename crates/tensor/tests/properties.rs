@@ -1,0 +1,117 @@
+//! Property-based tests over the tensor algebra.
+
+use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
+        TensorRng::seed(seed).init(&[m, n], Initializer::Uniform(2.0))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(t in small_matrix(8)) {
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(t, tt);
+    }
+
+    #[test]
+    fn matmul_identity_left_and_right(t in small_matrix(8)) {
+        let (m, n) = (t.dims()[0], t.dims()[1]);
+        t.matmul(&Tensor::eye(n)).unwrap().assert_close(&t, 1e-4);
+        Tensor::eye(m).matmul(&t).unwrap().assert_close(&t, 1e-4);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        (m, k, n, s1, s2, s3) in (1usize..6, 1usize..6, 1usize..6, any::<u64>(), any::<u64>(), any::<u64>())
+    ) {
+        let a = TensorRng::seed(s1).init(&[m, k], Initializer::Uniform(1.0));
+        let b = TensorRng::seed(s2).init(&[k, n], Initializer::Uniform(1.0));
+        let c = TensorRng::seed(s3).init(&[k, n], Initializer::Uniform(1.0));
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        lhs.assert_close(&rhs, 1e-3);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        (m, k, n, s1, s2) in (1usize..6, 1usize..6, 1usize..6, any::<u64>(), any::<u64>())
+    ) {
+        let a = TensorRng::seed(s1).init(&[m, k], Initializer::Uniform(1.0));
+        let b = TensorRng::seed(s2).init(&[k, n], Initializer::Uniform(1.0));
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        lhs.assert_close(&rhs, 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_matrix(8)) {
+        let p = t.softmax_rows().unwrap();
+        let (m, n) = (p.dims()[0], p.dims()[1]);
+        for i in 0..m {
+            let mut row_sum = 0.0f32;
+            for j in 0..n {
+                let v = p.at(&[i, j]).unwrap();
+                prop_assert!((0.0..=1.0 + 1e-6).contains(&v));
+                row_sum += v;
+            }
+            prop_assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips(t in small_matrix(8), seed in any::<u64>()) {
+        let m = t.dims()[0];
+        let mut rng = TensorRng::seed(seed);
+        let k = rng.index(m) + 1;
+        // Distinct indices so scatter exactly undoes gather.
+        let mut idx: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            idx.swap(i, rng.index(i + 1));
+        }
+        idx.truncate(k);
+        let g = t.gather_rows(&idx).unwrap();
+        let back = t.scatter_rows(&idx, &g).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn concat_cols_preserves_rows(a in small_matrix(6), seed in any::<u64>()) {
+        let m = a.dims()[0];
+        let b = TensorRng::seed(seed).init(&[m, 3], Initializer::Uniform(1.0));
+        let c = a.concat_cols(&b).unwrap();
+        prop_assert_eq!(c.dims()[0], m);
+        prop_assert_eq!(c.dims()[1], a.dims()[1] + 3);
+        for i in 0..m {
+            prop_assert_eq!(c.at(&[i, 0]).unwrap(), a.at(&[i, 0]).unwrap());
+            prop_assert_eq!(
+                c.at(&[i, a.dims()[1]]).unwrap(),
+                b.at(&[i, 0]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in small_matrix(8)) {
+        let r = t.relu();
+        prop_assert!(r.as_slice().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn sigmoid_tanh_identity(t in small_matrix(6)) {
+        // tanh(x) = 2·sigmoid(2x) − 1
+        let lhs = t.tanh();
+        let rhs = t.scale(2.0).sigmoid().scale(2.0).add_scalar(-1.0);
+        lhs.assert_close(&rhs, 1e-5);
+    }
+
+    #[test]
+    fn sum_rows_matches_total(t in small_matrix(8)) {
+        let total: f32 = t.sum();
+        let rowsum = t.sum_rows().unwrap().sum();
+        prop_assert!((total - rowsum).abs() < 1e-3 * (1.0 + total.abs()));
+    }
+}

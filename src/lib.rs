@@ -1,0 +1,26 @@
+//! # dgnn-suite
+//!
+//! Facade crate for the Rust reproduction of *"Bottleneck Analysis of
+//! Dynamic Graph Neural Network Inference on CPU and GPU"* (IISWC 2022).
+//!
+//! Re-exports every layer of the stack under stable module names:
+//!
+//! * [`tensor`] — dense f32 math
+//! * [`device`] — the simulated CPU/GPU platform (virtual clock, cost
+//!   models, PCIe, warm-up, kernel timeline)
+//! * [`profile`] — the paper's contribution: profiler, breakdowns, GPU
+//!   utilization, bottleneck classification
+//! * [`nn`] — neural-network modules
+//! * [`graph`] — dynamic-graph substrate (events, snapshots, sampling)
+//! * [`datasets`] — synthetic dataset generators
+//! * [`models`] — the eight profiled DGNNs and optimization ablations
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use dgnn_datasets as datasets;
+pub use dgnn_device as device;
+pub use dgnn_graph as graph;
+pub use dgnn_models as models;
+pub use dgnn_nn as nn;
+pub use dgnn_profile as profile;
+pub use dgnn_tensor as tensor;

@@ -1,0 +1,70 @@
+//! Integration tests for the §5 optimization ablations: the proposed
+//! optimizations must strictly improve simulated time, within their
+//! theoretical bounds.
+
+use dgnn_suite::datasets::{bitcoin_alpha, wikipedia, Scale};
+use dgnn_suite::models::optim::{
+    delta_snapshot_evolvegcn, overlapped_sampling_tgat, pipelined_evolvegcn,
+};
+use dgnn_suite::models::{
+    EvolveGcn, EvolveGcnConfig, EvolveGcnVersion, InferenceConfig, Tgat, TgatConfig,
+};
+
+const SEED: u64 = 33;
+
+fn egcn(version: EvolveGcnVersion) -> EvolveGcn {
+    EvolveGcn::new(
+        bitcoin_alpha(Scale::Tiny, SEED),
+        EvolveGcnConfig { hidden: 100, version },
+        SEED,
+    )
+}
+
+#[test]
+fn fig10_pipelining_improves_both_evolvegcn_variants() {
+    let cfg = InferenceConfig::default().with_max_units(10);
+    for version in [EvolveGcnVersion::O, EvolveGcnVersion::H] {
+        let r = pipelined_evolvegcn(&mut egcn(version), &cfg).expect("ablation runs");
+        assert!(r.optimized < r.baseline, "{version:?} must improve");
+        assert!(r.speedup() <= 2.0 + 1e-9, "{version:?}: two stages cap at 2x");
+    }
+}
+
+#[test]
+fn overlap_speedup_bounded_by_device_share() {
+    // Overlapping sampling with compute can hide at most the smaller of
+    // the two chains; with sampling dominating, speedup is bounded by
+    // 1 / sampling_share.
+    let cfg = InferenceConfig::default().with_batch_size(150).with_max_units(4);
+    let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
+    let r = overlapped_sampling_tgat(&mut m, &cfg).expect("ablation runs");
+    assert!(r.optimized < r.baseline);
+    assert!(r.speedup() < 2.0, "sampling-bound: speedup {} must stay < 2x", r.speedup());
+}
+
+#[test]
+fn delta_transfer_monotone_in_similarity() {
+    let cfg = InferenceConfig::default().with_max_units(8);
+    let mut previous = None;
+    for similarity in [0.0, 0.3, 0.6, 0.9] {
+        let r = delta_snapshot_evolvegcn(&mut egcn(EvolveGcnVersion::O), &cfg, similarity)
+            .expect("ablation runs");
+        if let Some(prev) = previous {
+            assert!(
+                r.optimized <= prev,
+                "higher similarity must not transfer more (sim {similarity})"
+            );
+        }
+        previous = Some(r.optimized);
+    }
+}
+
+#[test]
+fn ablations_are_deterministic() {
+    let cfg = InferenceConfig::default().with_max_units(6);
+    let run = || {
+        let r = pipelined_evolvegcn(&mut egcn(EvolveGcnVersion::O), &cfg).expect("runs");
+        (r.baseline, r.optimized)
+    };
+    assert_eq!(run(), run());
+}
