@@ -1,89 +1,77 @@
-//! Criterion benchmarks of the simulator's own host-side performance:
-//! the substrate operations every experiment leans on. These measure
-//! real wall-clock (not simulated time), so regressions in the
-//! reproduction infrastructure itself are visible.
+//! Benchmarks of the simulator's own host-side performance: the
+//! substrate operations every experiment leans on. These measure real
+//! wall-clock (not simulated time), so regressions in the reproduction
+//! infrastructure itself are visible.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use dgnn_bench::harness::bench;
 use dgnn_datasets::{wikipedia, Scale};
 use dgnn_device::{ExecMode, Executor, HostWork, KernelDesc, PlatformSpec, TransferDir};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TBatcher, TemporalAdjacency};
 use dgnn_tensor::{Initializer, TensorRng};
 
-fn bench_tensor_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tensor");
+const SAMPLES: usize = 20;
+
+fn bench_tensor_ops() {
     for &n in &[32usize, 128] {
         let a = TensorRng::seed(1).init(&[n, n], Initializer::Uniform(1.0));
         let b = TensorRng::seed(2).init(&[n, n], Initializer::Uniform(1.0));
-        g.bench_function(format!("matmul_{n}x{n}"), |bench| {
-            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        bench(&format!("tensor/matmul_{n}x{n}"), SAMPLES, || {
+            black_box(a.matmul(&b).unwrap())
         });
     }
     let m = TensorRng::seed(3).init(&[256, 64], Initializer::Uniform(1.0));
-    g.bench_function("softmax_rows_256x64", |bench| {
-        bench.iter(|| black_box(m.softmax_rows().unwrap()))
+    bench("tensor/softmax_rows_256x64", SAMPLES, || {
+        black_box(m.softmax_rows().unwrap())
     });
-    g.bench_function("gather_rows_256", |bench| {
-        let idx: Vec<usize> = (0..256).map(|i| (i * 7) % 256).collect();
-        bench.iter(|| black_box(m.gather_rows(&idx).unwrap()))
+    let idx: Vec<usize> = (0..256).map(|i| (i * 7) % 256).collect();
+    bench("tensor/gather_rows_256", SAMPLES, || {
+        black_box(m.gather_rows(&idx).unwrap())
     });
-    g.finish();
 }
 
-fn bench_graph_substrate(c: &mut Criterion) {
+fn bench_graph_substrate() {
     let data = wikipedia(Scale::Tiny, 1);
-    let mut g = c.benchmark_group("graph");
-    g.bench_function("temporal_adjacency_build", |bench| {
-        bench.iter(|| black_box(TemporalAdjacency::from_stream(&data.stream)))
+    bench("graph/temporal_adjacency_build", SAMPLES, || {
+        black_box(TemporalAdjacency::from_stream(&data.stream))
     });
     let adj = TemporalAdjacency::from_stream(&data.stream);
     let t_end = data.stream.end_time();
-    g.bench_function("sample_khop_2x20", |bench| {
-        bench.iter_batched(
-            || NeighborSampler::new(SampleStrategy::Uniform, 7),
-            |mut s| black_box(s.sample_khop(&adj, &[(0, t_end)], &[20, 20])),
-            BatchSize::SmallInput,
-        )
+    bench("graph/sample_khop_2x20", SAMPLES, || {
+        let mut s = NeighborSampler::new(SampleStrategy::Uniform, 7);
+        black_box(s.sample_khop(&adj, &[(0, t_end)], &[20, 20]))
     });
-    g.bench_function("tbatch_build_full_stream", |bench| {
-        bench.iter(|| black_box(TBatcher::new().build_stream(&data.stream)))
+    bench("graph/tbatch_build_full_stream", SAMPLES, || {
+        black_box(TBatcher::new().build_stream(&data.stream))
     });
-    g.finish();
 }
 
-fn bench_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor");
-    g.bench_function("launch_1000_kernels", |bench| {
-        bench.iter(|| {
-            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-            ex.ensure_context();
-            for _ in 0..1_000 {
-                ex.launch(KernelDesc::gemm("k", 64, 64, 64));
-            }
-            black_box(ex.now())
-        })
+fn bench_executor() {
+    bench("executor/launch_1000_kernels", SAMPLES, || {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        ex.ensure_context();
+        for _ in 0..1_000 {
+            ex.launch(KernelDesc::gemm("k", 64, 64, 64));
+        }
+        black_box(ex.now())
     });
-    g.bench_function("mixed_schedule_100_iterations", |bench| {
-        bench.iter(|| {
-            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-            for _ in 0..100 {
-                ex.scope("iter", |ex| {
-                    ex.host(HostWork::irregular("sample", 10_000, 4_096));
-                    ex.transfer(TransferDir::H2D, 1 << 16);
-                    ex.launch(KernelDesc::gemm("mm", 128, 64, 128));
-                    ex.transfer(TransferDir::D2H, 1 << 12);
-                });
-            }
-            black_box(ex.timeline().len())
-        })
+    bench("executor/mixed_schedule_100_iterations", SAMPLES, || {
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        for _ in 0..100 {
+            ex.scope("iter", |ex| {
+                ex.host(HostWork::irregular("sample", 10_000, 4_096));
+                ex.transfer(TransferDir::H2D, 1 << 16);
+                ex.launch(KernelDesc::gemm("mm", 128, 64, 128));
+                ex.transfer(TransferDir::D2H, 1 << 12);
+            });
+        }
+        black_box(ex.timeline().len())
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tensor_ops, bench_graph_substrate, bench_executor
+fn main() {
+    bench_tensor_ops();
+    bench_graph_substrate();
+    bench_executor();
 }
-criterion_main!(benches);

@@ -10,8 +10,8 @@
 use dgnn_bench::parse_opts;
 use dgnn_datasets::{bitcoin_alpha, wikipedia};
 use dgnn_models::optim::{
-    delta_snapshot_evolvegcn, jodie_tbatch, overlapped_prep_evolvegcn,
-    overlapped_sampling_tgat, pipelined_evolvegcn,
+    delta_snapshot_evolvegcn, jodie_tbatch, overlapped_prep_evolvegcn, overlapped_sampling_tgat,
+    pipelined_evolvegcn,
 };
 use dgnn_models::{
     EvolveGcn, EvolveGcnConfig, EvolveGcnVersion, InferenceConfig, Tgat, TgatConfig,
@@ -35,7 +35,10 @@ fn main() {
     let egcn_cfg = InferenceConfig::default().with_max_units(12);
     let mut egcn = EvolveGcn::new(
         bitcoin_alpha(opts.scale, opts.seed),
-        EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+        EvolveGcnConfig {
+            hidden: 100,
+            version: EvolveGcnVersion::O,
+        },
         opts.seed,
     );
     let r = pipelined_evolvegcn(&mut egcn, &egcn_cfg).expect("pipelined run");
@@ -45,7 +48,10 @@ fn main() {
 
     let mut egcn = EvolveGcn::new(
         bitcoin_alpha(opts.scale, opts.seed),
-        EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+        EvolveGcnConfig {
+            hidden: 100,
+            version: EvolveGcnVersion::O,
+        },
         opts.seed,
     );
     let r = overlapped_prep_evolvegcn(&mut egcn, &egcn_cfg).expect("prep overlap run");
@@ -53,8 +59,14 @@ fn main() {
     row.extend(fmt(r));
     t.row(&row);
 
-    let tgat_cfg = InferenceConfig::default().with_batch_size(200).with_max_units(4);
-    let mut tgat = Tgat::new(wikipedia(opts.scale, opts.seed), TgatConfig::default(), opts.seed);
+    let tgat_cfg = InferenceConfig::default()
+        .with_batch_size(200)
+        .with_max_units(4);
+    let mut tgat = Tgat::new(
+        wikipedia(opts.scale, opts.seed),
+        TgatConfig::default(),
+        opts.seed,
+    );
     let r = overlapped_sampling_tgat(&mut tgat, &tgat_cfg).expect("overlap run");
     let mut row = vec!["5.1.1: overlap TGAT sampling with compute".to_string()];
     row.extend(fmt(r));
@@ -63,18 +75,24 @@ fn main() {
     for similarity in [0.5, 0.9] {
         let mut egcn = EvolveGcn::new(
             bitcoin_alpha(opts.scale, opts.seed),
-            EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+            EvolveGcnConfig {
+                hidden: 100,
+                version: EvolveGcnVersion::O,
+            },
             opts.seed,
         );
-        let r = delta_snapshot_evolvegcn(&mut egcn, &egcn_cfg, similarity)
-            .expect("delta-transfer run");
-        let mut row =
-            vec![format!("5.2.2: delta snapshot transfer (similarity {similarity})")];
+        let r =
+            delta_snapshot_evolvegcn(&mut egcn, &egcn_cfg, similarity).expect("delta-transfer run");
+        let mut row = vec![format!(
+            "5.2.2: delta snapshot transfer (similarity {similarity})"
+        )];
         row.extend(fmt(r));
         t.row(&row);
     }
 
-    let jodie_cfg = InferenceConfig::default().with_batch_size(128).with_max_units(2);
+    let jodie_cfg = InferenceConfig::default()
+        .with_batch_size(128)
+        .with_max_units(2);
     let data = wikipedia(opts.scale, opts.seed);
     let r = jodie_tbatch(&data, &jodie_cfg, opts.seed).expect("jodie ablation");
     let mut row = vec!["3.3: JODIE t-batch vs per-event schedule".to_string()];

@@ -87,7 +87,9 @@ fn main() {
         );
         for bs in [8usize, 32, 128, 512, 2_048, 8_192] {
             let mut m = build_model("moldgnn", opts.scale, opts.seed);
-            let cfg = InferenceConfig::default().with_batch_size(bs).with_max_units(1);
+            let cfg = InferenceConfig::default()
+                .with_batch_size(bs)
+                .with_max_units(1);
             let r = measure(m.as_mut(), ExecMode::Gpu, &cfg);
             t.row(&[
                 bs.to_string(),

@@ -43,7 +43,13 @@ fn main() {
     if want("moldgnn") {
         for bs in [32usize, 512, 8_192] {
             let cfg = default_config("moldgnn").with_batch_size(bs);
-            show("moldgnn", scale, seed, &cfg, &format!("MolDGNN iso17 bs={bs}"));
+            show(
+                "moldgnn",
+                scale,
+                seed,
+                &cfg,
+                &format!("MolDGNN iso17 bs={bs}"),
+            );
         }
     }
     if want("astgnn") {
@@ -53,7 +59,13 @@ fn main() {
         }
     }
     if want("jodie") {
-        show("jodie", scale, seed, &default_config("jodie"), "JODIE wikipedia (t-batch)");
+        show(
+            "jodie",
+            scale,
+            seed,
+            &default_config("jodie"),
+            "JODIE wikipedia (t-batch)",
+        );
     }
     if want("tgat") {
         for k in [20usize, 100] {
@@ -62,15 +74,33 @@ fn main() {
                     .with_batch_size(bs)
                     .with_neighbors(k)
                     .with_max_units(2);
-                show("tgat", scale, seed, &cfg, &format!("TGAT wikipedia k={k} bs={bs}"));
+                show(
+                    "tgat",
+                    scale,
+                    seed,
+                    &cfg,
+                    &format!("TGAT wikipedia k={k} bs={bs}"),
+                );
             }
         }
     }
     if want("dyrep") {
-        show("dyrep", scale, seed, &default_config("dyrep"), "DyRep social-evolution");
+        show(
+            "dyrep",
+            scale,
+            seed,
+            &default_config("dyrep"),
+            "DyRep social-evolution",
+        );
     }
     if want("ldg") {
-        show("ldg_mlp", scale, seed, &default_config("ldg_mlp"), "LDG (MLP encoder) github");
+        show(
+            "ldg_mlp",
+            scale,
+            seed,
+            &default_config("ldg_mlp"),
+            "LDG (MLP encoder) github",
+        );
         show(
             "ldg_bilinear",
             scale,
@@ -82,13 +112,25 @@ fn main() {
     if want("evolvegcn_o") || want("evolvegcn") {
         for ds in ["wikipedia", "reddit"] {
             let name = format!("evolvegcn_o@{ds}");
-            show(&name, scale, seed, &default_config("evolvegcn_o"), &format!("EvolveGCN-O {ds}"));
+            show(
+                &name,
+                scale,
+                seed,
+                &default_config("evolvegcn_o"),
+                &format!("EvolveGCN-O {ds}"),
+            );
         }
     }
     if want("evolvegcn_h") || want("evolvegcn") {
         for ds in ["wikipedia", "reddit"] {
             let name = format!("evolvegcn_h@{ds}");
-            show(&name, scale, seed, &default_config("evolvegcn_h"), &format!("EvolveGCN-H {ds}"));
+            show(
+                &name,
+                scale,
+                seed,
+                &default_config("evolvegcn_h"),
+                &format!("EvolveGCN-H {ds}"),
+            );
         }
     }
 }

@@ -59,7 +59,10 @@ fn main() {
                 bs.to_string(),
                 format!("{:.2}", cpu.as_millis_f64()),
                 format!("{:.2}", gpu.as_millis_f64()),
-                format!("{:.2}x", cpu.as_nanos() as f64 / gpu.as_nanos().max(1) as f64),
+                format!(
+                    "{:.2}x",
+                    cpu.as_nanos() as f64 / gpu.as_nanos().max(1) as f64
+                ),
             ]);
         }
         print!("{}", t.render());

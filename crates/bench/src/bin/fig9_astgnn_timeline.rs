@@ -16,7 +16,9 @@ fn main() {
     let opts = parse_opts();
     for bs in [4usize, 8, 16] {
         let mut m = build_model("astgnn", opts.scale, opts.seed);
-        let cfg = InferenceConfig::default().with_batch_size(bs).with_max_units(2);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(bs)
+            .with_max_units(2);
         let run = measure(m.as_mut(), ExecMode::Gpu, &cfg);
         let inference = run
             .executor

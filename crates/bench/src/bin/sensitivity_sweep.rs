@@ -20,15 +20,21 @@ use dgnn_profile::{InferenceProfile, TextTable};
 fn tgat_sampling_share(spec: PlatformSpec, scale: dgnn_datasets::Scale, seed: u64) -> f64 {
     let mut m = build_model("tgat", scale, seed);
     let mut ex = Executor::new(spec, ExecMode::Gpu);
-    let cfg = InferenceConfig::default().with_batch_size(200).with_max_units(2);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(200)
+        .with_max_units(2);
     m.run(&mut ex, &cfg).expect("tgat run");
-    InferenceProfile::capture(&ex, "inference").breakdown.share_of("sampling")
+    InferenceProfile::capture(&ex, "inference")
+        .breakdown
+        .share_of("sampling")
 }
 
 fn moldgnn_memcpy_share(spec: PlatformSpec, scale: dgnn_datasets::Scale, seed: u64) -> f64 {
     let mut m = build_model("moldgnn", scale, seed);
     let mut ex = Executor::new(spec, ExecMode::Gpu);
-    let cfg = InferenceConfig::default().with_batch_size(512).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(512)
+        .with_max_units(1);
     m.run(&mut ex, &cfg).expect("moldgnn run");
     let tl = ex.timeline();
     let memcpy = tl.busy_time(dgnn_device::Place::Pcie).as_nanos() as f64;
@@ -39,7 +45,9 @@ fn moldgnn_memcpy_share(spec: PlatformSpec, scale: dgnn_datasets::Scale, seed: u
 }
 
 fn dyrep_gpu_vs_cpu(spec: PlatformSpec, scale: dgnn_datasets::Scale, seed: u64) -> f64 {
-    let cfg = InferenceConfig::default().with_batch_size(64).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(64)
+        .with_max_units(1);
     let time = |mode| {
         let mut m = build_model("dyrep", scale, seed);
         let mut ex = Executor::new(spec.clone(), mode);
@@ -61,7 +69,10 @@ fn main() {
         spec.cpu.host_ops_per_sec *= factor;
         t.row(&[
             format!("{factor}x"),
-            format!("{:.1}%", tgat_sampling_share(spec, opts.scale, opts.seed) * 100.0),
+            format!(
+                "{:.1}%",
+                tgat_sampling_share(spec, opts.scale, opts.seed) * 100.0
+            ),
         ]);
     }
     print!("{}", t.render());
@@ -76,7 +87,10 @@ fn main() {
         spec.pcie.bandwidth = bw;
         t.row(&[
             format!("{:.0}", bw / 1e9),
-            format!("{:.1}%", moldgnn_memcpy_share(spec, opts.scale, opts.seed) * 100.0),
+            format!(
+                "{:.1}%",
+                moldgnn_memcpy_share(spec, opts.scale, opts.seed) * 100.0
+            ),
         ]);
     }
     print!("{}", t.render());

@@ -29,7 +29,10 @@ fn main() {
         let mut m = build_model(name, opts.scale, opts.seed);
         let run = measure(m.as_mut(), ExecMode::Gpu, &cfg);
         let one_time = run.profile.warmup.context + run.profile.warmup.model_init;
-        let ratio = run.profile.warmup.one_time_warmup_ratio(run.summary.unit_time);
+        let ratio = run
+            .profile
+            .warmup
+            .one_time_warmup_ratio(run.summary.unit_time);
 
         // Model-init comparison on both devices.
         let mut mg = build_model(name, opts.scale, opts.seed);

@@ -17,9 +17,11 @@
 //! | §4.1 utilization summary      | `util_summary` |
 //! | §5 / Fig 10 optimizations     | `ablation_optimizations` |
 
+pub mod harness;
+
 use dgnn_datasets::{
-    as_snapshots, bitcoin_alpha, github, iso17, lastfm, pems, sbm, social_evolution,
-    wikipedia, Scale,
+    as_snapshots, bitcoin_alpha, github, iso17, lastfm, pems, sbm, social_evolution, wikipedia,
+    Scale,
 };
 use dgnn_device::{ExecMode, Executor, PlatformSpec};
 use dgnn_models::{
@@ -71,21 +73,35 @@ pub fn build_model(name: &str, scale: Scale, seed: u64) -> Box<dyn DgnnModel> {
                 _ => Box::new(Tgat::new(data, TgatConfig::default(), seed)),
             }
         }
-        "astgnn" => Box::new(Astgnn::new(pems(scale, seed), AstgnnConfig::default(), seed)),
-        "moldgnn" => {
-            Box::new(MolDgnn::new(iso17(scale, seed), MolDgnnConfig::default(), seed))
-        }
-        "dyrep" => {
-            Box::new(DyRep::new(social_evolution(scale, seed), DyRepConfig::default(), seed))
-        }
+        "astgnn" => Box::new(Astgnn::new(
+            pems(scale, seed),
+            AstgnnConfig::default(),
+            seed,
+        )),
+        "moldgnn" => Box::new(MolDgnn::new(
+            iso17(scale, seed),
+            MolDgnnConfig::default(),
+            seed,
+        )),
+        "dyrep" => Box::new(DyRep::new(
+            social_evolution(scale, seed),
+            DyRepConfig::default(),
+            seed,
+        )),
         "ldg_mlp" => Box::new(Ldg::new(
             github(scale, seed),
-            LdgConfig { dim: 32, encoder: LdgEncoder::Mlp },
+            LdgConfig {
+                dim: 32,
+                encoder: LdgEncoder::Mlp,
+            },
             seed,
         )),
         "ldg_bilinear" => Box::new(Ldg::new(
             github(scale, seed),
-            LdgConfig { dim: 32, encoder: LdgEncoder::Bilinear },
+            LdgConfig {
+                dim: 32,
+                encoder: LdgEncoder::Bilinear,
+            },
             seed,
         )),
         "evolvegcn_o" | "evolvegcn_h" => {
@@ -100,7 +116,14 @@ pub fn build_model(name: &str, scale: Scale, seed: u64) -> Box<dyn DgnnModel> {
                 Some("sbm") => sbm(scale, seed),
                 _ => bitcoin_alpha(scale, seed),
             };
-            Box::new(EvolveGcn::new(data, EvolveGcnConfig { hidden: 100, version }, seed))
+            Box::new(EvolveGcn::new(
+                data,
+                EvolveGcnConfig {
+                    hidden: 100,
+                    version,
+                },
+                seed,
+            ))
         }
         other => panic!("unknown model `{other}`; known: {MODEL_NAMES:?}"),
     }
@@ -111,8 +134,14 @@ pub fn build_model(name: &str, scale: Scale, seed: u64) -> Box<dyn DgnnModel> {
 pub fn default_config(name: &str) -> InferenceConfig {
     let base = InferenceConfig::default();
     match name.split('@').next().unwrap_or(name) {
-        "tgat" => base.with_batch_size(200).with_neighbors(20).with_max_units(4),
-        "tgn" => base.with_batch_size(512).with_neighbors(10).with_max_units(4),
+        "tgat" => base
+            .with_batch_size(200)
+            .with_neighbors(20)
+            .with_max_units(4),
+        "tgn" => base
+            .with_batch_size(512)
+            .with_neighbors(10)
+            .with_max_units(4),
         "jodie" => base.with_batch_size(128).with_max_units(3),
         "astgnn" => base.with_batch_size(8).with_max_units(2),
         "moldgnn" => base.with_batch_size(128).with_max_units(1),
@@ -143,7 +172,11 @@ pub fn measure(model: &mut dyn DgnnModel, mode: ExecMode, cfg: &InferenceConfig)
         .run(&mut ex, cfg)
         .unwrap_or_else(|e| panic!("{} inference failed: {e}", model.name()));
     let profile = InferenceProfile::capture(&ex, "inference");
-    MeasuredRun { profile, summary, executor: ex }
+    MeasuredRun {
+        profile,
+        summary,
+        executor: ex,
+    }
 }
 
 /// CLI options shared by the experiment binaries.
@@ -225,7 +258,9 @@ mod tests {
     #[test]
     fn measure_runs_tiny_tgat() {
         let mut m = build_model("tgat", Scale::Tiny, 1);
-        let cfg = InferenceConfig::default().with_batch_size(50).with_max_units(2);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(50)
+            .with_max_units(2);
         let run = measure(m.as_mut(), ExecMode::Gpu, &cfg);
         assert_eq!(run.summary.iterations, 2);
         assert!(run.profile.inference_time.as_nanos() > 0);

@@ -200,12 +200,8 @@ mod tests {
         for _ in 0..100 {
             ex.launch(KernelDesc::gemm("tiny", 16, 16, 16));
         }
-        let findings = BottleneckClassifier::new().classify(
-            ex.timeline(),
-            start,
-            ex.now(),
-            ex.now(),
-        );
+        let findings =
+            BottleneckClassifier::new().classify(ex.timeline(), start, ex.now(), ex.now());
         assert!(findings
             .iter()
             .any(|f| f.kind == BottleneckKind::TemporalDependency));
@@ -239,7 +235,9 @@ mod tests {
         }
         let findings =
             BottleneckClassifier::new().classify(ex.timeline(), start, ex.now(), ex.now());
-        assert!(findings.iter().any(|f| f.kind == BottleneckKind::DataMovement));
+        assert!(findings
+            .iter()
+            .any(|f| f.kind == BottleneckKind::DataMovement));
         let dm = findings
             .iter()
             .find(|f| f.kind == BottleneckKind::DataMovement)

@@ -42,7 +42,9 @@ impl Breakdown {
         let prefix = format!("{root}/");
         let mut acc: Vec<(String, DurationNs, usize)> = Vec::new();
         for s in scopes {
-            let Some(rel) = s.path.strip_prefix(&prefix) else { continue };
+            let Some(rel) = s.path.strip_prefix(&prefix) else {
+                continue;
+            };
             let segments: Vec<&str> = rel.split('/').collect();
             let module = match segments.as_slice() {
                 [name] if *name != "iteration" => *name,
@@ -67,7 +69,7 @@ impl Breakdown {
             }
         }
 
-        acc.sort_by(|a, b| b.1.cmp(&a.1));
+        acc.sort_by_key(|e| std::cmp::Reverse(e.1));
         let entries = acc
             .into_iter()
             .map(|(module, time, count)| BreakdownEntry {
@@ -173,10 +175,7 @@ mod tests {
 
     #[test]
     fn uncovered_time_becomes_other() {
-        let scopes = vec![
-            scope("run/gnn", 1, 0, 40),
-            scope("run", 0, 0, 100),
-        ];
+        let scopes = vec![scope("run/gnn", 1, 0, 40), scope("run", 0, 0, 100)];
         let b = Breakdown::from_scopes(&scopes, "run");
         assert_eq!(b.module("other").unwrap().time.as_nanos(), 60);
     }

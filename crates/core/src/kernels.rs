@@ -47,10 +47,14 @@ pub fn kernel_summary(timeline: &Timeline) -> Vec<KernelStat> {
             total: DurationNs::from_nanos(total),
             mean: DurationNs::from_nanos(total / count.max(1) as u64),
             mean_occupancy: occ / count.max(1) as f64,
-            share: if grand_total > 0 { total as f64 / grand_total as f64 } else { 0.0 },
+            share: if grand_total > 0 {
+                total as f64 / grand_total as f64
+            } else {
+                0.0
+            },
         })
         .collect();
-    stats.sort_by(|a, b| b.total.cmp(&a.total));
+    stats.sort_by_key(|s| std::cmp::Reverse(s.total));
     stats
 }
 
@@ -58,7 +62,14 @@ pub fn kernel_summary(timeline: &Timeline) -> Vec<KernelStat> {
 pub fn render_kernel_summary(timeline: &Timeline, title: &str, limit: usize) -> String {
     let mut t = TextTable::new(
         title,
-        &["kernel", "calls", "total (ms)", "mean (µs)", "occupancy", "share"],
+        &[
+            "kernel",
+            "calls",
+            "total (ms)",
+            "mean (µs)",
+            "occupancy",
+            "share",
+        ],
     );
     for s in kernel_summary(timeline).into_iter().take(limit) {
         t.row(&[

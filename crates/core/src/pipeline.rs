@@ -66,7 +66,10 @@ pub fn overlapped_makespan(pairs: &[(DurationNs, DurationNs)]) -> DurationNs {
 /// counts; `similarity` in `[0, 1]` is the fraction shared with the
 /// previous snapshot (the first snapshot always ships whole).
 pub fn delta_transfer_bytes(sizes: &[u64], similarity: f64) -> u64 {
-    assert!((0.0..=1.0).contains(&similarity), "similarity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&similarity),
+        "similarity must be in [0, 1]"
+    );
     let mut total = 0u64;
     for (i, &s) in sizes.iter().enumerate() {
         if i == 0 {
@@ -88,8 +91,12 @@ mod tests {
 
     #[test]
     fn balanced_stages_approach_2x_speedup() {
-        let steps: Vec<StagePair> =
-            (0..100).map(|_| StagePair { first: ns(10), second: ns(10) }).collect();
+        let steps: Vec<StagePair> = (0..100)
+            .map(|_| StagePair {
+                first: ns(10),
+                second: ns(10),
+            })
+            .collect();
         let s = pipeline_speedup(&steps);
         assert!(s > 1.9, "speedup {s}");
         assert!(s <= 2.0 + 1e-9);
@@ -98,9 +105,18 @@ mod tests {
     #[test]
     fn pipelining_never_hurts() {
         let steps = vec![
-            StagePair { first: ns(5), second: ns(20) },
-            StagePair { first: ns(30), second: ns(2) },
-            StagePair { first: ns(1), second: ns(1) },
+            StagePair {
+                first: ns(5),
+                second: ns(20),
+            },
+            StagePair {
+                first: ns(30),
+                second: ns(2),
+            },
+            StagePair {
+                first: ns(1),
+                second: ns(1),
+            },
         ];
         assert!(pipelined_makespan(&steps) <= sequential_makespan(&steps));
         assert!(pipeline_speedup(&steps) >= 1.0);
@@ -109,14 +125,21 @@ mod tests {
     #[test]
     fn pipelined_respects_intra_step_dependency() {
         // One step: no overlap possible; makespan equals sequential.
-        let steps = vec![StagePair { first: ns(7), second: ns(9) }];
+        let steps = vec![StagePair {
+            first: ns(7),
+            second: ns(9),
+        }];
         assert_eq!(pipelined_makespan(&steps), ns(16));
     }
 
     #[test]
     fn skewed_stages_bound_by_bottleneck_stage() {
-        let steps: Vec<StagePair> =
-            (0..50).map(|_| StagePair { first: ns(100), second: ns(1) }).collect();
+        let steps: Vec<StagePair> = (0..50)
+            .map(|_| StagePair {
+                first: ns(100),
+                second: ns(1),
+            })
+            .collect();
         // Makespan is dominated by the slow first stage.
         let m = pipelined_makespan(&steps).as_nanos();
         assert!(m >= 50 * 100);
@@ -125,8 +148,7 @@ mod tests {
 
     #[test]
     fn overlap_hides_cheap_host_work() {
-        let pairs: Vec<(DurationNs, DurationNs)> =
-            (0..20).map(|_| (ns(2), ns(10))).collect();
+        let pairs: Vec<(DurationNs, DurationNs)> = (0..20).map(|_| (ns(2), ns(10))).collect();
         let overlapped = overlapped_makespan(&pairs);
         // Only the first host stage is exposed.
         assert_eq!(overlapped.as_nanos(), 2 + 20 * 10);
@@ -134,8 +156,7 @@ mod tests {
 
     #[test]
     fn overlap_degrades_to_host_bound_when_sampling_dominates() {
-        let pairs: Vec<(DurationNs, DurationNs)> =
-            (0..20).map(|_| (ns(50), ns(5))).collect();
+        let pairs: Vec<(DurationNs, DurationNs)> = (0..20).map(|_| (ns(50), ns(5))).collect();
         let overlapped = overlapped_makespan(&pairs).as_nanos();
         assert!(overlapped >= 20 * 50, "host chain lower-bounds makespan");
     }

@@ -60,8 +60,7 @@ impl InferenceProfile {
             .filter(|e| e.place == Place::Cpu && e.category == dgnn_device::EventCategory::Host)
             .map(|e| e.overlap(start, end))
             .sum();
-        let findings =
-            BottleneckClassifier::new().classify(timeline, start, end, ex.now());
+        let findings = BottleneckClassifier::new().classify(timeline, start, end, ex.now());
 
         InferenceProfile {
             mode: ex.mode(),

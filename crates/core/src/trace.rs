@@ -119,7 +119,12 @@ mod tests {
     #[test]
     fn lanes_separate_gpu_pcie_cpu_warmup() {
         let json = chrome_trace(&sample_executor());
-        for lane in ["\"cat\":\"gpu\"", "\"cat\":\"pcie\"", "\"cat\":\"cpu\"", "\"cat\":\"warmup\""] {
+        for lane in [
+            "\"cat\":\"gpu\"",
+            "\"cat\":\"pcie\"",
+            "\"cat\":\"cpu\"",
+            "\"cat\":\"warmup\"",
+        ] {
             assert!(json.contains(lane), "missing lane {lane}");
         }
     }

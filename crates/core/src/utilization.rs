@@ -45,7 +45,7 @@ impl UtilizationReport {
         while t < end {
             let next = (t + window).min(end);
             out.push((t, timeline.gpu_busy_fraction(t, next)));
-            t = t + window;
+            t += window;
         }
         out
     }
@@ -94,10 +94,12 @@ mod tests {
         let small = run_kernels(20, 16);
         let big = run_kernels(20, 2048);
         let t0 = DurationNs::from_secs_f64(6.0); // skip context init
-        let u_small =
-            UtilizationReport::over_window(small.timeline(), t0, small.now()).average;
+        let u_small = UtilizationReport::over_window(small.timeline(), t0, small.now()).average;
         let u_big = UtilizationReport::over_window(big.timeline(), t0, big.now()).average;
-        assert!(u_small < 0.05, "tiny kernels should underutilize, got {u_small}");
+        assert!(
+            u_small < 0.05,
+            "tiny kernels should underutilize, got {u_small}"
+        );
         assert!(u_big > 10.0 * u_small, "big {u_big} vs small {u_small}");
     }
 
@@ -116,10 +118,7 @@ mod tests {
 
     #[test]
     fn render_series_contains_bars() {
-        let series = vec![
-            (DurationNs::ZERO, 0.5),
-            (DurationNs::from_millis(1), 0.0),
-        ];
+        let series = vec![(DurationNs::ZERO, 0.5), (DurationNs::from_millis(1), 0.0)];
         let s = UtilizationReport::render_series(&series, "fig9");
         assert!(s.contains("fig9"));
         assert!(s.contains("#########"));

@@ -72,7 +72,11 @@ impl WarmupReport {
         };
         vec![
             batch_size.to_string(),
-            format!("{:.1} ({:.0}%)", self.alloc.as_millis_f64(), share(self.alloc)),
+            format!(
+                "{:.1} ({:.0}%)",
+                self.alloc.as_millis_f64(),
+                share(self.alloc)
+            ),
             format!(
                 "{:.1} ({:.0}%)",
                 self.computation.as_millis_f64(),

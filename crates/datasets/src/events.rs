@@ -1,8 +1,5 @@
 //! Unipartite event streams: Social Evolution (DyRep) and GitHub (LDG).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dgnn_graph::{EventStream, TemporalEvent};
 use dgnn_tensor::{Initializer, TensorRng};
 
@@ -26,16 +23,16 @@ fn generate(cfg: &UnipartiteConfig, scale: Scale, seed: u64) -> TemporalDataset 
     let n_nodes = scale.apply(cfg.full_nodes, 16).max(4);
     let n_events = scale.apply(cfg.full_events, 256);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
     let pop = PowerLawSampler::new(n_nodes, cfg.alpha);
 
     let mut t = 0.0f64;
     let mut recent: Vec<(usize, usize)> = Vec::new();
     let events: Vec<TemporalEvent> = (0..n_events)
         .map(|i| {
-            t += rng.gen_range(0.01..1.0);
-            let (src, dst) = if !recent.is_empty() && rng.gen_bool(cfg.recurrence) {
-                recent[rng.gen_range(0..recent.len())]
+            t += rng.uniform_f64(0.01, 1.0);
+            let (src, dst) = if !recent.is_empty() && rng.chance(cfg.recurrence) {
+                recent[rng.index(recent.len())]
             } else {
                 let s = pop.sample(&mut rng);
                 let mut d = pop.sample(&mut rng);
@@ -48,7 +45,12 @@ fn generate(cfg: &UnipartiteConfig, scale: Scale, seed: u64) -> TemporalDataset 
             if recent.len() > 64 {
                 recent.remove(0);
             }
-            TemporalEvent { src, dst, time: t, feature_idx: i }
+            TemporalEvent {
+                src,
+                dst,
+                time: t,
+                feature_idx: i,
+            }
         })
         .collect();
     let stream = EventStream::new(n_nodes, events).expect("generated events are sorted");

@@ -4,9 +4,6 @@
 //! occupy `n_users..n_users + n_items`. Item popularity and user activity
 //! are both power-law distributed; inter-event gaps are exponential-ish.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dgnn_graph::{EventStream, TemporalEvent};
 use dgnn_tensor::{Initializer, TensorRng};
 
@@ -33,14 +30,14 @@ fn generate(cfg: &BipartiteConfig, scale: Scale, seed: u64) -> TemporalDataset {
     let n_events = scale.apply(cfg.full_events, 256);
     let n_nodes = n_users + n_items;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
     let items = PowerLawSampler::new(n_items, cfg.item_alpha);
     let users = PowerLawSampler::new(n_users, cfg.user_alpha);
 
     let mut t = 0.0f64;
     let events: Vec<TemporalEvent> = (0..n_events)
         .map(|i| {
-            t += rng.gen_range(0.05..2.0);
+            t += rng.uniform_f64(0.05, 2.0);
             TemporalEvent {
                 src: users.sample(&mut rng),
                 dst: n_users + items.sample(&mut rng),

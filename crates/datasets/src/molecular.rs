@@ -1,10 +1,7 @@
 //! ISO17-style molecular trajectories for MolDGNN.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dgnn_graph::{Graph, Snapshot, SnapshotSequence};
-use dgnn_tensor::Tensor;
+use dgnn_tensor::{Tensor, TensorRng};
 
 use crate::scale::Scale;
 use crate::types::TrajectoryDataset;
@@ -22,20 +19,24 @@ pub fn iso17(scale: Scale, seed: u64) -> TrajectoryDataset {
     let frames = scale.apply(100, 12);
     let n_atoms = ISO17_ATOMS;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
     let mut molecules = Vec::with_capacity(n_molecules);
     let mut positions = Vec::with_capacity(n_molecules * frames * n_atoms * 3);
 
     for _ in 0..n_molecules {
         // Fixed covalent skeleton: a random spanning tree plus a ring bond.
-        let mut skeleton: Vec<(usize, usize)> = (1..n_atoms)
-            .map(|v| (v, rng.gen_range(0..v)))
-            .collect();
+        let mut skeleton: Vec<(usize, usize)> = (1..n_atoms).map(|v| (v, rng.index(v))).collect();
         skeleton.push((0, n_atoms - 1));
 
         // Initial conformation.
         let mut coords: Vec<[f64; 3]> = (0..n_atoms)
-            .map(|_| [rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)])
+            .map(|_| {
+                [
+                    rng.uniform_f64(-3.0, 3.0),
+                    rng.uniform_f64(-3.0, 3.0),
+                    rng.uniform_f64(-3.0, 3.0),
+                ]
+            })
             .collect();
 
         let mut frames_vec = Vec::with_capacity(frames);
@@ -43,7 +44,7 @@ pub fn iso17(scale: Scale, seed: u64) -> TrajectoryDataset {
             // Thermal jitter.
             for c in &mut coords {
                 for x in c.iter_mut() {
-                    *x += rng.gen_range(-0.15..0.15);
+                    *x += rng.uniform_f64(-0.15, 0.15);
                 }
             }
             // Edges: covalent bonds + transient close contacts.
@@ -54,9 +55,7 @@ pub fn iso17(scale: Scale, seed: u64) -> TrajectoryDataset {
             }
             for a in 0..n_atoms {
                 for b in (a + 1)..n_atoms {
-                    let d2: f64 = (0..3)
-                        .map(|k| (coords[a][k] - coords[b][k]).powi(2))
-                        .sum();
+                    let d2: f64 = (0..3).map(|k| (coords[a][k] - coords[b][k]).powi(2)).sum();
                     if d2 < 1.2 {
                         edges.push((a, b));
                         edges.push((b, a));
@@ -64,19 +63,26 @@ pub fn iso17(scale: Scale, seed: u64) -> TrajectoryDataset {
                 }
             }
             let graph = Graph::from_edges(n_atoms, &edges).expect("atom ids in range");
-            frames_vec.push(Snapshot { time: f as f64, graph });
+            frames_vec.push(Snapshot {
+                time: f as f64,
+                graph,
+            });
             for c in &coords {
                 positions.extend(c.iter().map(|&x| x as f32));
             }
         }
-        molecules
-            .push(SnapshotSequence::new(frames_vec).expect("frames are time-ordered"));
+        molecules.push(SnapshotSequence::new(frames_vec).expect("frames are time-ordered"));
     }
 
     let positions = Tensor::from_vec(positions, &[n_molecules * frames, n_atoms, 3])
         .expect("position buffer matches shape");
 
-    TrajectoryDataset { name: "iso17", n_atoms, molecules, positions }
+    TrajectoryDataset {
+        name: "iso17",
+        n_atoms,
+        molecules,
+        positions,
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,7 @@
 //! shapes temporal-adjacency list lengths, hence sampling cost), so the
 //! generators draw item indices from a Zipf distribution.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use dgnn_tensor::TensorRng;
 
 /// Draws indices `0..n` with probability ∝ `1 / (i+1)^alpha` via a
 /// precomputed inverse CDF.
@@ -48,8 +47,8 @@ impl PowerLawSampler {
     }
 
     /// Draws one index.
-    pub fn sample(&self, rng: &mut StdRng) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut TensorRng) -> usize {
+        let u = rng.unit_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -57,12 +56,11 @@ impl PowerLawSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn low_indices_dominate() {
         let s = PowerLawSampler::new(100, 1.2);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = TensorRng::seed(1);
         let mut counts = vec![0usize; 100];
         for _ in 0..20_000 {
             counts[s.sample(&mut rng)] += 1;
@@ -75,7 +73,7 @@ mod tests {
     #[test]
     fn all_indices_in_range() {
         let s = PowerLawSampler::new(7, 0.8);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = TensorRng::seed(2);
         for _ in 0..1_000 {
             assert!(s.sample(&mut rng) < 7);
         }
@@ -84,7 +82,7 @@ mod tests {
     #[test]
     fn alpha_zero_is_uniformish() {
         let s = PowerLawSampler::new(10, 0.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = TensorRng::seed(3);
         let mut counts = vec![0usize; 10];
         for _ in 0..10_000 {
             counts[s.sample(&mut rng)] += 1;

@@ -1,9 +1,6 @@
 //! Discrete-time snapshot datasets: Bitcoin-Alpha and the Stochastic
 //! Block Model (the EvolveGCN evaluation sets).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dgnn_graph::{Graph, Snapshot, SnapshotSequence};
 use dgnn_tensor::{Initializer, TensorRng};
 
@@ -19,7 +16,7 @@ pub fn bitcoin_alpha(scale: Scale, seed: u64) -> SnapshotDataset {
     let n_steps = scale.apply(138, 12);
     let edges_per_step = scale.apply(24_186, 240) / n_steps.max(1);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
     let pop = PowerLawSampler::new(n_nodes, 1.1);
     let mut snapshots = Vec::with_capacity(n_steps);
     for step in 0..n_steps {
@@ -31,17 +28,19 @@ pub fn bitcoin_alpha(scale: Scale, seed: u64) -> SnapshotDataset {
                     d = (d + 1) % n_nodes;
                 }
                 // Ratings skew positive, as in the real network.
-                let w = if rng.gen_bool(0.9) {
-                    rng.gen_range(0.1..1.0f32)
+                let w = if rng.chance(0.9) {
+                    rng.uniform(0.1, 1.0)
                 } else {
-                    rng.gen_range(-1.0..-0.1f32)
+                    rng.uniform(-1.0, -0.1)
                 };
                 (s, d, w)
             })
             .collect();
-        let graph =
-            Graph::from_weighted_edges(n_nodes, &edges).expect("indices are in range");
-        snapshots.push(Snapshot { time: step as f64, graph });
+        let graph = Graph::from_weighted_edges(n_nodes, &edges).expect("indices are in range");
+        snapshots.push(Snapshot {
+            time: step as f64,
+            graph,
+        });
     }
 
     let mut trng = TensorRng::seed(seed ^ 0xb5297a4d);
@@ -63,29 +62,36 @@ pub fn sbm(scale: Scale, seed: u64) -> SnapshotDataset {
     // Keep expected edge counts manageable at Full scale.
     let sample_pairs = scale.apply(400_000, 4_000);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
     let mut membership: Vec<usize> = (0..n_nodes).map(|i| i % n_blocks).collect();
     let mut snapshots = Vec::with_capacity(n_steps);
     for step in 0..n_steps {
         // Community drift: a few nodes switch blocks each step.
         for _ in 0..n_nodes / 50 {
-            let v = rng.gen_range(0..n_nodes);
-            membership[v] = rng.gen_range(0..n_blocks);
+            let v = rng.index(n_nodes);
+            membership[v] = rng.index(n_blocks);
         }
         let mut edges = Vec::new();
         for _ in 0..sample_pairs {
-            let a = rng.gen_range(0..n_nodes);
-            let b = rng.gen_range(0..n_nodes);
+            let a = rng.index(n_nodes);
+            let b = rng.index(n_nodes);
             if a == b {
                 continue;
             }
-            let p = if membership[a] == membership[b] { p_in } else { p_out };
-            if rng.gen_bool(p) {
+            let p = if membership[a] == membership[b] {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.chance(p) {
                 edges.push((a, b));
             }
         }
         let graph = Graph::from_edges(n_nodes, &edges).expect("indices are in range");
-        snapshots.push(Snapshot { time: step as f64, graph });
+        snapshots.push(Snapshot {
+            time: step as f64,
+            graph,
+        });
     }
 
     let mut trng = TensorRng::seed(seed ^ 0x68e31da4);

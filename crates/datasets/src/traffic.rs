@@ -1,10 +1,7 @@
 //! PeMS-style traffic sensor dataset for ASTGNN.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use dgnn_graph::Graph;
-use dgnn_tensor::Tensor;
+use dgnn_tensor::{Tensor, TensorRng};
 
 use crate::scale::Scale;
 use crate::types::TimeSeriesDataset;
@@ -18,17 +15,19 @@ pub fn pems(scale: Scale, seed: u64) -> TimeSeriesDataset {
     let n_steps = scale.apply(16_992, 128);
     let n_channels = 3usize;
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TensorRng::seed(seed);
 
     // Sensors along a corridor: connect each to 2-4 nearest neighbors.
     let positions: Vec<f64> = {
-        let mut p: Vec<f64> = (0..n_sensors).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut p: Vec<f64> = (0..n_sensors)
+            .map(|_| rng.uniform_f64(0.0, 100.0))
+            .collect();
         p.sort_by(f64::total_cmp);
         p
     };
     let mut edges = Vec::new();
     for i in 0..n_sensors {
-        let reach = rng.gen_range(1..=3usize);
+        let reach = 1 + rng.index(3);
         for j in 1..=reach {
             if i + j < n_sensors && positions[i + j] - positions[i] < 5.0 {
                 edges.push((i, i + j));
@@ -46,14 +45,14 @@ pub fn pems(scale: Scale, seed: u64) -> TimeSeriesDataset {
     // Daily-periodic signal: 288 five-minute slots per day.
     let day = 288.0f64;
     let mut data = Vec::with_capacity(n_steps * n_sensors * n_channels);
-    let base: Vec<f64> = (0..n_sensors).map(|_| rng.gen_range(0.3..1.0)).collect();
+    let base: Vec<f64> = (0..n_sensors).map(|_| rng.uniform_f64(0.3, 1.0)).collect();
     for t in 0..n_steps {
         let phase = 2.0 * std::f64::consts::PI * (t as f64 % day) / day;
         let rush = (phase - 1.0).sin().max(0.0) + 0.6 * (phase - 4.0).sin().max(0.0);
-        for s in 0..n_sensors {
-            let flow = base[s] * (0.3 + rush) + rng.gen_range(-0.05..0.05);
-            let occupancy = (flow * 0.6 + rng.gen_range(-0.02..0.02)).clamp(0.0, 1.0);
-            let speed = (1.2 - occupancy + rng.gen_range(-0.05..0.05)).clamp(0.1, 1.5);
+        for b in &base {
+            let flow = b * (0.3 + rush) + rng.uniform_f64(-0.05, 0.05);
+            let occupancy = (flow * 0.6 + rng.uniform_f64(-0.02, 0.02)).clamp(0.0, 1.0);
+            let speed = (1.2 - occupancy + rng.uniform_f64(-0.05, 0.05)).clamp(0.1, 1.5);
             data.push(flow as f32);
             data.push(occupancy as f32);
             data.push(speed as f32);
@@ -62,7 +61,11 @@ pub fn pems(scale: Scale, seed: u64) -> TimeSeriesDataset {
     let signal = Tensor::from_vec(data, &[n_steps, n_sensors, n_channels])
         .expect("signal length matches shape");
 
-    TimeSeriesDataset { name: "pems", sensor_graph, signal }
+    TimeSeriesDataset {
+        name: "pems",
+        sensor_graph,
+        signal,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +97,11 @@ mod tests {
     fn signal_values_are_bounded_and_finite() {
         let d = pems(Scale::Tiny, 3);
         assert!(d.signal.all_finite());
-        assert!(d.signal.as_slice().iter().all(|&v| (-1.0..=3.0).contains(&v)));
+        assert!(d
+            .signal
+            .as_slice()
+            .iter()
+            .all(|&v| (-1.0..=3.0).contains(&v)));
     }
 
     #[test]

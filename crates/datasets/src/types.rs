@@ -115,7 +115,12 @@ mod tests {
     fn temporal_dataset_dims() {
         let stream = EventStream::new(
             3,
-            vec![TemporalEvent { src: 0, dst: 1, time: 0.5, feature_idx: 0 }],
+            vec![TemporalEvent {
+                src: 0,
+                dst: 1,
+                time: 0.5,
+                feature_idx: 0,
+            }],
         )
         .unwrap();
         let d = TemporalDataset {
@@ -133,7 +138,11 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
         let d = SnapshotDataset {
             name: "s",
-            snapshots: SnapshotSequence::new(vec![Snapshot { time: 0.0, graph: g }]).unwrap(),
+            snapshots: SnapshotSequence::new(vec![Snapshot {
+                time: 0.0,
+                graph: g,
+            }])
+            .unwrap(),
             node_features: Tensor::zeros(&[2, 5]),
         };
         assert_eq!(d.n_nodes(), 2);

@@ -1,0 +1,691 @@
+//! The unified device-dispatch layer: one call executes the functional
+//! math, charges the kernel, and keeps tensor residence honest.
+//!
+//! Before this layer existed, every model hand-paired a `KernelDesc`
+//! launch with the matching `dgnn-tensor` call and hand-inserted
+//! `transfer()` calls where data crossed PCIe — three things that could
+//! silently drift apart. [`Dispatcher`] fuses them:
+//!
+//! * each typed op (e.g. [`Dispatcher::matmul`]) derives its
+//!   [`OpDescriptor`] from the *actual operand shapes*, so priced work
+//!   equals computed work by construction;
+//! * operands carry a residence tag ([`DeviceTensor`]); any op whose
+//!   input is not resident on the compute device charges the H2D/D2H
+//!   copy automatically, so transfers are derived from residence
+//!   crossings rather than sprinkled through model code;
+//! * in CPU-only mode the compute device *is* the host, so no crossing
+//!   ever occurs and no transfer is ever charged — the paper's
+//!   "CPU inference has no memcpy" property falls out for free.
+//!
+//! Representative-batch economics are handled by a per-tensor `scale`:
+//! models that materialize only a capped number of representative rows
+//! tag the tensor with the logical/physical row ratio, and every
+//! descriptor (and residence copy) is scaled by it. Because all batch
+//! dimensions in the model zoo are linear in the row count, the scaled
+//! price equals the full-batch price exactly.
+
+use std::cell::Cell;
+
+use dgnn_tensor::cost::OpDescriptor;
+use dgnn_tensor::ops::{activation, elementwise, manip, matmul, reduce};
+use dgnn_tensor::{cost, Result, Tensor};
+
+use crate::event::{Place, TransferDir};
+use crate::executor::{ExecMode, Executor};
+use crate::kernel::{HostWork, KernelDesc};
+use crate::time::DurationNs;
+
+/// A tensor tagged with its simulated residence and a logical-batch
+/// scale factor.
+///
+/// `scale` is the ratio of logical rows to physically materialized rows
+/// (1.0 for fully materialized tensors); all kernel pricing and
+/// transfer byte counts derived from this tensor are multiplied by it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTensor {
+    data: Tensor,
+    place: Cell<Place>,
+    scale: f64,
+}
+
+impl DeviceTensor {
+    /// Wraps host-resident data (fully materialized, scale 1).
+    pub fn host(data: Tensor) -> Self {
+        DeviceTensor {
+            data,
+            place: Cell::new(Place::Cpu),
+            scale: 1.0,
+        }
+    }
+
+    /// Wraps host-resident data standing in for `scale`× its physical
+    /// row count (representative-batch pricing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not finite and positive.
+    pub fn host_scaled(data: Tensor, scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
+        DeviceTensor {
+            data,
+            place: Cell::new(Place::Cpu),
+            scale,
+        }
+    }
+
+    /// The functional values.
+    pub fn data(&self) -> &Tensor {
+        &self.data
+    }
+
+    /// Current simulated residence.
+    pub fn place(&self) -> Place {
+        self.place.get()
+    }
+
+    /// Logical/physical batch ratio.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Unwraps the functional values.
+    pub fn into_inner(self) -> Tensor {
+        self.data
+    }
+
+    /// Bytes this tensor logically occupies (physical bytes × scale).
+    pub fn logical_bytes(&self) -> u64 {
+        (cost::f32_bytes(self.data.len()) as f64 * self.scale).round() as u64
+    }
+}
+
+/// An input a dispatched op can consume: either a residence-tracked
+/// [`DeviceTensor`] (activations) or a plain [`Tensor`] (weights, which
+/// live on the compute device from `model_init` onward and never move).
+pub trait Operand {
+    /// The functional values.
+    fn tensor(&self) -> &Tensor;
+
+    /// Logical/physical batch ratio (1 for weights).
+    fn scale(&self) -> f64 {
+        1.0
+    }
+
+    /// Re-tags the operand as resident at `target`, returning the bytes
+    /// that must cross PCIe, or `None` when already there (or when the
+    /// operand's residence is not tracked).
+    fn relocate(&self, target: Place) -> Option<u64>;
+}
+
+impl Operand for Tensor {
+    fn tensor(&self) -> &Tensor {
+        self
+    }
+
+    fn relocate(&self, _target: Place) -> Option<u64> {
+        None
+    }
+}
+
+impl Operand for DeviceTensor {
+    fn tensor(&self) -> &Tensor {
+        &self.data
+    }
+
+    fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    fn relocate(&self, target: Place) -> Option<u64> {
+        if self.place.get() == target {
+            None
+        } else {
+            self.place.set(target);
+            Some(self.logical_bytes())
+        }
+    }
+}
+
+/// Executes tensor math while charging the owning [`Executor`] for every
+/// kernel and residence crossing. Create one per inference pass (or per
+/// scope) with [`Dispatcher::new`].
+#[derive(Debug)]
+pub struct Dispatcher<'a> {
+    ex: &'a mut Executor,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Wraps an executor.
+    pub fn new(ex: &'a mut Executor) -> Self {
+        Dispatcher { ex }
+    }
+
+    /// The underlying executor (for warm-up, memory and timeline access).
+    pub fn executor(&mut self) -> &mut Executor {
+        self.ex
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> DurationNs {
+        self.ex.now()
+    }
+
+    /// Where kernels execute in the current mode.
+    pub fn compute_place(&self) -> Place {
+        match self.ex.mode() {
+            ExecMode::Gpu => Place::Gpu,
+            ExecMode::CpuOnly => Place::Cpu,
+        }
+    }
+
+    /// Moves an operand to the compute device, charging the PCIe copy if
+    /// its residence actually crosses. No-op for weights and for
+    /// already-resident tensors; never charges in CPU-only mode.
+    pub fn ensure_resident(&mut self, op: &impl Operand) {
+        let target = self.compute_place();
+        if let Some(bytes) = op.relocate(target) {
+            let dir = if target == Place::Gpu {
+                TransferDir::H2D
+            } else {
+                TransferDir::D2H
+            };
+            self.ex.transfer(dir, bytes);
+        }
+    }
+
+    /// Copies a tensor's logical bytes back to the host (the result
+    /// read-back every inference pass ends with). No-op when already
+    /// host-resident.
+    pub fn download(&mut self, t: &DeviceTensor) {
+        if let Some(bytes) = t.relocate(Place::Cpu) {
+            self.ex.transfer(TransferDir::D2H, bytes);
+        }
+    }
+
+    /// Tags freshly computed data as resident on the compute device.
+    pub fn adopt(&self, data: Tensor, scale: f64) -> DeviceTensor {
+        DeviceTensor {
+            data,
+            place: Cell::new(self.compute_place()),
+            scale,
+        }
+    }
+
+    /// Charges `desc × scale` as one kernel launch without running any
+    /// functional math — the low-level primitive for call sites whose
+    /// computation spans several kernels (e.g. the per-head attention
+    /// loop, which charges scores/softmax/context separately but computes
+    /// them in one pass). Prefer the typed ops or [`Dispatcher::fused`].
+    pub fn charge(&mut self, desc: OpDescriptor, scale: f64) -> DurationNs {
+        self.ex.launch(KernelDesc::from_op(&desc.scaled(scale)))
+    }
+
+    /// Runs `f` inside a named profiler scope on the owning executor.
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let token = self.ex.enter_scope(name);
+        let result = f(self);
+        self.ex.exit_scope(token);
+        result
+    }
+
+    /// Executes host-side preprocessing work (always on the CPU).
+    pub fn host(&mut self, work: HostWork) -> DurationNs {
+        self.ex.host(work)
+    }
+
+    /// Launches a synchronization marker.
+    pub fn synchronize(&mut self) -> DurationNs {
+        self.ex.synchronize()
+    }
+
+    /// Escape hatch for fused kernels (gate updates, time encodings,
+    /// per-head attention cores): stages nothing, charges `desc × scale`
+    /// as one launch, and returns the closure's functional result.
+    /// Callers stage inputs with [`Dispatcher::ensure_resident`] first.
+    pub fn fused<R>(
+        &mut self,
+        desc: OpDescriptor,
+        scale: f64,
+        f: impl FnOnce() -> Result<R>,
+    ) -> Result<R> {
+        let result = f()?;
+        self.charge(desc, scale);
+        Ok(result)
+    }
+
+    /// Dense `a[m, k] × b[k, n]`, priced as a GEMM over those shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional matmul.
+    pub fn matmul(
+        &mut self,
+        label: &'static str,
+        a: &DeviceTensor,
+        b: &impl Operand,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(a);
+        self.ensure_resident(b);
+        let out = a.data.matmul(b.tensor())?;
+        let (m, k) = (a.data.dims()[0], a.data.dims()[1]);
+        let n = b.tensor().dims()[1];
+        self.charge(matmul::matmul_desc(m, k, n).labeled(label), a.scale);
+        Ok(self.adopt(out, a.scale))
+    }
+
+    /// `a[m, k] × wᵀ` for a weight `w[n, k]` — the linear-layer shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional transpose/matmul.
+    pub fn matmul_nt(
+        &mut self,
+        label: &'static str,
+        a: &DeviceTensor,
+        w: &impl Operand,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(a);
+        self.ensure_resident(w);
+        let out = a.data.matmul(&w.tensor().transpose()?)?;
+        let (m, k) = (a.data.dims()[0], a.data.dims()[1]);
+        let n = w.tensor().dims()[0];
+        self.charge(matmul::matmul_desc(m, k, n).labeled(label), a.scale);
+        Ok(self.adopt(out, a.scale))
+    }
+
+    /// Row-broadcast bias add over `x[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional broadcast.
+    pub fn add_bias(
+        &mut self,
+        label: &'static str,
+        x: &DeviceTensor,
+        bias: &impl Operand,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(x);
+        self.ensure_resident(bias);
+        let out = x.data.add_row_broadcast(bias.tensor())?;
+        let (m, n) = (x.data.dims()[0], x.data.dims()[1]);
+        self.charge(
+            elementwise::add_row_broadcast_desc(m, n).labeled(label),
+            x.scale,
+        );
+        Ok(self.adopt(out, x.scale))
+    }
+
+    /// Element-wise binary op priced as one pass over both inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional op.
+    pub fn binary(
+        &mut self,
+        label: &'static str,
+        a: &DeviceTensor,
+        b: &impl Operand,
+        f: impl Fn(&Tensor, &Tensor) -> Result<Tensor>,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(a);
+        self.ensure_resident(b);
+        let out = f(&a.data, b.tensor())?;
+        self.charge(
+            elementwise::binary_desc(a.data.len()).labeled(label),
+            a.scale,
+        );
+        Ok(self.adopt(out, a.scale))
+    }
+
+    /// ReLU over every element.
+    pub fn relu(&mut self, label: &'static str, x: &DeviceTensor) -> DeviceTensor {
+        self.ensure_resident(x);
+        let out = x.data.relu();
+        self.charge(activation::relu_desc(x.data.len()).labeled(label), x.scale);
+        self.adopt(out, x.scale)
+    }
+
+    /// A transcendental activation (sigmoid/tanh/softplus) over every
+    /// element.
+    pub fn activation(
+        &mut self,
+        label: &'static str,
+        x: &DeviceTensor,
+        f: impl Fn(&Tensor) -> Tensor,
+    ) -> DeviceTensor {
+        self.ensure_resident(x);
+        let out = f(&x.data);
+        self.charge(
+            activation::transcendental_desc(x.data.len()).labeled(label),
+            x.scale,
+        );
+        self.adopt(out, x.scale)
+    }
+
+    /// Row-wise softmax over `x[m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional softmax.
+    pub fn softmax_rows(&mut self, label: &'static str, x: &DeviceTensor) -> Result<DeviceTensor> {
+        self.ensure_resident(x);
+        let out = x.data.softmax_rows()?;
+        let (m, n) = (x.data.dims()[0], x.data.dims()[1]);
+        self.charge(reduce::softmax_rows_desc(m, n).labeled(label), x.scale);
+        Ok(self.adopt(out, x.scale))
+    }
+
+    /// Row reduction (sum or mean) over `x[m, n] → [n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the functional reduction.
+    pub fn reduce_rows(
+        &mut self,
+        label: &'static str,
+        x: &DeviceTensor,
+        f: impl Fn(&Tensor) -> Result<Tensor>,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(x);
+        let out = f(&x.data)?;
+        let (m, n) = (x.data.dims()[0], x.data.dims()[1]);
+        self.charge(reduce::reduce_desc(m, n).labeled(label), x.scale);
+        Ok(self.adopt(out, x.scale))
+    }
+
+    /// Gathers `indices` rows from a table (embedding lookup / neighbor
+    /// feature fetch). `scale` multiplies the priced row count for
+    /// representative batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns index errors from the functional gather.
+    pub fn gather_rows(
+        &mut self,
+        label: &'static str,
+        table: &impl Operand,
+        indices: &[usize],
+        scale: f64,
+    ) -> Result<DeviceTensor> {
+        self.ensure_resident(table);
+        let out = table.tensor().gather_rows(indices)?;
+        let width = table.tensor().dims()[1];
+        self.charge(
+            manip::gather_rows_desc(indices.len(), width).labeled(label),
+            scale,
+        );
+        Ok(self.adopt(out, scale))
+    }
+
+    /// Scatters `rows` back into a copy of `base` at `indices`
+    /// (embedding/memory update). Returns the new table values, which the
+    /// caller stores back into its weight slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/index errors from the functional scatter.
+    pub fn scatter_rows(
+        &mut self,
+        label: &'static str,
+        base: &impl Operand,
+        indices: &[usize],
+        rows: &DeviceTensor,
+    ) -> Result<Tensor> {
+        self.ensure_resident(rows);
+        let out = base.tensor().scatter_rows(indices, rows.tensor())?;
+        let width = base.tensor().dims()[1];
+        self.charge(
+            manip::scatter_rows_desc(indices.len(), width).labeled(label),
+            rows.scale,
+        );
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventCategory;
+    use crate::kernel::KernelKind;
+    use crate::spec::PlatformSpec;
+
+    fn gpu() -> Executor {
+        Executor::new(PlatformSpec::default(), ExecMode::Gpu)
+    }
+
+    fn cpu() -> Executor {
+        Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    #[test]
+    fn matmul_computes_and_charges_one_gemm() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let a = DeviceTensor::host(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = Tensor::eye(2);
+        let y = dx.matmul("mm", &a, &b).unwrap();
+        assert_eq!(y.data(), a.data());
+        let events = ex.timeline().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].label, "mm");
+        assert_eq!(events[0].category, EventCategory::Kernel(KernelKind::Gemm));
+        assert_eq!(events[0].flops, cost::matmul_flops(2, 2, 2));
+    }
+
+    #[test]
+    fn dispatcher_price_matches_manual_launch() {
+        // The same schedule dispatched vs hand-launched lands on the same
+        // clock: the dispatcher cannot drift from the legacy pricing.
+        let mut manual = gpu();
+        manual.launch(KernelDesc::gemm("mm", 8, 16, 4));
+        manual.launch(KernelDesc::elementwise("bias", 8 * 4, 1, 2));
+
+        let mut ex = gpu();
+        {
+            let mut dx = Dispatcher::new(&mut ex);
+            let x = dx.adopt(Tensor::ones(&[8, 16]), 1.0);
+            let w = Tensor::ones(&[4, 16]);
+            let bias = Tensor::zeros(&[4]);
+            let y = dx.matmul_nt("mm", &x, &w).unwrap();
+            dx.add_bias("bias", &y, &bias).unwrap();
+        }
+        assert_eq!(ex.now(), manual.now());
+    }
+
+    #[test]
+    fn host_tensor_pays_h2d_once_then_stays_resident() {
+        let mut ex = gpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = DeviceTensor::host(Tensor::ones(&[4, 4]));
+        let w = Tensor::eye(4);
+        dx.matmul("mm1", &x, &w).unwrap();
+        dx.matmul("mm2", &x, &w).unwrap();
+        assert_eq!(x.place(), Place::Gpu);
+        let transfers: Vec<_> = ex
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.category, EventCategory::Transfer(_)))
+            .collect();
+        assert_eq!(transfers.len(), 1, "one crossing, one copy");
+        assert_eq!(transfers[0].label, "memcpy_h2d");
+        assert_eq!(transfers[0].bytes, 4 * 4 * 4);
+    }
+
+    #[test]
+    fn cpu_only_mode_never_transfers() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = DeviceTensor::host(Tensor::ones(&[8, 8]));
+        let y = dx.matmul("mm", &x, &Tensor::eye(8)).unwrap();
+        dx.download(&y);
+        assert_eq!(ex.timeline().busy_time(Place::Pcie), DurationNs::ZERO);
+        assert!(ex
+            .timeline()
+            .events()
+            .iter()
+            .all(|e| !matches!(e.category, EventCategory::Transfer(_))));
+    }
+
+    #[test]
+    fn download_charges_d2h_and_flips_residence() {
+        let mut ex = gpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = DeviceTensor::host(Tensor::ones(&[2, 2]));
+        let y = dx.relu("r", &x);
+        assert_eq!(y.place(), Place::Gpu);
+        dx.download(&y);
+        assert_eq!(y.place(), Place::Cpu);
+        {
+            let last = dx.executor().timeline().events().last().unwrap();
+            assert_eq!(last.label, "memcpy_d2h");
+            assert_eq!(last.bytes, y.logical_bytes());
+        }
+        // Downloading again is free: residence already matches.
+        let before = dx.executor().timeline().len();
+        dx.download(&y);
+        assert_eq!(ex.timeline().len(), before);
+    }
+
+    #[test]
+    fn scale_multiplies_priced_work_and_transfer_bytes() {
+        let mut ex = gpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let rep = DeviceTensor::host_scaled(Tensor::ones(&[4, 8]), 16.0);
+        dx.matmul("mm", &rep, &Tensor::eye(8)).unwrap();
+        let h2d = ex
+            .timeline()
+            .events()
+            .iter()
+            .find(|e| e.label == "memcpy_h2d")
+            .unwrap();
+        assert_eq!(h2d.bytes, 16 * 4 * 8 * 4, "16× the physical bytes");
+        let mm = ex
+            .timeline()
+            .events()
+            .iter()
+            .find(|e| e.label == "mm")
+            .unwrap();
+        assert_eq!(mm.flops, 16 * cost::matmul_flops(4, 8, 8));
+    }
+
+    #[test]
+    fn scaled_rep_batch_prices_like_full_batch() {
+        // A 128-row batch computed on 8 representative rows at scale 16
+        // costs exactly what the materialized 128-row batch costs.
+        let mut full = gpu();
+        {
+            let mut dx = Dispatcher::new(&mut full);
+            let x = dx.adopt(Tensor::ones(&[128, 8]), 1.0);
+            dx.matmul_nt("mm", &x, &Tensor::ones(&[8, 8])).unwrap();
+        }
+        let mut rep = gpu();
+        {
+            let mut dx = Dispatcher::new(&mut rep);
+            let x = dx.adopt(Tensor::ones(&[8, 8]), 16.0);
+            dx.matmul_nt("mm", &x, &Tensor::ones(&[8, 8])).unwrap();
+        }
+        assert_eq!(full.now(), rep.now());
+    }
+
+    #[test]
+    fn weights_never_transfer() {
+        let mut ex = gpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::ones(&[4, 4]), 1.0);
+        let w = Tensor::eye(4);
+        dx.matmul("mm", &x, &w).unwrap();
+        assert!(ex
+            .timeline()
+            .events()
+            .iter()
+            .all(|e| !matches!(e.category, EventCategory::Transfer(_))));
+    }
+
+    #[test]
+    fn gather_and_scatter_price_irregular_kernels() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let table = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[4, 3]).unwrap();
+        let rows = dx.gather_rows("lookup", &table, &[1, 3], 1.0).unwrap();
+        assert_eq!(rows.data().dims(), &[2, 3]);
+        let updated = dx.scatter_rows("update", &table, &[0, 2], &rows).unwrap();
+        assert_eq!(updated.row(0).unwrap(), table.row(1).unwrap());
+        let kinds: Vec<_> = ex.timeline().events().iter().map(|e| e.category).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventCategory::Kernel(KernelKind::Gather),
+                EventCategory::Kernel(KernelKind::Gather),
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_charges_exactly_the_given_descriptor() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let out: Tensor = dx
+            .fused(
+                OpDescriptor::elementwise("gru_update", 64, 6, 3),
+                1.0,
+                || Ok(Tensor::zeros(&[64])),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 64);
+        let e = ex.timeline().events().last().unwrap();
+        assert_eq!(e.label, "gru_update");
+        assert_eq!(e.flops, cost::elementwise_flops(64, 6));
+    }
+
+    #[test]
+    fn scopes_wrap_dispatched_events() {
+        let mut ex = gpu();
+        {
+            let mut dx = Dispatcher::new(&mut ex);
+            let x = dx.adopt(Tensor::ones(&[4, 4]), 1.0);
+            dx.scope("gnn", |dx| {
+                dx.scope("layer0", |dx| dx.matmul("mm", &x, &Tensor::eye(4)))
+            })
+            .unwrap();
+        }
+        let e = ex.timeline().events().last().unwrap();
+        assert_eq!(e.scope, "gnn/layer0");
+        let paths: Vec<&str> = ex.scopes().iter().map(|s| s.path.as_str()).collect();
+        assert!(paths.contains(&"gnn") && paths.contains(&"gnn/layer0"));
+    }
+
+    #[test]
+    fn softmax_and_reduce_price_reduce_kernels() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::ones(&[3, 5]), 1.0);
+        let p = dx.softmax_rows("sm", &x).unwrap();
+        assert!((p.data().at(&[0, 0]).unwrap() - 0.2).abs() < 1e-6);
+        dx.reduce_rows("agg", &x, Tensor::mean_rows).unwrap();
+        assert!(ex
+            .timeline()
+            .events()
+            .iter()
+            .all(|e| e.category == EventCategory::Kernel(KernelKind::Reduce)));
+    }
+
+    #[test]
+    fn activation_and_binary_price_elementwise() {
+        let mut ex = cpu();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap(), 1.0);
+        let s = dx.activation("sig", &x, Tensor::sigmoid);
+        assert!(s.data().as_slice()[0] < 0.5 && s.data().as_slice()[1] > 0.5);
+        let sum = dx.binary("add", &x, s.data(), Tensor::add).unwrap();
+        assert_eq!(sum.data().len(), 2);
+        assert!(ex
+            .timeline()
+            .events()
+            .iter()
+            .all(|e| e.category == EventCategory::Kernel(KernelKind::Elementwise)));
+    }
+}

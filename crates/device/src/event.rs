@@ -129,11 +129,13 @@ mod tests {
         let e = ev(10, 30);
         assert_eq!(e.duration().as_nanos(), 20);
         assert_eq!(
-            e.overlap(DurationNs::from_nanos(20), DurationNs::from_nanos(100)).as_nanos(),
+            e.overlap(DurationNs::from_nanos(20), DurationNs::from_nanos(100))
+                .as_nanos(),
             10
         );
         assert_eq!(
-            e.overlap(DurationNs::from_nanos(40), DurationNs::from_nanos(50)).as_nanos(),
+            e.overlap(DurationNs::from_nanos(40), DurationNs::from_nanos(50))
+                .as_nanos(),
             0
         );
     }

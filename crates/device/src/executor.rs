@@ -39,6 +39,15 @@ pub struct ScopeRecord {
     pub end: DurationNs,
 }
 
+/// Open-scope handle returned by [`Executor::enter_scope`]; must be passed
+/// back to [`Executor::exit_scope`] to close the span.
+#[derive(Debug)]
+pub(crate) struct ScopeToken {
+    path: String,
+    depth: usize,
+    start: DurationNs,
+}
+
 impl ScopeRecord {
     /// Scope duration.
     pub fn duration(&self) -> DurationNs {
@@ -131,16 +140,35 @@ impl Executor {
         self.scope_stack.join("/")
     }
 
-    /// Runs `f` inside a named profiler scope; nesting builds slash paths.
-    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+    /// Opens a named profiler scope and returns a token for
+    /// [`Executor::exit_scope`]. Used by wrappers (the dispatcher) that
+    /// cannot express the scope as a closure over `&mut Executor`.
+    pub(crate) fn enter_scope(&mut self, name: &str) -> ScopeToken {
         self.scope_stack.push(name.to_string());
-        let depth = self.scope_stack.len() - 1;
-        let path = self.current_path();
-        let start = self.clock;
-        let result = f(self);
+        ScopeToken {
+            path: self.current_path(),
+            depth: self.scope_stack.len() - 1,
+            start: self.clock,
+        }
+    }
+
+    /// Closes the scope opened with the given token, recording its span.
+    pub(crate) fn exit_scope(&mut self, token: ScopeToken) {
         let end = self.clock;
         self.scope_stack.pop();
-        self.scopes.push(ScopeRecord { path, depth, start, end });
+        self.scopes.push(ScopeRecord {
+            path: token.path,
+            depth: token.depth,
+            start: token.start,
+            end,
+        });
+    }
+
+    /// Runs `f` inside a named profiler scope; nesting builds slash paths.
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let token = self.enter_scope(name);
+        let result = f(self);
+        self.exit_scope(token);
         result
     }
 
@@ -152,6 +180,7 @@ impl Executor {
         (result, self.clock - start)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn push_event(
         &mut self,
         label: &'static str,
@@ -188,7 +217,15 @@ impl Executor {
         }
         self.context_ready = true;
         let d = WarmupModel::context(&self.spec.gpu);
-        self.push_event("cuda_context_init", EventCategory::WarmupContext, Place::Gpu, d, 0.0, 0, 0);
+        self.push_event(
+            "cuda_context_init",
+            EventCategory::WarmupContext,
+            Place::Gpu,
+            d,
+            0.0,
+            0,
+            0,
+        );
         d
     }
 
@@ -270,21 +307,35 @@ impl Executor {
         let occupancy = (desc.parallelism as f64 / g.saturation_width as f64)
             .clamp(1.0 / g.sm_count as f64, 1.0);
         let compute_s = desc.flops as f64 / (g.peak_flops * g.kernel_efficiency * occupancy);
-        let bw = if desc.kind.is_irregular() { g.mem_bw * g.irregular_efficiency } else { g.mem_bw };
+        let bw = if desc.kind.is_irregular() {
+            g.mem_bw * g.irregular_efficiency
+        } else {
+            g.mem_bw
+        };
         let memory_s = desc.bytes as f64 / bw;
         let busy = DurationNs::from_secs_f64(compute_s.max(memory_s));
-        (DurationNs::from_nanos(g.launch_overhead_ns) + busy, occupancy)
+        (
+            DurationNs::from_nanos(g.launch_overhead_ns) + busy,
+            occupancy,
+        )
     }
 
     fn cpu_kernel_duration(&self, desc: &KernelDesc) -> (DurationNs, f64) {
         let c = &self.spec.cpu;
-        let occupancy = (desc.parallelism as f64 / c.saturation_width as f64)
-            .clamp(1.0 / c.cores as f64, 1.0);
+        let occupancy =
+            (desc.parallelism as f64 / c.saturation_width as f64).clamp(1.0 / c.cores as f64, 1.0);
         let compute_s = desc.flops as f64 / (c.peak_flops * c.kernel_efficiency * occupancy);
-        let bw = if desc.kind.is_irregular() { c.mem_bw * c.irregular_efficiency } else { c.mem_bw };
+        let bw = if desc.kind.is_irregular() {
+            c.mem_bw * c.irregular_efficiency
+        } else {
+            c.mem_bw
+        };
         let memory_s = desc.bytes as f64 / bw;
         let busy = DurationNs::from_secs_f64(compute_s.max(memory_s));
-        (DurationNs::from_nanos(c.dispatch_overhead_ns) + busy, occupancy)
+        (
+            DurationNs::from_nanos(c.dispatch_overhead_ns) + busy,
+            occupancy,
+        )
     }
 
     /// Launches one kernel on the compute device of the current mode,
@@ -353,7 +404,15 @@ impl Executor {
         let p = &self.spec.pcie;
         let d = DurationNs::from_nanos(p.latency_ns)
             + DurationNs::from_secs_f64(bytes as f64 / p.bandwidth);
-        self.push_event(dir.name(), EventCategory::Transfer(dir), Place::Pcie, d, 1.0, 0, bytes);
+        self.push_event(
+            dir.name(),
+            EventCategory::Transfer(dir),
+            Place::Pcie,
+            d,
+            1.0,
+            0,
+            bytes,
+        );
         d
     }
 
@@ -407,7 +466,10 @@ mod tests {
         let warmup = ex
             .timeline()
             .category_time(|c| c == EventCategory::WarmupContext);
-        assert_eq!(warmup.as_nanos(), PlatformSpec::default().gpu.context_init_ns);
+        assert_eq!(
+            warmup.as_nanos(),
+            PlatformSpec::default().gpu.context_init_ns
+        );
         // Second launch pays nothing extra.
         let before = ex.now();
         ex.launch(KernelDesc::gemm("k", 8, 8, 8));
@@ -478,7 +540,11 @@ mod tests {
         assert!(paths.contains(&"inference/attention"));
         assert!(paths.contains(&"inference"));
         let outer = ex.scopes().iter().find(|s| s.path == "inference").unwrap();
-        let inner = ex.scopes().iter().find(|s| s.path == "inference/sampling").unwrap();
+        let inner = ex
+            .scopes()
+            .iter()
+            .find(|s| s.path == "inference/sampling")
+            .unwrap();
         assert!(outer.start <= inner.start && inner.end <= outer.end);
         assert_eq!(inner.name(), "sampling");
     }
@@ -525,9 +591,10 @@ mod tests {
             ex.launch(KernelDesc::gemm("k", 64, 64, 64));
         });
         assert!(d.as_nanos() > 0);
-        assert_eq!(ex.now().saturating_sub(d), DurationNs::from_nanos(
-            PlatformSpec::default().gpu.context_init_ns,
-        ));
+        assert_eq!(
+            ex.now().saturating_sub(d),
+            DurationNs::from_nanos(PlatformSpec::default().gpu.context_init_ns,)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Kernel and host-work descriptors: the unit of pricing in the simulator.
 
-use dgnn_tensor::cost;
+use dgnn_tensor::cost::{self, OpDescriptor, OpKind};
 
 /// The kernel families the profiled DGNNs exercise.
 ///
@@ -18,6 +18,18 @@ pub enum KernelKind {
     Gather,
     /// Sort or bisection-heavy index manipulation — irregular access.
     Sort,
+}
+
+impl From<OpKind> for KernelKind {
+    fn from(kind: OpKind) -> Self {
+        match kind {
+            OpKind::Gemm => KernelKind::Gemm,
+            OpKind::Elementwise => KernelKind::Elementwise,
+            OpKind::Reduce => KernelKind::Reduce,
+            OpKind::Gather => KernelKind::Gather,
+            OpKind::Sort => KernelKind::Sort,
+        }
+    }
 }
 
 impl KernelKind {
@@ -57,6 +69,19 @@ pub struct KernelDesc {
 }
 
 impl KernelDesc {
+    /// Builds a kernel from a device-neutral [`OpDescriptor`], preserving
+    /// label, family and all work fields. This is the dispatcher's bridge:
+    /// the same descriptor that names the functional op prices the kernel.
+    pub fn from_op(op: &OpDescriptor) -> Self {
+        KernelDesc {
+            label: op.label,
+            kind: op.kind.into(),
+            flops: op.flops,
+            bytes: op.bytes,
+            parallelism: op.parallelism,
+        }
+    }
+
     /// A dense `[m, k] × [k, n]` GEMM.
     pub fn gemm(label: &'static str, m: usize, k: usize, n: usize) -> Self {
         KernelDesc {
@@ -146,13 +171,23 @@ pub struct HostWork {
 impl HostWork {
     /// Sequential host work (e.g. packing a contiguous batch).
     pub fn sequential(label: &'static str, ops: u64, bytes: u64) -> Self {
-        HostWork { label, ops, seq_bytes: bytes, irregular_bytes: 0 }
+        HostWork {
+            label,
+            ops,
+            seq_bytes: bytes,
+            irregular_bytes: 0,
+        }
     }
 
     /// Irregular host work (e.g. temporal neighbor sampling with
     /// bisection over per-node timestamp arrays).
     pub fn irregular(label: &'static str, ops: u64, bytes: u64) -> Self {
-        HostWork { label, ops, seq_bytes: 0, irregular_bytes: bytes }
+        HostWork {
+            label,
+            ops,
+            seq_bytes: 0,
+            irregular_bytes: bytes,
+        }
     }
 }
 
@@ -188,6 +223,25 @@ mod tests {
         let small = KernelDesc::sort("s", 1_000);
         let large = KernelDesc::sort("s", 100_000);
         assert!(large.flops > 100 * small.flops);
+    }
+
+    #[test]
+    fn from_op_preserves_every_field() {
+        let op = OpDescriptor::gemm("proj", 16, 32, 8);
+        let k = KernelDesc::from_op(&op);
+        assert_eq!(k.label, "proj");
+        assert_eq!(k.kind, KernelKind::Gemm);
+        assert_eq!(k.flops, op.flops);
+        assert_eq!(k.bytes, op.bytes);
+        assert_eq!(k.parallelism, op.parallelism);
+        // Every family maps to its namesake.
+        assert_eq!(KernelKind::from(OpKind::Gather), KernelKind::Gather);
+        assert_eq!(KernelKind::from(OpKind::Sort), KernelKind::Sort);
+        assert_eq!(KernelKind::from(OpKind::Reduce), KernelKind::Reduce);
+        assert_eq!(
+            KernelKind::from(OpKind::Elementwise),
+            KernelKind::Elementwise
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! assert!(ex.now().as_nanos() > 0);
 //! ```
 
+pub mod dispatch;
 mod event;
 mod executor;
 mod kernel;
@@ -43,6 +44,7 @@ mod time;
 pub mod timeline;
 mod warmup;
 
+pub use dispatch::{DeviceTensor, Dispatcher, Operand};
 pub use event::{EventCategory, Place, TimelineEvent, TransferDir};
 pub use executor::{ExecMode, Executor, ScopeRecord};
 pub use kernel::{HostWork, KernelDesc, KernelKind};

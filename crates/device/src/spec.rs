@@ -119,7 +119,10 @@ pub struct PcieSpec {
 
 impl Default for PcieSpec {
     fn default() -> Self {
-        PcieSpec { bandwidth: 12e9, latency_ns: 12_000 }
+        PcieSpec {
+            bandwidth: 12e9,
+            latency_ns: 12_000,
+        }
     }
 }
 

@@ -36,7 +36,10 @@ impl DurationNs {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         DurationNs((s * 1e9).round() as u64)
     }
 

@@ -45,7 +45,11 @@ impl Timeline {
 
     /// End time of the last-ending event (simulation makespan).
     pub fn span_end(&self) -> DurationNs {
-        self.events.iter().map(|e| e.end).max().unwrap_or(DurationNs::ZERO)
+        self.events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(DurationNs::ZERO)
     }
 
     /// Total busy time at a place (sum of event durations there).
@@ -129,7 +133,7 @@ impl Timeline {
         while t < end {
             let next = (t + window).min(end);
             out.push((t, self.gpu_utilization(t, next)));
-            t = t + window;
+            t += window;
         }
         out
     }
@@ -160,8 +164,13 @@ impl Timeline {
     }
 
     /// Events whose scope path starts with `prefix`.
-    pub fn events_in_scope<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TimelineEvent> {
-        self.events.iter().filter(move |e| e.scope.starts_with(prefix))
+    pub fn events_in_scope<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = &'a TimelineEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.scope.starts_with(prefix))
     }
 }
 
@@ -222,7 +231,10 @@ mod tests {
     fn utilization_ignores_transfers() {
         let mut tl = Timeline::new();
         tl.push(transfer(0, 100, 1000, TransferDir::H2D));
-        assert_eq!(tl.gpu_utilization(DurationNs::ZERO, DurationNs::from_nanos(100)), 0.0);
+        assert_eq!(
+            tl.gpu_utilization(DurationNs::ZERO, DurationNs::from_nanos(100)),
+            0.0
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ impl WarmupModel {
         weight_bytes: u64,
         n_param_tensors: u64,
     ) -> DurationNs {
-        let upload =
-            pcie.latency_ns as f64 * n_param_tensors as f64 + weight_bytes as f64 / pcie.bandwidth * 1e9;
+        let upload = pcie.latency_ns as f64 * n_param_tensors as f64
+            + weight_bytes as f64 / pcie.bandwidth * 1e9;
         DurationNs::from_nanos(
             gpu.model_init_base_ns
                 + gpu.model_init_per_tensor_ns * n_param_tensors
@@ -44,9 +44,7 @@ impl WarmupModel {
     /// initialization on GPU takes 40×–937× compared to CPU" claim.
     pub fn model_init_cpu(cpu: &CpuSpec, weight_bytes: u64, n_param_tensors: u64) -> DurationNs {
         let copy = weight_bytes as f64 / cpu.mem_bw * 1e9;
-        DurationNs::from_nanos(
-            cpu.model_init_per_tensor_ns * n_param_tensors + copy.round() as u64,
-        )
+        DurationNs::from_nanos(cpu.model_init_per_tensor_ns * n_param_tensors + copy.round() as u64)
     }
 
     /// Per-run activation allocation warm-up: constant base plus a term

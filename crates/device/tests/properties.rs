@@ -1,47 +1,62 @@
-//! Property tests over the simulated platform's invariants.
+//! Property-style tests over the simulated platform's invariants,
+//! driven by a seeded sweep so the suite builds offline.
 
 use dgnn_device::{
     DurationNs, ExecMode, Executor, HostWork, KernelDesc, PlatformSpec, TransferDir,
 };
-use proptest::prelude::*;
+use dgnn_tensor::TensorRng;
 
-fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
-    (1usize..256, 1usize..256, 1usize..256)
+/// Deterministic sweep of (m, k, n) gemm shapes in `1..=max`.
+fn dim_cases(rng: &mut TensorRng, max: usize, n_cases: usize) -> Vec<(usize, usize, usize)> {
+    (0..n_cases)
+        .map(|_| (rng.index(max) + 1, rng.index(max) + 1, rng.index(max) + 1))
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn kernel_time_is_positive_and_monotone_in_work((m, k, n) in dims()) {
+#[test]
+fn kernel_time_is_positive_and_monotone_in_work() {
+    let mut rng = TensorRng::seed(0xdec1);
+    for (m, k, n) in dim_cases(&mut rng, 255, 32) {
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         ex.ensure_context();
         let small = ex.launch(KernelDesc::gemm("s", m, k, n));
         let large = ex.launch(KernelDesc::gemm("l", m * 2, k * 2, n * 2));
-        prop_assert!(small > DurationNs::ZERO);
-        prop_assert!(large >= small);
+        assert!(small > DurationNs::ZERO);
+        assert!(large >= small);
     }
+}
 
-    #[test]
-    fn clock_equals_span_end_for_sequential_execution(
-        works in prop::collection::vec((1usize..64, 1usize..64, 1usize..64), 1..20)
-    ) {
+#[test]
+fn clock_equals_span_end_for_sequential_execution() {
+    let mut rng = TensorRng::seed(0xdec2);
+    for _ in 0..16 {
+        let count = rng.index(19) + 1;
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-        for (m, k, n) in works {
+        for (m, k, n) in dim_cases(&mut rng, 63, count) {
             ex.launch(KernelDesc::gemm("k", m, k, n));
         }
-        prop_assert_eq!(ex.now(), ex.timeline().span_end());
+        assert_eq!(ex.now(), ex.timeline().span_end());
     }
+}
 
-    #[test]
-    fn transfers_scale_with_bytes(b1 in 1u64..1_000_000, b2 in 1u64..1_000_000) {
+#[test]
+fn transfers_scale_with_bytes() {
+    let mut rng = TensorRng::seed(0xdec3);
+    for _ in 0..32 {
+        let b1 = rng.index(1_000_000) as u64 + 1;
+        let b2 = rng.index(1_000_000) as u64 + 1;
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         ex.ensure_context();
         let d1 = ex.transfer(TransferDir::H2D, b1.min(b2));
         let d2 = ex.transfer(TransferDir::D2H, b1.max(b2));
-        prop_assert!(d2 >= d1);
+        assert!(d2 >= d1);
     }
+}
 
-    #[test]
-    fn same_seed_same_schedule((m, k, n) in dims()) {
+#[test]
+fn same_seed_same_schedule() {
+    let mut rng = TensorRng::seed(0xdec4);
+    for (m, k, n) in dim_cases(&mut rng, 255, 16) {
         let run = || {
             let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
             ex.scope("run", |ex| {
@@ -52,24 +67,31 @@ proptest! {
             });
             ex.now()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn utilization_is_a_fraction(ops in prop::collection::vec(dims(), 1..15)) {
+#[test]
+fn utilization_is_a_fraction() {
+    let mut rng = TensorRng::seed(0xdec5);
+    for _ in 0..12 {
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         ex.ensure_context();
-        for (m, k, n) in ops {
+        let count = rng.index(14) + 1;
+        for (m, k, n) in dim_cases(&mut rng, 255, count) {
             ex.launch(KernelDesc::gemm("k", m, k, n));
         }
         let u = ex.timeline().gpu_utilization(DurationNs::ZERO, ex.now());
-        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
     }
+}
 
-    #[test]
-    fn scope_intervals_contain_their_events(
-        ops in prop::collection::vec(dims(), 1..10)
-    ) {
+#[test]
+fn scope_intervals_contain_their_events() {
+    let mut rng = TensorRng::seed(0xdec6);
+    for _ in 0..12 {
+        let count = rng.index(9) + 1;
+        let ops = dim_cases(&mut rng, 255, count);
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         ex.ensure_context();
         ex.scope("outer", |ex| {
@@ -86,18 +108,25 @@ proptest! {
             .expect("outer scope recorded")
             .clone();
         for e in ex.timeline().events_in_scope("outer") {
-            prop_assert!(e.start >= outer.start && e.end <= outer.end);
+            assert!(e.start >= outer.start && e.end <= outer.end);
         }
     }
+}
 
-    #[test]
-    fn cpu_only_mode_never_touches_gpu(ops in prop::collection::vec(dims(), 1..10)) {
+#[test]
+fn cpu_only_mode_never_touches_gpu() {
+    let mut rng = TensorRng::seed(0xdec7);
+    for _ in 0..12 {
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
-        for (m, k, n) in ops {
+        let count = rng.index(9) + 1;
+        for (m, k, n) in dim_cases(&mut rng, 255, count) {
             ex.launch(KernelDesc::gemm("k", m, k, n));
             ex.transfer(TransferDir::H2D, 4096);
         }
-        prop_assert_eq!(ex.timeline().busy_time(dgnn_device::Place::Gpu), DurationNs::ZERO);
-        prop_assert_eq!(ex.gpu_memory().peak_bytes(), 0);
+        assert_eq!(
+            ex.timeline().busy_time(dgnn_device::Place::Gpu),
+            DurationNs::ZERO
+        );
+        assert_eq!(ex.gpu_memory().peak_bytes(), 0);
     }
 }

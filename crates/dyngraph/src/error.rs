@@ -36,7 +36,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfBounds { node, n_nodes } => {
-                write!(f, "node {node} out of bounds for graph with {n_nodes} nodes")
+                write!(
+                    f,
+                    "node {node} out of bounds for graph with {n_nodes} nodes"
+                )
             }
             GraphError::UnsortedEvents { index } => {
                 write!(f, "event stream is not time-sorted at index {index}")
@@ -58,7 +61,10 @@ mod tests {
 
     #[test]
     fn errors_display_informatively() {
-        let e = GraphError::NodeOutOfBounds { node: 9, n_nodes: 4 };
+        let e = GraphError::NodeOutOfBounds {
+            node: 9,
+            n_nodes: 4,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
     }

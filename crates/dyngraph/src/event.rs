@@ -37,10 +37,16 @@ impl EventStream {
         let mut prev = f64::NEG_INFINITY;
         for (i, e) in events.iter().enumerate() {
             if e.src >= n_nodes {
-                return Err(GraphError::NodeOutOfBounds { node: e.src, n_nodes });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: e.src,
+                    n_nodes,
+                });
             }
             if e.dst >= n_nodes {
-                return Err(GraphError::NodeOutOfBounds { node: e.dst, n_nodes });
+                return Err(GraphError::NodeOutOfBounds {
+                    node: e.dst,
+                    n_nodes,
+                });
             }
             if !e.time.is_finite() {
                 return Err(GraphError::InvalidTimestamp { index: i });
@@ -107,7 +113,12 @@ mod tests {
     use super::*;
 
     fn ev(src: usize, dst: usize, time: f64) -> TemporalEvent {
-        TemporalEvent { src, dst, time, feature_idx: 0 }
+        TemporalEvent {
+            src,
+            dst,
+            time,
+            feature_idx: 0,
+        }
     }
 
     #[test]

@@ -84,7 +84,12 @@ impl Graph {
                 weights[row_ptr[i] + k] = w;
             }
         }
-        Ok(Graph { n_nodes, row_ptr, col_idx, weights })
+        Ok(Graph {
+            n_nodes,
+            row_ptr,
+            col_idx,
+            weights,
+        })
     }
 
     /// Number of nodes.
@@ -166,8 +171,10 @@ impl Graph {
         for i in 0..n {
             deg[i] = a[i * n..(i + 1) * n].iter().sum::<f32>();
         }
-        let inv_sqrt: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
         for i in 0..n {
             for j in 0..n {
                 a[i * n + j] *= inv_sqrt[i] * inv_sqrt[j];

@@ -8,8 +8,7 @@
 //! blames for starving the GPU. Sampling here returns both the sample and
 //! a [`SampleCost`] so the executor can charge that CPU time faithfully.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dgnn_tensor::TensorRng;
 
 use crate::{EventStream, NodeId};
 
@@ -107,14 +106,17 @@ impl TemporalAdjacency {
 /// Draws temporal neighbor samples and accounts their CPU cost.
 #[derive(Debug)]
 pub struct NeighborSampler {
-    rng: StdRng,
+    rng: TensorRng,
     strategy: SampleStrategy,
 }
 
 impl NeighborSampler {
     /// Creates a sampler with a fixed seed.
     pub fn new(strategy: SampleStrategy, seed: u64) -> Self {
-        NeighborSampler { rng: StdRng::seed_from_u64(seed), strategy }
+        NeighborSampler {
+            rng: TensorRng::seed(seed),
+            strategy,
+        }
     }
 
     /// The configured strategy.
@@ -154,8 +156,7 @@ impl NeighborSampler {
                 (eligible - take..eligible).map(pick).collect()
             }
             SampleStrategy::Uniform => {
-                let mut idx: Vec<usize> =
-                    (0..k).map(|_| self.rng.gen_range(0..eligible)).collect();
+                let mut idx: Vec<usize> = (0..k).map(|_| self.rng.index(eligible)).collect();
                 // Reference implementation sorts sampled indices so the
                 // gather walks forward — the "node index sorting" the
                 // paper mentions.
@@ -183,7 +184,11 @@ impl NeighborSampler {
         let mut cost = SampleCost::default();
         let mut layers: Vec<Vec<SampledNeighbor>> = vec![roots
             .iter()
-            .map(|&(node, time)| SampledNeighbor { node, time, feature_idx: usize::MAX })
+            .map(|&(node, time)| SampledNeighbor {
+                node,
+                time,
+                feature_idx: usize::MAX,
+            })
             .collect()];
         for &k in ks {
             let prev = layers.last().expect("at least the root layer");
@@ -206,10 +211,30 @@ mod tests {
 
     fn stream() -> EventStream {
         let events = vec![
-            TemporalEvent { src: 0, dst: 1, time: 1.0, feature_idx: 0 },
-            TemporalEvent { src: 0, dst: 2, time: 2.0, feature_idx: 1 },
-            TemporalEvent { src: 1, dst: 2, time: 3.0, feature_idx: 2 },
-            TemporalEvent { src: 0, dst: 3, time: 4.0, feature_idx: 3 },
+            TemporalEvent {
+                src: 0,
+                dst: 1,
+                time: 1.0,
+                feature_idx: 0,
+            },
+            TemporalEvent {
+                src: 0,
+                dst: 2,
+                time: 2.0,
+                feature_idx: 1,
+            },
+            TemporalEvent {
+                src: 1,
+                dst: 2,
+                time: 3.0,
+                feature_idx: 2,
+            },
+            TemporalEvent {
+                src: 0,
+                dst: 3,
+                time: 4.0,
+                feature_idx: 3,
+            },
         ];
         EventStream::new(4, events).unwrap()
     }

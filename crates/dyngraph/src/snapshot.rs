@@ -60,7 +60,10 @@ impl SnapshotSequence {
         if self.snapshots.is_empty() {
             return 0.0;
         }
-        self.snapshots.iter().map(|s| s.graph.n_edges() as f64).sum::<f64>()
+        self.snapshots
+            .iter()
+            .map(|s| s.graph.n_edges() as f64)
+            .sum::<f64>()
             / self.snapshots.len() as f64
     }
 }
@@ -87,11 +90,16 @@ pub fn snapshots_from_events(
     window: f64,
     stride: f64,
 ) -> Result<SnapshotSequence> {
-    if !(window > 0.0) || !(stride > 0.0) {
-        return Err(GraphError::InvalidWindow { reason: "window and stride must be positive" });
+    // NaN must be rejected too, hence the explicit check alongside `<=`.
+    if window.is_nan() || stride.is_nan() || window <= 0.0 || stride <= 0.0 {
+        return Err(GraphError::InvalidWindow {
+            reason: "window and stride must be positive",
+        });
     }
     if stream.is_empty() {
-        return Err(GraphError::EmptyInput { op: "snapshots_from_events" });
+        return Err(GraphError::EmptyInput {
+            op: "snapshots_from_events",
+        });
     }
     let end = stream.end_time();
     let mut snapshots = Vec::new();
@@ -116,7 +124,12 @@ mod tests {
 
     fn stream() -> EventStream {
         let events = (0..10)
-            .map(|i| TemporalEvent { src: i % 4, dst: (i + 1) % 4, time: i as f64, feature_idx: i })
+            .map(|i| TemporalEvent {
+                src: i % 4,
+                dst: (i + 1) % 4,
+                time: i as f64,
+                feature_idx: i,
+            })
             .collect();
         EventStream::new(4, events).unwrap()
     }
@@ -164,8 +177,14 @@ mod tests {
     fn sequence_validates_order() {
         let g = Graph::from_edges(1, &[]).unwrap();
         let bad = vec![
-            Snapshot { time: 2.0, graph: g.clone() },
-            Snapshot { time: 1.0, graph: g },
+            Snapshot {
+                time: 2.0,
+                graph: g.clone(),
+            },
+            Snapshot {
+                time: 1.0,
+                graph: g,
+            },
         ];
         assert!(matches!(
             SnapshotSequence::new(bad),

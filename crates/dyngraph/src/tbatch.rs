@@ -76,7 +76,12 @@ mod tests {
     use super::*;
 
     fn ev(src: usize, dst: usize, time: f64) -> TemporalEvent {
-        TemporalEvent { src, dst, time, feature_idx: 0 }
+        TemporalEvent {
+            src,
+            dst,
+            time,
+            feature_idx: 0,
+        }
     }
 
     #[test]
@@ -114,8 +119,7 @@ mod tests {
 
     #[test]
     fn batches_respect_temporal_dependencies() {
-        let events: Vec<TemporalEvent> =
-            (0..30).map(|i| ev(i % 4, 4 + i % 3, i as f64)).collect();
+        let events: Vec<TemporalEvent> = (0..30).map(|i| ev(i % 4, 4 + i % 3, i as f64)).collect();
         let (batches, _) = TBatcher::new().build(&events);
         // For each node, its events must appear in strictly increasing
         // batch order.
@@ -140,8 +144,7 @@ mod tests {
 
     #[test]
     fn every_event_is_assigned_exactly_once() {
-        let events: Vec<TemporalEvent> =
-            (0..40).map(|i| ev(i % 5, 5 + i % 6, i as f64)).collect();
+        let events: Vec<TemporalEvent> = (0..40).map(|i| ev(i % 5, 5 + i % 6, i as f64)).collect();
         let (batches, ops) = TBatcher::new().build(&events);
         let total: usize = batches.iter().map(TBatch::len).sum();
         assert_eq!(total, events.len());

@@ -1,82 +1,109 @@
-//! Property tests over the dynamic-graph substrate invariants.
+//! Property-style tests over the dynamic-graph substrate invariants,
+//! driven by a seeded sweep so the suite builds offline.
 
 use dgnn_graph::{
     snapshots_from_events, EventStream, Graph, NeighborSampler, SampleStrategy, TBatcher,
     TemporalAdjacency, TemporalEvent,
 };
-use proptest::prelude::*;
+use dgnn_tensor::TensorRng;
 use std::collections::HashSet;
 
-fn arb_stream(max_nodes: usize, max_events: usize) -> impl Strategy<Value = EventStream> {
-    (2..=max_nodes, 1..=max_events, any::<u64>()).prop_map(|(n, m, seed)| {
-        // Simple LCG so streams are deterministic per seed without rand.
-        let mut state = seed | 1;
-        let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        let mut t = 0.0f64;
-        let events = (0..m)
-            .map(|i| {
-                t += (next() % 100) as f64 / 10.0;
-                let src = next() % n;
-                let mut dst = next() % n;
-                if dst == src {
-                    dst = (dst + 1) % n;
-                }
-                TemporalEvent { src, dst, time: t, feature_idx: i }
-            })
-            .collect();
-        EventStream::new(n, events).expect("generated stream is valid")
-    })
+/// Deterministic synthetic event stream with `n` nodes and `m` events.
+fn gen_stream(n: usize, m: usize, seed: u64) -> EventStream {
+    let mut rng = TensorRng::seed(seed);
+    let mut t = 0.0f64;
+    let events = (0..m)
+        .map(|i| {
+            t += rng.index(100) as f64 / 10.0;
+            let src = rng.index(n);
+            let mut dst = rng.index(n);
+            if dst == src {
+                dst = (dst + 1) % n;
+            }
+            TemporalEvent {
+                src,
+                dst,
+                time: t,
+                feature_idx: i,
+            }
+        })
+        .collect();
+    EventStream::new(n, events).expect("generated stream is valid")
 }
 
-proptest! {
-    #[test]
-    fn csr_round_trips_edge_multiset(
-        n in 2usize..20,
-        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60)
-    ) {
-        let edges: Vec<(usize, usize)> =
-            edges.into_iter().map(|(s, d)| (s % n, d % n)).collect();
+/// Sweep of streams with varied sizes per seed.
+fn stream_cases(max_nodes: usize, max_events: usize, n_cases: usize) -> Vec<EventStream> {
+    let mut rng = TensorRng::seed(0x57e3);
+    (0..n_cases)
+        .map(|_| {
+            let n = rng.index(max_nodes - 1) + 2;
+            let m = rng.index(max_events) + 1;
+            gen_stream(n, m, rng.next_u64())
+        })
+        .collect()
+}
+
+/// Deterministic random edge list over `n` nodes.
+fn gen_edges(n: usize, max_edges: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = TensorRng::seed(seed);
+    let count = rng.index(max_edges + 1);
+    (0..count).map(|_| (rng.index(n), rng.index(n))).collect()
+}
+
+#[test]
+fn csr_round_trips_edge_multiset() {
+    let mut rng = TensorRng::seed(0xc5a);
+    for _ in 0..24 {
+        let n = rng.index(18) + 2;
+        let edges = gen_edges(n, 60, rng.next_u64());
         let g = Graph::from_edges(n, &edges).unwrap();
-        prop_assert_eq!(g.n_edges(), edges.len());
+        assert_eq!(g.n_edges(), edges.len());
         let mut got: Vec<(usize, usize)> = g.iter_edges().map(|(s, d, _)| (s, d)).collect();
         let mut want = edges;
         got.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn degrees_sum_to_edge_count(
-        n in 2usize..20,
-        edges in prop::collection::vec((0usize..20, 0usize..20), 0..60)
-    ) {
-        let edges: Vec<(usize, usize)> =
-            edges.into_iter().map(|(s, d)| (s % n, d % n)).collect();
+#[test]
+fn degrees_sum_to_edge_count() {
+    let mut rng = TensorRng::seed(0xde6);
+    for _ in 0..24 {
+        let n = rng.index(18) + 2;
+        let edges = gen_edges(n, 60, rng.next_u64());
         let g = Graph::from_edges(n, &edges).unwrap();
         let total: usize = (0..n).map(|v| g.out_degree(v)).sum();
-        prop_assert_eq!(total, g.n_edges());
+        assert_eq!(total, g.n_edges());
     }
+}
 
-    #[test]
-    fn sampled_neighbors_always_precede_query(stream in arb_stream(12, 80), seed in any::<u64>()) {
+#[test]
+fn sampled_neighbors_always_precede_query() {
+    let mut rng = TensorRng::seed(0x5a3);
+    for stream in stream_cases(12, 80, 16) {
         let adj = TemporalAdjacency::from_stream(&stream);
         let t_query = stream.end_time() / 2.0 + 1.0;
         for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
-            let mut sampler = NeighborSampler::new(strategy, seed);
+            let mut sampler = NeighborSampler::new(strategy, rng.next_u64());
             for node in 0..stream.n_nodes() {
                 let (picked, _) = sampler.sample(&adj, node, t_query, 5);
                 for p in picked {
-                    prop_assert!(p.time < t_query, "sample at {} not before {}", p.time, t_query);
+                    assert!(
+                        p.time < t_query,
+                        "sample at {} not before {}",
+                        p.time,
+                        t_query
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn bisection_count_matches_brute_force(stream in arb_stream(10, 60)) {
+#[test]
+fn bisection_count_matches_brute_force() {
+    for stream in stream_cases(10, 60, 16) {
         let adj = TemporalAdjacency::from_stream(&stream);
         let t_query = stream.end_time() * 0.7;
         for node in 0..stream.n_nodes() {
@@ -85,27 +112,31 @@ proptest! {
                 .iter()
                 .filter(|e| (e.src == node || e.dst == node) && e.time < t_query)
                 .count();
-            prop_assert_eq!(adj.count_before(node, t_query).0, brute);
+            assert_eq!(adj.count_before(node, t_query).0, brute);
         }
     }
+}
 
-    #[test]
-    fn tbatch_partitions_without_node_repeats(stream in arb_stream(10, 80)) {
+#[test]
+fn tbatch_partitions_without_node_repeats() {
+    for stream in stream_cases(10, 80, 16) {
         let (batches, _) = TBatcher::new().build_stream(&stream);
         let total: usize = batches.iter().map(|b| b.len()).sum();
-        prop_assert_eq!(total, stream.len());
+        assert_eq!(total, stream.len());
         for b in &batches {
             let mut seen = HashSet::new();
             for &i in &b.event_indices {
                 let e = stream.events()[i];
-                prop_assert!(seen.insert(e.src));
-                prop_assert!(seen.insert(e.dst));
+                assert!(seen.insert(e.src));
+                assert!(seen.insert(e.dst));
             }
         }
     }
+}
 
-    #[test]
-    fn tbatch_count_bounded_by_max_node_frequency(stream in arb_stream(8, 60)) {
+#[test]
+fn tbatch_count_bounded_by_max_node_frequency() {
+    for stream in stream_cases(8, 60, 16) {
         let (batches, _) = TBatcher::new().build_stream(&stream);
         let mut freq = vec![0usize; stream.n_nodes()];
         for e in stream.events() {
@@ -115,15 +146,17 @@ proptest! {
         let max_freq = freq.into_iter().max().unwrap_or(0);
         // The busiest node lower-bounds batches; batching never exceeds
         // the event count.
-        prop_assert!(batches.len() >= max_freq.min(stream.len()));
-        prop_assert!(batches.len() <= stream.len());
+        assert!(batches.len() >= max_freq.min(stream.len()));
+        assert!(batches.len() <= stream.len());
     }
+}
 
-    #[test]
-    fn snapshots_cover_all_events_when_disjoint(stream in arb_stream(10, 60)) {
+#[test]
+fn snapshots_cover_all_events_when_disjoint() {
+    for stream in stream_cases(10, 60, 16) {
         let window = (stream.end_time() / 4.0).max(0.5);
         let seq = snapshots_from_events(&stream, window, window).unwrap();
         let total: usize = seq.iter().map(|s| s.graph.n_edges()).sum();
-        prop_assert_eq!(total, stream.len());
+        assert_eq!(total, stream.len());
     }
 }

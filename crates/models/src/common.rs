@@ -34,7 +34,12 @@ pub struct InferenceConfig {
 
 impl Default for InferenceConfig {
     fn default() -> Self {
-        InferenceConfig { batch_size: 200, n_neighbors: 20, max_units: 8, seed: 42 }
+        InferenceConfig {
+            batch_size: 200,
+            n_neighbors: 20,
+            max_units: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -80,7 +85,12 @@ impl RunSummary {
         } else {
             DurationNs::ZERO
         };
-        RunSummary { iterations, inference_time, unit_time, checksum }
+        RunSummary {
+            iterations,
+            inference_time,
+            unit_time,
+            checksum,
+        }
     }
 }
 
@@ -121,8 +131,12 @@ pub trait DgnnModel {
     ///
     /// Propagates [`DgnnModel::infer`] errors.
     fn run(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
-        ex.model_init(self.param_bytes(), self.param_tensors());
-        ex.alloc_warmup(self.activation_bytes(cfg));
+        // Warm-up gets its own top-level scope so that the run's top-level
+        // scopes tile the timeline: warmup + inference == Executor::now().
+        ex.scope("warmup", |ex| {
+            ex.model_init(self.param_bytes(), self.param_tensors());
+            ex.alloc_warmup(self.activation_bytes(cfg));
+        });
         self.infer(ex, cfg)
     }
 }

@@ -9,11 +9,11 @@
 //! batch size (Fig 8) and utilization stays under 2%.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
 use dgnn_nn::{EmbeddingTable, Linear, Module, RnnCell};
-use dgnn_tensor::TensorRng;
+use dgnn_tensor::{Tensor, TensorRng};
 
-use crate::common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
+use crate::common::{DgnnModel, InferenceConfig, RunSummary};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -63,19 +63,12 @@ impl DyRep {
     }
 
     fn modules(&self) -> Vec<&dyn Module> {
-        vec![&self.embeddings, &self.update_rnn, &self.intensity, &self.attention_w]
-    }
-
-    /// Per-event GPU kernels: the serialized inner loop shared with LDG.
-    pub(crate) fn event_kernels(ex: &mut Executor, d: usize) {
-        // Embedding update: tiny GEMMs over a single node pair.
-        ex.launch(KernelDesc::gemm("dyrep_update", 2, 3 * d + d, d));
-        ex.launch(KernelDesc::elementwise("dyrep_tanh", 2 * d, 1, 1));
-        // Conditional intensity (bilinear + softplus).
-        ex.launch(KernelDesc::gemm("intensity", 1, 2 * d, 1));
-        ex.launch(KernelDesc::elementwise("softplus", 1, 4, 1));
-        // Temporal attention weight refresh.
-        ex.launch(KernelDesc::gemm("attn_weight", 1, 2 * d, 1));
+        vec![
+            &self.embeddings,
+            &self.update_rnn,
+            &self.intensity,
+            &self.attention_w,
+        ]
     }
 }
 
@@ -85,7 +78,10 @@ impl DgnnModel for DyRep {
     }
 
     fn info(&self) -> ModelInfo {
-        all_model_infos().into_iter().find(|i| i.name == "dyrep").expect("dyrep registered")
+        all_model_infos()
+            .into_iter()
+            .find(|i| i.name == "dyrep")
+            .expect("dyrep registered")
     }
 
     fn param_bytes(&self) -> u64 {
@@ -114,50 +110,51 @@ impl DgnnModel for DyRep {
             .collect();
 
         let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::new(ex);
             for batch in &batches {
                 // Batch features to device once per batch.
-                ex.scope("memcpy_h2d", |ex| {
-                    ex.transfer(
-                        TransferDir::H2D,
-                        (batch.len() * (self.data.edge_dim() + 4) * 4) as u64,
-                    );
-                });
+                let payload = DeviceTensor::host_scaled(
+                    Tensor::zeros(&[1, self.data.edge_dim() + 4]),
+                    batch.len() as f64,
+                );
+                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&payload));
 
                 // Serial per-event processing — the temporal dependency.
-                for (i, e) in batch.iter().enumerate() {
-                    ex.scope("event_loop", |ex| {
-                        ex.host(HostWork {
+                // Every event runs through the dispatcher: the tiny GEMMs
+                // it prices ARE the tiny GEMMs it computes.
+                for e in batch.iter() {
+                    dx.scope("event_loop", |dx| {
+                        dx.host(HostWork {
                             label: "event_bookkeeping",
                             ops: EVENT_LOOP_OPS,
                             seq_bytes: 512,
                             irregular_bytes: (4 * d * 4) as u64,
                         });
                     });
-                    let functional = i < REP_CAP;
-                    ex.scope("embedding_update", |ex| -> Result<()> {
-                        DyRep::event_kernels(ex, d);
-                        if functional {
-                            let mut cpu = Executor::new(
-                                ex.spec().clone(),
-                                dgnn_device::ExecMode::CpuOnly,
-                            );
-                            let pair = [e.src, e.dst];
-                            let emb = self.embeddings.table().gather_rows(&pair)?;
-                            let x = emb.concat_cols(&emb)?.concat_cols(&emb)?;
-                            let new = self.update_rnn.forward(&mut cpu, &x, &emb)?;
-                            self.embeddings.update(&mut cpu, &pair, &new)?;
-                            let both = new.reshape(&[1, 2 * d])?;
-                            let lambda =
-                                self.intensity.forward(&mut cpu, &both)?.softplus();
-                            checksum += lambda.sum();
-                        }
+                    dx.scope("embedding_update", |dx| -> Result<()> {
+                        let pair = [e.src, e.dst];
+                        let emb = self.embeddings.lookup(dx, &pair)?;
+                        let x = dx.adopt(
+                            emb.data()
+                                .concat_cols(emb.data())?
+                                .concat_cols(emb.data())?,
+                            1.0,
+                        );
+                        let new = self.update_rnn.forward(dx, &x, &emb)?;
+                        self.embeddings.update(dx, &pair, &new)?;
+                        // Conditional intensity (bilinear + softplus).
+                        let both = dx.adopt(new.data().reshape(&[1, 2 * d])?, 1.0);
+                        let raw = self.intensity.forward(dx, &both)?;
+                        let lambda = dx.activation("softplus", &raw, Tensor::softplus);
+                        checksum += lambda.data().sum();
+                        // Temporal attention weight refresh.
+                        self.attention_w.forward(dx, &both)?;
                         Ok(())
                     })?;
                 }
 
-                ex.scope("memcpy_d2h", |ex| {
-                    ex.transfer(TransferDir::D2H, (batch.len() * d * 4) as u64);
-                });
+                let readback = dx.adopt(Tensor::zeros(&[1, d]), batch.len() as f64);
+                dx.scope("memcpy_d2h", |dx| dx.download(&readback));
                 iterations += 1;
             }
             Ok(())
@@ -187,7 +184,9 @@ mod tests {
     }
 
     fn cfg(bs: usize) -> InferenceConfig {
-        InferenceConfig::default().with_batch_size(bs).with_max_units(2)
+        InferenceConfig::default()
+            .with_batch_size(bs)
+            .with_max_units(2)
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //! utilization stays below 1%.
 
 use dgnn_datasets::SnapshotDataset;
-use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
 use dgnn_nn::{GcnLayer, GruCell, Linear, Module};
-use dgnn_tensor::{Tensor, TensorRng};
+use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
 use crate::common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
 use crate::registry::{all_model_infos, ModelInfo};
@@ -50,7 +50,10 @@ pub struct EvolveGcnConfig {
 
 impl Default for EvolveGcnConfig {
     fn default() -> Self {
-        EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O }
+        EvolveGcnConfig {
+            hidden: 100,
+            version: EvolveGcnVersion::O,
+        }
     }
 }
 
@@ -109,12 +112,15 @@ impl DgnnModel for EvolveGcn {
     }
 
     fn param_bytes(&self) -> u64 {
-        self.modules().iter().map(|m| m.param_bytes()).sum::<u64>()
-            + self.evolved_weight.byte_len()
+        self.modules().iter().map(|m| m.param_bytes()).sum::<u64>() + self.evolved_weight.byte_len()
     }
 
     fn param_tensors(&self) -> u64 {
-        self.modules().iter().map(|m| m.param_tensor_count()).sum::<u64>() + 1
+        self.modules()
+            .iter()
+            .map(|m| m.param_tensor_count())
+            .sum::<u64>()
+            + 1
     }
 
     fn activation_bytes(&self, _cfg: &InferenceConfig) -> u64 {
@@ -130,36 +136,39 @@ impl DgnnModel for EvolveGcn {
         let mut iterations = 0usize;
 
         let n_steps = self.data.snapshots.len().min(cfg.max_units.max(1));
-        // Representative functional sub-graph: first REP_CAP nodes.
+        // Representative functional sub-graph: the first REP_CAP nodes
+        // stand in for the full snapshot; the node-count scale prices
+        // the rest.
         let rep_n = n.min(REP_CAP);
-        let rep_feats = self.data.node_features.gather_rows(
-            &(0..rep_n).collect::<Vec<_>>(),
-        )?;
+        let node_scale = n as f64 / rep_n as f64;
+        let rep_feats = self
+            .data
+            .node_features
+            .gather_rows(&(0..rep_n).collect::<Vec<_>>())?;
 
         let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::new(ex);
             for step in 0..n_steps {
                 let snap = &self.data.snapshots.snapshots()[step];
                 let nnz = snap.graph.n_edges();
 
                 // 1. Snapshot preparation (CPU) and full reload to GPU.
-                ex.scope("snapshot_prep", |ex| {
-                    ex.host(HostWork {
+                dx.scope("snapshot_prep", |dx| {
+                    dx.host(HostWork {
                         label: "prepare_snapshot",
                         ops: n as u64 * PREP_NODE_OPS + nnz as u64 * PREP_EDGE_OPS,
                         seq_bytes: feat_bytes,
                         irregular_bytes: snap.graph.byte_len(),
                     });
                 });
-                ex.scope("memcpy_h2d", |ex| {
-                    // CSR topology + node features + per-edge features are
-                    // re-shipped every snapshot; Reddit's denser snapshots
-                    // move proportionally more (Fig 7i/j).
-                    let edge_feat_bytes = (nnz * d_in * 4) as u64;
-                    ex.transfer(
-                        TransferDir::H2D,
-                        snap.graph.byte_len() + feat_bytes + edge_feat_bytes,
-                    );
-                });
+                // CSR topology + node features + per-edge features are
+                // re-shipped every snapshot; Reddit's denser snapshots
+                // move proportionally more (Fig 7i/j).
+                let edge_feat_bytes = (nnz * d_in * 4) as u64;
+                let reload_bytes = snap.graph.byte_len() + feat_bytes + edge_feat_bytes;
+                let reload =
+                    DeviceTensor::host_scaled(Tensor::zeros(&[1, 1]), reload_bytes as f64 / 4.0);
+                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&reload));
 
                 // Representative dense adjacency over the leading nodes.
                 let rep_edges: Vec<(usize, usize, f32)> = snap
@@ -167,73 +176,60 @@ impl DgnnModel for EvolveGcn {
                     .iter_edges()
                     .filter(|&(s, d, _)| s < rep_n && d < rep_n)
                     .collect();
-                let rep_graph =
-                    dgnn_graph::Graph::from_weighted_edges(rep_n, &rep_edges)?;
-                let rep_adj =
-                    Tensor::from_vec(rep_graph.normalized_adjacency(), &[rep_n, rep_n])?;
+                let rep_graph = dgnn_graph::Graph::from_weighted_edges(rep_n, &rep_edges)?;
+                let rep_adj = dx.adopt(
+                    Tensor::from_vec(rep_graph.normalized_adjacency(), &[rep_n, rep_n])?,
+                    node_scale,
+                );
 
                 // 2. Weight evolution (RNN), plus top-k for -H.
                 if self.cfg.version == EvolveGcnVersion::H {
-                    ex.scope("topk", |ex| -> Result<()> {
-                        // Score all nodes with a fully-connected layer,
-                        // then sort and gather the top h rows.
-                        ex.launch(KernelDesc::gemm("topk_score", n, d_in, 1));
-                        ex.launch(KernelDesc::sort("topk_sort", n));
-                        ex.launch(KernelDesc::gather("topk_gather", h, h));
+                    checksum += dx.scope("topk", |dx| -> Result<f32> {
+                        // Score all nodes with a fully-connected layer:
+                        // the rep rows run functionally, the node-count
+                        // scale prices the full snapshot.
+                        let feats = dx.adopt(rep_feats.clone(), node_scale);
+                        let scores = self.topk_scorer.forward(dx, &feats)?;
+                        // Sort and gather have no functional counterpart
+                        // at rep size — charge them directly.
+                        dx.charge(OpDescriptor::sort("topk_sort", n), 1.0);
+                        dx.charge(OpDescriptor::gather("topk_gather", h, h), 1.0);
                         // Scores come back to the host for the index
                         // selection, an interpreted partial sort.
                         let logn = 64 - (n.max(2) as u64).leading_zeros() as u64;
-                        ex.host(HostWork::irregular(
+                        dx.host(HostWork::irregular(
                             "topk_select",
                             2 * n as u64 * logn,
                             (n * 4) as u64,
                         ));
-                        let mut cpu = Executor::new(
-                            ex.spec().clone(),
-                            dgnn_device::ExecMode::CpuOnly,
-                        );
-                        let scores = self.topk_scorer.forward(&mut cpu, &rep_feats)?;
-                        checksum += scores.sum() * 1e-3;
-                        Ok(())
+                        Ok(scores.data().sum() * 1e-3)
                     })?;
                 }
-                let new_weight = ex.scope("rnn", |ex| -> Result<Tensor> {
-                    // GRU treats the h×h weight matrix as h rows of
-                    // dimension h.
-                    ex.launch(KernelDesc::gemm("weight_gru_x", h, h, 3 * h));
-                    ex.launch(KernelDesc::gemm("weight_gru_h", h, h, 3 * h));
-                    ex.launch(KernelDesc::elementwise("weight_gru_gates", h * h, 6, 3));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    self.weight_rnn
-                        .forward(&mut cpu, &self.evolved_weight, &self.evolved_weight)
-                        .map_err(Into::into)
+                let new_weight = dx.scope("rnn", |dx| -> Result<Tensor> {
+                    // The GRU treats the h×h weight matrix as h rows of
+                    // dimension h — one functional step through the
+                    // dispatcher both prices and computes the evolution.
+                    let w = dx.adopt(self.evolved_weight.clone(), 1.0);
+                    let evolved = self.weight_rnn.forward(dx, &w, &w)?;
+                    Ok(evolved.data().clone())
                 })?;
                 self.evolved_weight = new_weight;
 
-                // 3. Two sparse GCN layers with the evolved weights.
-                let emb = ex.scope("gnn", |ex| -> Result<Tensor> {
-                    // Sparse propagate (gather over nnz edges) + dense
-                    // transform, twice.
-                    ex.launch(KernelDesc::gather("gcn1_spmm", nnz.max(1), d_in));
-                    ex.launch(KernelDesc::gemm("gcn1_transform", n, d_in, h));
-                    ex.launch(KernelDesc::elementwise("gcn1_relu", n * h, 1, 1));
-                    ex.launch(KernelDesc::gather("gcn2_spmm", nnz.max(1), h));
-                    ex.launch(KernelDesc::gemm("gcn2_transform", n, h, h));
-                    ex.launch(KernelDesc::elementwise("gcn2_relu", n * h, 1, 1));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let h1 = self.gcn1.forward(&mut cpu, &rep_adj, &rep_feats)?;
+                // 3. Two GCN layers with the evolved weights: propagate
+                // (A·X), transform (·W), ReLU — priced at the full node
+                // count through the adjacency's scale.
+                let emb = dx.scope("gnn", |dx| -> Result<DeviceTensor> {
+                    let x = dx.adopt(rep_feats.clone(), node_scale);
+                    let h1 = self.gcn1.forward(dx, &rep_adj, &x)?;
                     self.gcn2
-                        .forward_with_weight(&mut cpu, &rep_adj, &h1, &self.evolved_weight)
+                        .forward_with_weight(dx, &rep_adj, &h1, &self.evolved_weight)
                         .map_err(Into::into)
                 })?;
-                checksum += emb.sum() * 1e-3;
+                checksum += emb.data().sum() * 1e-3;
 
                 // 4. Results back to the CPU.
-                ex.scope("memcpy_d2h", |ex| {
-                    ex.transfer(TransferDir::D2H, (n * h * 4) as u64);
-                });
+                let out = dx.adopt(Tensor::zeros(&[rep_n, h]), node_scale);
+                dx.scope("memcpy_d2h", |dx| dx.download(&out));
                 iterations += 1;
             }
             Ok(())
@@ -261,7 +257,10 @@ mod tests {
     fn build(version: EvolveGcnVersion) -> EvolveGcn {
         EvolveGcn::new(
             bitcoin_alpha(Scale::Tiny, 1),
-            EvolveGcnConfig { hidden: 100, version },
+            EvolveGcnConfig {
+                hidden: 100,
+                version,
+            },
             7,
         )
     }
@@ -327,8 +326,7 @@ mod tests {
     #[test]
     fn reddit_style_snapshots_move_more_data_than_wikipedia() {
         let bytes = |data: dgnn_datasets::SnapshotDataset| {
-            let mut m =
-                EvolveGcn::new(data, EvolveGcnConfig::default(), 7);
+            let mut m = EvolveGcn::new(data, EvolveGcnConfig::default(), 7);
             let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
             m.run(&mut ex, &cfg()).unwrap();
             ex.timeline().transfer_bytes(None)

@@ -8,12 +8,11 @@
 //! and the bilinear encoder variants.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
 use dgnn_nn::{EmbeddingTable, Linear, Mlp, Module, RnnCell};
 use dgnn_tensor::{Tensor, TensorRng};
 
-use crate::common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
-use crate::dyrep::DyRep;
+use crate::common::{DgnnModel, InferenceConfig, RunSummary};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -41,7 +40,10 @@ pub struct LdgConfig {
 
 impl Default for LdgConfig {
     fn default() -> Self {
-        LdgConfig { dim: 32, encoder: LdgEncoder::Bilinear }
+        LdgConfig {
+            dim: 32,
+            encoder: LdgEncoder::Bilinear,
+        }
     }
 }
 
@@ -98,7 +100,10 @@ impl DgnnModel for Ldg {
     }
 
     fn info(&self) -> ModelInfo {
-        all_model_infos().into_iter().find(|i| i.name == "ldg").expect("ldg registered")
+        all_model_infos()
+            .into_iter()
+            .find(|i| i.name == "ldg")
+            .expect("ldg registered")
     }
 
     fn param_bytes(&self) -> u64 {
@@ -127,97 +132,64 @@ impl DgnnModel for Ldg {
             .collect();
 
         let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::new(ex);
             for batch in &batches {
-                ex.scope("memcpy_h2d", |ex| {
-                    ex.transfer(
-                        TransferDir::H2D,
-                        (batch.len() * (self.data.edge_dim() + 4) * 4) as u64,
-                    );
-                });
+                let payload = DeviceTensor::host_scaled(
+                    Tensor::zeros(&[1, self.data.edge_dim() + 4]),
+                    batch.len() as f64,
+                );
+                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&payload));
 
-                for (i, e) in batch.iter().enumerate() {
-                    ex.scope("event_loop", |ex| {
-                        ex.host(HostWork {
+                for e in batch.iter() {
+                    dx.scope("event_loop", |dx| {
+                        dx.host(HostWork {
                             label: "event_bookkeeping",
                             ops: EVENT_LOOP_OPS,
                             seq_bytes: 512,
                             irregular_bytes: (5 * d * 4) as u64,
                         });
                     });
-                    let functional = i < REP_CAP;
 
                     // NRI encoder over the event's node pair.
-                    let pair_emb = ex.scope("encoder", |ex| -> Result<Tensor> {
+                    let pair_emb = dx.scope("encoder", |dx| -> Result<DeviceTensor> {
+                        let emb = self.embeddings.lookup(dx, &[e.src, e.dst])?;
+                        let x = dx.adopt(emb.data().reshape(&[1, 2 * d])?, 1.0);
                         match self.cfg.encoder {
-                            LdgEncoder::Mlp => {
-                                ex.launch(KernelDesc::gemm("nri_mlp1", 1, 2 * d, 2 * d));
-                                ex.launch(KernelDesc::elementwise("nri_relu", 2 * d, 1, 1));
-                                ex.launch(KernelDesc::gemm("nri_mlp2", 1, 2 * d, d));
-                            }
+                            LdgEncoder::Mlp => self.encoder_mlp.forward(dx, &x).map_err(Into::into),
                             LdgEncoder::Bilinear => {
-                                ex.launch(KernelDesc::gemm("nri_bilinear", 1, 2 * d, d));
+                                self.encoder_bilinear.forward(dx, &x).map_err(Into::into)
                             }
-                        }
-                        if !functional {
-                            return Ok(Tensor::zeros(&[1, d]));
-                        }
-                        let mut cpu = Executor::new(
-                            ex.spec().clone(),
-                            dgnn_device::ExecMode::CpuOnly,
-                        );
-                        let emb =
-                            self.embeddings.table().gather_rows(&[e.src, e.dst])?;
-                        let x = emb.reshape(&[1, 2 * d])?;
-                        match self.cfg.encoder {
-                            LdgEncoder::Mlp => {
-                                self.encoder_mlp.forward(&mut cpu, &x).map_err(Into::into)
-                            }
-                            LdgEncoder::Bilinear => self
-                                .encoder_bilinear
-                                .forward(&mut cpu, &x)
-                                .map_err(Into::into),
                         }
                     })?;
 
-                    // DyRep-style embedding update.
-                    ex.scope("embedding_update", |ex| -> Result<()> {
-                        DyRep::event_kernels(ex, d);
-                        if functional {
-                            let mut cpu = Executor::new(
-                                ex.spec().clone(),
-                                dgnn_device::ExecMode::CpuOnly,
-                            );
-                            let pair = [e.src, e.dst];
-                            let emb = self.embeddings.table().gather_rows(&pair)?;
-                            let drive = pair_emb.concat_rows(&pair_emb)?;
-                            let x = emb.concat_cols(&emb)?.concat_cols(&drive)?;
-                            let new = self.update_rnn.forward(&mut cpu, &x, &emb)?;
-                            self.embeddings.update(&mut cpu, &pair, &new)?;
-                        }
+                    // DyRep-style embedding update driven by the latent
+                    // edge representation.
+                    dx.scope("embedding_update", |dx| -> Result<()> {
+                        let pair = [e.src, e.dst];
+                        let emb = self.embeddings.lookup(dx, &pair)?;
+                        let drive = pair_emb.data().concat_rows(pair_emb.data())?;
+                        let x = dx.adopt(
+                            emb.data().concat_cols(emb.data())?.concat_cols(&drive)?,
+                            1.0,
+                        );
+                        let new = self.update_rnn.forward(dx, &x, &emb)?;
+                        self.embeddings.update(dx, &pair, &new)?;
                         Ok(())
                     })?;
 
                     // Bilinear decoder scores the interaction.
-                    ex.scope("decoder", |ex| -> Result<()> {
-                        ex.launch(KernelDesc::gemm("bilinear_decode", 1, 2 * d, 1));
-                        if functional {
-                            let mut cpu = Executor::new(
-                                ex.spec().clone(),
-                                dgnn_device::ExecMode::CpuOnly,
-                            );
-                            let emb =
-                                self.embeddings.table().gather_rows(&[e.src, e.dst])?;
-                            let x = emb.reshape(&[1, 2 * d])?;
-                            checksum +=
-                                self.decoder.forward(&mut cpu, &x)?.sigmoid().sum();
-                        }
+                    dx.scope("decoder", |dx| -> Result<()> {
+                        let emb = self.embeddings.lookup(dx, &[e.src, e.dst])?;
+                        let x = dx.adopt(emb.data().reshape(&[1, 2 * d])?, 1.0);
+                        let score = self.decoder.forward(dx, &x)?;
+                        let prob = dx.activation("sigmoid", &score, Tensor::sigmoid);
+                        checksum += prob.data().sum();
                         Ok(())
                     })?;
                 }
 
-                ex.scope("memcpy_d2h", |ex| {
-                    ex.transfer(TransferDir::D2H, (batch.len() * d * 4) as u64);
-                });
+                let readback = dx.adopt(Tensor::zeros(&[1, d]), batch.len() as f64);
+                dx.scope("memcpy_d2h", |dx| dx.download(&readback));
                 iterations += 1;
             }
             Ok(())
@@ -247,7 +219,9 @@ mod tests {
     }
 
     fn cfg(bs: usize) -> InferenceConfig {
-        InferenceConfig::default().with_batch_size(bs).with_max_units(2)
+        InferenceConfig::default()
+            .with_batch_size(bs)
+            .with_max_units(2)
     }
 
     #[test]

@@ -14,8 +14,7 @@
 
 use dgnn_device::{DurationNs, EventCategory, ExecMode, Executor, PlatformSpec};
 use dgnn_profile::pipeline::{
-    delta_transfer_bytes, overlapped_makespan, pipelined_makespan, sequential_makespan,
-    StagePair,
+    delta_transfer_bytes, overlapped_makespan, pipelined_makespan, sequential_makespan, StagePair,
 };
 
 use crate::common::{DgnnModel, InferenceConfig};
@@ -66,10 +65,7 @@ fn inference_total(ex: &Executor) -> DurationNs {
 /// # Errors
 ///
 /// Propagates inference errors from the baseline run.
-pub fn pipelined_evolvegcn(
-    model: &mut EvolveGcn,
-    cfg: &InferenceConfig,
-) -> Result<AblationResult> {
+pub fn pipelined_evolvegcn(model: &mut EvolveGcn, cfg: &InferenceConfig) -> Result<AblationResult> {
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
     model.run(&mut ex, cfg)?;
     let rnn = module_durations(&ex, "rnn");
@@ -81,7 +77,10 @@ pub fn pipelined_evolvegcn(
         .collect();
     let baseline = inference_total(&ex);
     let saved = sequential_makespan(&steps) - pipelined_makespan(&steps);
-    Ok(AblationResult { baseline, optimized: baseline - saved })
+    Ok(AblationResult {
+        baseline,
+        optimized: baseline - saved,
+    })
 }
 
 /// §5.1.1: overlap TGAT's CPU-side temporal sampling for batch `t+1`
@@ -90,10 +89,7 @@ pub fn pipelined_evolvegcn(
 /// # Errors
 ///
 /// Propagates inference errors from the baseline run.
-pub fn overlapped_sampling_tgat(
-    model: &mut Tgat,
-    cfg: &InferenceConfig,
-) -> Result<AblationResult> {
+pub fn overlapped_sampling_tgat(model: &mut Tgat, cfg: &InferenceConfig) -> Result<AblationResult> {
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
     model.run(&mut ex, cfg)?;
     let sampling = module_durations(&ex, "sampling");
@@ -102,9 +98,11 @@ pub fn overlapped_sampling_tgat(
     let total_sampling: DurationNs = sampling.iter().copied().sum();
     let device_total = baseline.saturating_sub(total_sampling);
     let per_device = DurationNs::from_nanos(device_total.as_nanos() / n as u64);
-    let pairs: Vec<(DurationNs, DurationNs)> =
-        sampling.iter().map(|&s| (s, per_device)).collect();
-    Ok(AblationResult { baseline, optimized: overlapped_makespan(&pairs) })
+    let pairs: Vec<(DurationNs, DurationNs)> = sampling.iter().map(|&s| (s, per_device)).collect();
+    Ok(AblationResult {
+        baseline,
+        optimized: overlapped_makespan(&pairs),
+    })
 }
 
 /// §5.1.1 applied to EvolveGCN: overlap the CPU snapshot preparation and
@@ -135,7 +133,10 @@ pub fn overlapped_prep_evolvegcn(
         .zip(&h2d)
         .map(|(&p, &h)| (p + h, per_device))
         .collect();
-    Ok(AblationResult { baseline, optimized: overlapped_makespan(&pairs) })
+    Ok(AblationResult {
+        baseline,
+        optimized: overlapped_makespan(&pairs),
+    })
 }
 
 /// §3.3: quantify what JODIE's t-batch parallelization buys at inference
@@ -153,14 +154,20 @@ pub fn jodie_tbatch(
     let run = |use_tbatch: bool| -> Result<DurationNs> {
         let mut model = crate::jodie::Jodie::new(
             data.clone(),
-            crate::jodie::JodieConfig { dim: 128, use_tbatch },
+            crate::jodie::JodieConfig {
+                dim: 128,
+                use_tbatch,
+            },
             seed,
         );
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         model.run(&mut ex, cfg)?;
         Ok(inference_total(&ex))
     };
-    Ok(AblationResult { baseline: run(false)?, optimized: run(true)? })
+    Ok(AblationResult {
+        baseline: run(false)?,
+        optimized: run(true)?,
+    })
 }
 
 /// §5.2.2: ship only the non-overlapping fraction of each EvolveGCN
@@ -183,17 +190,21 @@ pub fn delta_snapshot_evolvegcn(
         .events()
         .iter()
         .filter(|e| {
-            matches!(e.category, EventCategory::Transfer(dgnn_device::TransferDir::H2D))
-                && e.scope.starts_with("inference/")
+            matches!(
+                e.category,
+                EventCategory::Transfer(dgnn_device::TransferDir::H2D)
+            ) && e.scope.starts_with("inference/")
         })
         .map(|e| e.bytes)
         .collect();
     let full: u64 = h2d_sizes.iter().sum();
     let delta = delta_transfer_bytes(&h2d_sizes, similarity);
     let saved_bytes = full.saturating_sub(delta);
-    let saved =
-        DurationNs::from_secs_f64(saved_bytes as f64 / ex.spec().pcie.bandwidth);
-    Ok(AblationResult { baseline, optimized: baseline.saturating_sub(saved) })
+    let saved = DurationNs::from_secs_f64(saved_bytes as f64 / ex.spec().pcie.bandwidth);
+    Ok(AblationResult {
+        baseline,
+        optimized: baseline.saturating_sub(saved),
+    })
 }
 
 #[cfg(test)]
@@ -206,7 +217,10 @@ mod tests {
     fn egcn() -> EvolveGcn {
         EvolveGcn::new(
             bitcoin_alpha(Scale::Tiny, 1),
-            EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+            EvolveGcnConfig {
+                hidden: 100,
+                version: EvolveGcnVersion::O,
+            },
             7,
         )
     }
@@ -223,7 +237,9 @@ mod tests {
     #[test]
     fn overlapping_tgat_sampling_helps_substantially() {
         let mut m = Tgat::new(wikipedia(Scale::Tiny, 1), TgatConfig::default(), 7);
-        let cfg = InferenceConfig::default().with_batch_size(100).with_max_units(4);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(100)
+            .with_max_units(4);
         let r = overlapped_sampling_tgat(&mut m, &cfg).unwrap();
         assert!(r.optimized < r.baseline);
         // Sampling dominates, so overlap is bounded by the sampling chain:
@@ -248,7 +264,9 @@ mod tests {
     #[test]
     fn tbatching_speeds_up_jodie() {
         let data = dgnn_datasets::wikipedia(Scale::Tiny, 3);
-        let cfg = InferenceConfig::default().with_batch_size(120).with_max_units(2);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(120)
+            .with_max_units(2);
         let r = jodie_tbatch(&data, &cfg, 3).unwrap();
         assert!(
             r.speedup() > 1.3,

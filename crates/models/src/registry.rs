@@ -54,14 +54,22 @@ pub fn all_model_infos() -> Vec<ModelInfo> {
         ModelInfo {
             name: "jodie",
             kind: ModelKind::Continuous,
-            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            evolving: EvolvingParts {
+                node_features: true,
+                topology: true,
+                ..Default::default()
+            },
             time_encoding: "RNN",
             tasks: "future interaction prediction, state change prediction",
         },
         ModelInfo {
             name: "tgn",
             kind: ModelKind::Continuous,
-            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            evolving: EvolvingParts {
+                node_features: true,
+                topology: true,
+                ..Default::default()
+            },
             time_encoding: "time embedding",
             tasks: "future edge prediction",
         },
@@ -92,7 +100,11 @@ pub fn all_model_infos() -> Vec<ModelInfo> {
         ModelInfo {
             name: "astgnn",
             kind: ModelKind::Discrete,
-            evolving: EvolvingParts { node_features: true, topology: true, ..Default::default() },
+            evolving: EvolvingParts {
+                node_features: true,
+                topology: true,
+                ..Default::default()
+            },
             time_encoding: "self-attention",
             tasks: "traffic flow prediction",
         },
@@ -144,7 +156,16 @@ mod tests {
         let infos = all_model_infos();
         assert_eq!(infos.len(), 8);
         let names: Vec<&str> = infos.iter().map(|i| i.name).collect();
-        for expect in ["jodie", "tgn", "evolvegcn", "tgat", "astgnn", "dyrep", "ldg", "moldgnn"] {
+        for expect in [
+            "jodie",
+            "tgn",
+            "evolvegcn",
+            "tgat",
+            "astgnn",
+            "dyrep",
+            "ldg",
+            "moldgnn",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
     }
@@ -163,15 +184,22 @@ mod tests {
     #[test]
     fn all_models_have_evolving_topology() {
         for info in all_model_infos() {
-            assert!(info.evolving.topology, "{} should evolve topology", info.name);
+            assert!(
+                info.evolving.topology,
+                "{} should evolve topology",
+                info.name
+            );
         }
     }
 
     #[test]
     fn weight_evolving_models() {
         let infos = all_model_infos();
-        let weights: Vec<&str> =
-            infos.iter().filter(|i| i.evolving.weights).map(|i| i.name).collect();
+        let weights: Vec<&str> = infos
+            .iter()
+            .filter(|i| i.evolving.weights)
+            .map(|i| i.name)
+            .collect();
         assert_eq!(weights, vec!["evolvegcn", "ldg", "moldgnn"]);
     }
 

@@ -9,9 +9,15 @@
 //!    movement increases rapidly past k≈100"),
 //! 3. runs Bochner time encoding and two attention layers,
 //! 4. copies the updated target embeddings back.
+//!
+//! All kernels and transfers go through the [`Dispatcher`]: the batch
+//! payload is staged as a host-resident [`DeviceTensor`] whose logical
+//! bytes equal the full gathered feature block, so the H2D copy falls
+//! out of the first device-side use rather than a hand-inserted
+//! `transfer()` call.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{BochnerTimeEncoder, Linear, Module, MultiHeadAttention};
 use dgnn_tensor::{Tensor, TensorRng};
@@ -43,7 +49,12 @@ pub struct TgatConfig {
 impl Default for TgatConfig {
     fn default() -> Self {
         // The reference runs Wikipedia with 172-dimensional features.
-        TgatConfig { dim: 172, time_dim: 172, n_layers: 2, heads: 2 }
+        TgatConfig {
+            dim: 172,
+            time_dim: 172,
+            n_layers: 2,
+            heads: 2,
+        }
     }
 }
 
@@ -54,7 +65,6 @@ pub struct Tgat {
     adj: TemporalAdjacency,
     cfg: TgatConfig,
     feat_proj: Linear,
-    edge_proj: Linear,
     time_enc: BochnerTimeEncoder,
     attn: Vec<MultiHeadAttention>,
     merge: Vec<Linear>,
@@ -68,7 +78,6 @@ impl Tgat {
         let adj = TemporalAdjacency::from_stream(&data.stream);
         let d = cfg.dim;
         let feat_proj = Linear::new(data.node_dim(), d, &mut rng);
-        let edge_proj = Linear::new(data.edge_dim(), d, &mut rng);
         let time_enc = BochnerTimeEncoder::new(cfg.time_dim, &mut rng);
         let attn = (0..cfg.n_layers)
             .map(|_| MultiHeadAttention::new(d, cfg.heads, &mut rng))
@@ -77,7 +86,16 @@ impl Tgat {
             .map(|_| Linear::new(d + cfg.time_dim, d, &mut rng))
             .collect();
         let predictor = Linear::new(2 * d, 1, &mut rng);
-        Tgat { data, adj, cfg, feat_proj, edge_proj, time_enc, attn, merge, predictor }
+        Tgat {
+            data,
+            adj,
+            cfg,
+            feat_proj,
+            time_enc,
+            attn,
+            merge,
+            predictor,
+        }
     }
 
     /// Rows of gathered features per event for neighbor count `k`
@@ -101,12 +119,7 @@ impl Tgat {
     }
 
     fn modules(&self) -> Vec<&dyn Module> {
-        let mut m: Vec<&dyn Module> = vec![
-            &self.feat_proj,
-            &self.edge_proj,
-            &self.time_enc,
-            &self.predictor,
-        ];
+        let mut m: Vec<&dyn Module> = vec![&self.feat_proj, &self.time_enc, &self.predictor];
         for a in &self.attn {
             m.push(a);
         }
@@ -114,31 +127,6 @@ impl Tgat {
             m.push(l);
         }
         m
-    }
-
-    /// One attention layer priced for `targets` queries with `k`
-    /// neighbors each, computed functionally for a representative target.
-    fn attention_layer(
-        &self,
-        ex: &mut Executor,
-        layer: usize,
-        targets: usize,
-        k: usize,
-        rep_q: &Tensor,
-        rep_neigh: &Tensor,
-    ) -> Result<Tensor> {
-        let d = self.cfg.dim;
-        // Price the full-batch kernels.
-        ex.launch(KernelDesc::gemm("attn_proj", targets * (1 + k), d, 3 * d));
-        ex.launch(KernelDesc::batched_gemm("attn_scores", targets, 1, d, k));
-        ex.launch(KernelDesc::reduce("attn_softmax", targets, k));
-        ex.launch(KernelDesc::batched_gemm("attn_context", targets, 1, k, d));
-        ex.launch(KernelDesc::gemm("attn_out", targets, d, d));
-        // Functional result on the representative rows only: attention
-        // math itself (without re-pricing) via the layer's tensors.
-        let mut cpu = Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-        let out = self.attn[layer].forward(&mut cpu, rep_q, rep_neigh, rep_neigh)?;
-        Ok(out)
     }
 }
 
@@ -148,7 +136,10 @@ impl DgnnModel for Tgat {
     }
 
     fn info(&self) -> ModelInfo {
-        all_model_infos().into_iter().find(|i| i.name == "tgat").expect("tgat registered")
+        all_model_infos()
+            .into_iter()
+            .find(|i| i.name == "tgat")
+            .expect("tgat registered")
     }
 
     fn param_bytes(&self) -> u64 {
@@ -158,7 +149,11 @@ impl DgnnModel for Tgat {
     }
 
     fn param_tensors(&self) -> u64 {
-        self.modules().iter().map(|m| m.param_tensor_count()).sum::<u64>() + 1
+        self.modules()
+            .iter()
+            .map(|m| m.param_tensor_count())
+            .sum::<u64>()
+            + 1
     }
 
     fn activation_bytes(&self, cfg: &InferenceConfig) -> u64 {
@@ -169,8 +164,7 @@ impl DgnnModel for Tgat {
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
         let k = cfg.n_neighbors.max(1);
         let d = self.cfg.dim;
-        // Per shipped row: edge features + timestamp + neighbor index.
-        let feat_bytes_per_row = ((self.data.edge_dim() + 2) * 4) as u64;
+        let n_layers = self.cfg.n_layers;
         let mut sampler = NeighborSampler::new(SampleStrategy::Uniform, cfg.seed);
         let mut checksum = 0.0f32;
         let mut iterations = 0usize;
@@ -184,6 +178,7 @@ impl DgnnModel for Tgat {
             .collect();
 
         let time = ex.scope("inference", |ex| -> Result<()> {
+            let mut dx = Dispatcher::new(ex);
             for batch in &batches {
                 let bsz = batch.len();
                 let rep = representative(bsz);
@@ -191,10 +186,10 @@ impl DgnnModel for Tgat {
                 let edge_rows = bsz * self.edge_rows_per_event(k);
 
                 // 1. Temporal neighborhood sampling on the CPU.
-                let (rep_layers, rep_cost) = ex.scope("sampling", |ex| {
+                let rep_layers = dx.scope("sampling", |dx| {
                     let roots: Vec<(usize, f64)> =
                         batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
-                    let ks = vec![k; self.cfg.n_layers.max(1)];
+                    let ks = vec![k; n_layers.max(1)];
                     let (layers, cost) = sampler.sample_khop(&self.adj, &roots, &ks);
                     let scale = (bsz as u64).div_ceil(rep as u64);
                     let calls = (bsz * (1 + k)) as u64;
@@ -202,89 +197,94 @@ impl DgnnModel for Tgat {
                     // per batch so the feature gather walks forward.
                     let sorted = (bsz * (1 + k)) as u64;
                     let sort_ops = sorted * (64 - sorted.max(2).leading_zeros() as u64);
-                    ex.host(HostWork {
+                    dx.host(HostWork {
                         label: "temporal_sampling",
                         ops: cost.ops * scale + calls * SAMPLING_CALL_OPS + sort_ops,
                         seq_bytes: 0,
                         irregular_bytes: cost.irregular_bytes * scale,
                     });
-                    (layers, cost)
-                });
-                let _ = rep_cost;
-
-                // 2. Ship gathered edge features + time deltas to the GPU.
-                ex.scope("memcpy_h2d", |ex| {
-                    ex.transfer(TransferDir::H2D, edge_rows as u64 * feat_bytes_per_row);
+                    layers
                 });
 
-                // Representative functional inputs.
+                // 2. The gathered edge features + time deltas cross PCIe
+                // once per batch: a staged host payload whose logical
+                // bytes are the full `edge_rows` feature block.
+                let payload = DeviceTensor::host_scaled(
+                    Tensor::zeros(&[1, self.data.edge_dim() + 2]),
+                    edge_rows as f64,
+                );
+                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&payload));
+
+                // Representative functional inputs: the first `rep`
+                // targets and one event's worth of sampled neighbors.
                 let rep_src: Vec<usize> = batch.iter().take(rep).map(|e| e.src).collect();
                 let src_feats = self.data.node_features.gather_rows(&rep_src)?;
-                let neigh_ids: Vec<usize> = rep_layers
+                let neigh: Vec<&dgnn_graph::sampler::SampledNeighbor> = rep_layers
                     .get(1)
-                    .map(|l| l.iter().map(|s| s.node).collect())
+                    .map(|l| l.iter().take(k).collect())
                     .unwrap_or_default();
-                let neigh_feats = if neigh_ids.is_empty() {
-                    Tensor::zeros(&[1, self.data.node_dim()])
+                let (neigh_feats, deltas) = if neigh.is_empty() {
+                    (Tensor::zeros(&[1, self.data.node_dim()]), vec![0.0f32])
                 } else {
-                    self.data.node_features.gather_rows(&neigh_ids)?
+                    let ids: Vec<usize> = neigh.iter().map(|s| s.node).collect();
+                    let times: Vec<f32> = neigh.iter().map(|s| s.time as f32).collect();
+                    (self.data.node_features.gather_rows(&ids)?, times)
                 };
+                let kn = neigh_feats.dims()[0];
 
-                // 3. Time encoding (priced for all rows).
-                let deltas: Vec<f32> = rep_layers
-                    .get(1)
-                    .map(|l| l.iter().map(|s| s.time as f32).collect())
-                    .unwrap_or_else(|| vec![0.0]);
-                let rep_time = ex.scope("time_encoding", |ex| {
-                    ex.launch(KernelDesc::elementwise(
-                        "time_encode",
-                        rows * self.cfg.time_dim,
-                        3,
-                        2,
-                    ));
-                    let t = Tensor::from_vec(deltas.clone(), &[deltas.len()])?;
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    self.time_enc.forward(&mut cpu, &t)
+                // 3. Time encoding, priced for all gathered rows.
+                let rep_time = dx.scope("time_encoding", |dx| {
+                    let n_phys = deltas.len();
+                    let t = Tensor::from_vec(deltas.clone(), &[n_phys])?;
+                    // The deltas arrived inside the staged payload, so
+                    // they are already device-resident.
+                    let t = dx.adopt(t, rows as f64 / n_phys as f64);
+                    self.time_enc.forward(dx, &t)
                 })?;
 
-                // 4. Attention layers.
-                let out = ex.scope("attention", |ex| -> Result<Tensor> {
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let q = self.feat_proj.forward(&mut cpu, &src_feats)?;
-                    let nf = self.feat_proj.forward(&mut cpu, &neigh_feats)?;
-                    // Merge time encoding into neighbor representation.
-                    let nt = if nf.dims()[0] == rep_time.dims()[0] {
-                        self.merge[0].forward(&mut cpu, &nf.concat_cols(&rep_time)?)?
+                // 4. Attention layers. The queries are `rep` physical
+                // target rows standing in for the layer's logical target
+                // count; the keys/values are ONE event's `kn` neighbor
+                // rows standing in for `targets × k` logical rows — both
+                // quadratic attention dims (`k`, `d`) stay physical, so
+                // scaled pricing equals full-batch pricing.
+                let out = dx.scope("attention", |dx| -> Result<DeviceTensor> {
+                    let src = dx.adopt(src_feats.clone(), bsz as f64 / rep as f64);
+                    let q0 = self.feat_proj.forward(dx, &src)?;
+                    let nbr = dx.adopt(neigh_feats.clone(), (bsz * k) as f64 / kn as f64);
+                    let nf = self.feat_proj.forward(dx, &nbr)?;
+                    let nt = if nf.data().dims()[0] == rep_time.data().dims()[0] {
+                        let merged = nf.data().concat_cols(rep_time.data())?;
+                        let merged = dx.adopt(merged, nf.scale());
+                        self.merge[0].forward(dx, &merged)?
                     } else {
                         nf
                     };
-                    let mut h = q;
-                    for layer in 0..self.cfg.n_layers {
-                        let targets = if layer + 1 == self.cfg.n_layers {
-                            bsz
-                        } else {
-                            bsz * k
-                        };
-                        h = self.attention_layer(ex, layer, targets, k, &h, &nt)?;
+                    let mut h = q0;
+                    for layer in 0..n_layers {
+                        let targets = if layer + 1 == n_layers { bsz } else { bsz * k };
+                        let q_rows = h.data().dims()[0];
+                        let q = dx.adopt(h.data().clone(), targets as f64 / q_rows as f64);
+                        let kv_rows = nt.data().dims()[0];
+                        let kv = dx.adopt(nt.data().clone(), (targets * k) as f64 / kv_rows as f64);
+                        h = self.attn[layer].forward(dx, &q, &kv, &kv)?;
                     }
                     Ok(h)
                 })?;
 
-                // 5. Prediction head + copy-back.
-                ex.scope("prediction", |ex| -> Result<()> {
-                    ex.launch(KernelDesc::gemm("predict", bsz, 2 * d, 1));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let pair = out.concat_cols(&out)?;
-                    let score = self.predictor.forward(&mut cpu, &pair)?;
-                    checksum += score.sum();
-                    Ok(())
+                // 5. Prediction head + copy-back of the target embeddings.
+                let result = dx.scope("prediction", |dx| -> Result<DeviceTensor> {
+                    let out_rows = out.data().dims()[0];
+                    let pair = dx.adopt(
+                        out.data().concat_cols(out.data())?,
+                        bsz as f64 / out_rows as f64,
+                    );
+                    let score = self.predictor.forward(dx, &pair)?;
+                    checksum += score.data().sum();
+                    Ok(dx.adopt(out.data().clone(), bsz as f64 / out_rows as f64))
                 })?;
-                ex.scope("memcpy_d2h", |ex| {
-                    ex.transfer(TransferDir::D2H, (bsz * d * 4) as u64);
-                });
+                debug_assert_eq!(result.data().dims()[1], d);
+                dx.scope("memcpy_d2h", |dx| dx.download(&result));
                 iterations += 1;
             }
             Ok(())
@@ -314,7 +314,9 @@ mod tests {
     }
 
     fn small_cfg() -> InferenceConfig {
-        InferenceConfig::default().with_batch_size(50).with_max_units(3)
+        InferenceConfig::default()
+            .with_batch_size(50)
+            .with_max_units(3)
     }
 
     #[test]
@@ -333,7 +335,9 @@ mod tests {
     fn sampling_dominates_gpu_inference() {
         let mut model = build();
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-        model.run(&mut ex, &small_cfg().with_batch_size(200)).unwrap();
+        model
+            .run(&mut ex, &small_cfg().with_batch_size(200))
+            .unwrap();
         let p = InferenceProfile::capture(&ex, "inference");
         assert!(
             p.breakdown.share_of("sampling") > 0.5,
@@ -348,7 +352,11 @@ mod tests {
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
         model.run(&mut ex, &small_cfg()).unwrap();
         let p = InferenceProfile::capture(&ex, "inference");
-        assert!(p.utilization.average < 0.15, "util {}", p.utilization.average);
+        assert!(
+            p.utilization.average < 0.15,
+            "util {}",
+            p.utilization.average
+        );
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //!
 //! Message passing's transfer volume makes it dominate at large batch
 //! sizes (79% at 64k in Fig 7a) and drives GPU utilization *down* as
-//! batch size grows (Fig 6c).
+//! batch size grows (Fig 6c). All kernels route through the
+//! [`Dispatcher`]; the memory exchange is expressed as staged
+//! [`DeviceTensor`]s whose residence crossings *are* the transfers.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{Executor, HostWork, KernelDesc, TransferDir};
+use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{EmbeddingTable, GruCell, Linear, Module, MultiHeadAttention, Time2Vec};
-use dgnn_tensor::{Tensor, TensorRng};
+use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
 use crate::common::{representative, DgnnModel, InferenceConfig, RunSummary};
 use crate::registry::{all_model_infos, ModelInfo};
@@ -44,7 +46,11 @@ pub struct TgnConfig {
 
 impl Default for TgnConfig {
     fn default() -> Self {
-        TgnConfig { dim: 172, time_dim: 100, heads: 2 }
+        TgnConfig {
+            dim: 172,
+            time_dim: 100,
+            heads: 2,
+        }
     }
 }
 
@@ -106,7 +112,10 @@ impl DgnnModel for Tgn {
     }
 
     fn info(&self) -> ModelInfo {
-        all_model_infos().into_iter().find(|i| i.name == "tgn").expect("tgn registered")
+        all_model_infos()
+            .into_iter()
+            .find(|i| i.name == "tgn")
+            .expect("tgn registered")
     }
 
     fn param_bytes(&self) -> u64 {
@@ -140,29 +149,29 @@ impl DgnnModel for Tgn {
             .collect();
 
         let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::new(ex);
             for batch in &batches {
                 let bsz = batch.len();
                 let rep = representative(bsz);
+                let scale = bsz as f64 / rep as f64;
                 let touched = self.touched_rows(bsz, k);
-                let row_bytes = (d * 4) as u64;
 
                 // 1. Batch preparation + edge features to GPU.
-                ex.scope("batch_prep", |ex| {
-                    ex.host(HostWork::sequential(
+                dx.scope("batch_prep", |dx| {
+                    dx.host(HostWork::sequential(
                         "pack_batch",
                         bsz as u64 * PREP_CALL_OPS,
                         bsz as u64 * dgnn_graph::EventStream::EVENT_BYTES,
                     ));
                 });
-                ex.scope("memcpy_h2d", |ex| {
-                    ex.transfer(
-                        TransferDir::H2D,
-                        (bsz * (self.data.edge_dim() + 2) * 4) as u64,
-                    );
-                });
+                let edge_payload = DeviceTensor::host_scaled(
+                    Tensor::zeros(&[1, self.data.edge_dim() + 2]),
+                    bsz as f64,
+                );
+                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&edge_payload));
 
                 // 2. Temporal neighbor sampling on the CPU.
-                let rep_neighbors = ex.scope("sampling", |ex| {
+                let rep_neighbors = dx.scope("sampling", |dx| {
                     let mut rep_samples = Vec::new();
                     let mut cost = dgnn_graph::sampler::SampleCost::default();
                     for e in batch.iter().take(rep) {
@@ -170,95 +179,90 @@ impl DgnnModel for Tgn {
                         cost.add(c);
                         rep_samples.push(picked);
                     }
-                    let scale = (bsz as u64).div_ceil(rep as u64);
-                    ex.host(HostWork {
+                    let s = (bsz as u64).div_ceil(rep as u64);
+                    dx.host(HostWork {
                         label: "temporal_sampling",
-                        ops: cost.ops * scale / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
+                        ops: cost.ops * s / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
                         seq_bytes: 0,
-                        irregular_bytes: cost.irregular_bytes * scale / 4,
+                        irregular_bytes: cost.irregular_bytes * s / 4,
                     });
                     rep_samples
                 });
 
-                // 3. Message passing: memory exchange + message kernels.
-                let rep_msgs = ex.scope("message_passing", |ex| -> Result<Tensor> {
-                    // Fetch memory rows of all touched nodes, stage the
-                    // raw messages, and write updated memory back — the
-                    // frequent CPU<->GPU memory exchange of Fig 5(b).
-                    ex.transfer(TransferDir::H2D, 2 * touched * row_bytes);
-                    ex.transfer(TransferDir::D2H, touched * row_bytes);
-                    let msg_in = 2 * d + self.data.edge_dim() + self.cfg.time_dim;
-                    ex.launch(KernelDesc::gemm("message_fn", bsz, msg_in, d));
-                    ex.launch(KernelDesc::reduce("message_agg", bsz, k.max(1)));
+                let rep_src: Vec<usize> = batch.iter().take(rep).map(|e| e.src).collect();
 
-                    // Representative functional path.
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let src: Vec<usize> = batch.iter().take(rep).map(|e| e.src).collect();
+                // 3. Message passing: memory exchange + message kernels.
+                let rep_msgs = dx.scope("message_passing", |dx| -> Result<DeviceTensor> {
+                    // The memory rows of every touched node cross PCIe
+                    // both ways — the Fig 5(b) exchange, derived from the
+                    // residence of the staged row blocks.
+                    let mem_in = DeviceTensor::host_scaled(
+                        Tensor::zeros(&[rep, 2 * d]),
+                        touched as f64 / rep as f64,
+                    );
+                    dx.ensure_resident(&mem_in);
+                    let staged_out =
+                        dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
+                    dx.download(&staged_out);
+
+                    let src_mem = self.memory.lookup_scaled(dx, &rep_src, scale)?;
                     let dst: Vec<usize> = batch.iter().take(rep).map(|e| e.dst).collect();
-                    let src_mem = self.memory.table().gather_rows(&src)?;
-                    let dst_mem = self.memory.table().gather_rows(&dst)?;
-                    let feats: Vec<usize> =
-                        batch.iter().take(rep).map(|e| e.feature_idx).collect();
+                    let dst_mem = self.memory.lookup_scaled(dx, &dst, scale)?;
+                    let feats: Vec<usize> = batch.iter().take(rep).map(|e| e.feature_idx).collect();
                     let edge = self.data.edge_features.gather_rows(&feats)?;
                     let deltas = Tensor::from_vec(
                         batch.iter().take(rep).map(|e| e.time as f32).collect(),
                         &[rep],
                     )?;
-                    let time = self.time_enc.forward(&mut cpu, &deltas)?;
+                    let deltas = dx.adopt(deltas, scale);
+                    let time = self.time_enc.forward(dx, &deltas)?;
                     let raw = src_mem
-                        .concat_cols(&dst_mem)?
+                        .data()
+                        .concat_cols(dst_mem.data())?
                         .concat_cols(&edge)?
-                        .concat_cols(&time)?;
-                    self.message_fn.forward(&mut cpu, &raw).map_err(Into::into)
+                        .concat_cols(time.data())?;
+                    let raw = dx.adopt(raw, scale);
+                    let msgs = self.message_fn.forward(dx, &raw)?;
+                    // Per-node aggregation of messages has no dense
+                    // functional counterpart; charge the reduce directly.
+                    dx.charge(OpDescriptor::reduce("message_agg", bsz, k.max(1)), 1.0);
+                    Ok(msgs)
                 })?;
 
                 // 4. Memory update (GRU) + embedding (attention).
-                let rep_src: Vec<usize> = batch.iter().take(rep).map(|e| e.src).collect();
-                let new_mem = ex.scope("memory_update", |ex| -> Result<Tensor> {
-                    ex.launch(KernelDesc::gemm("gru_x", bsz, d, 3 * d));
-                    ex.launch(KernelDesc::gemm("gru_h", bsz, d, 3 * d));
-                    ex.launch(KernelDesc::elementwise("gru_gates", bsz * d, 6, 3));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let prev = self.memory.table().gather_rows(&rep_src)?;
-                    self.memory_updater.forward(&mut cpu, &rep_msgs, &prev).map_err(Into::into)
+                let new_mem = dx.scope("memory_update", |dx| -> Result<DeviceTensor> {
+                    let prev = self.memory.lookup_scaled(dx, &rep_src, scale)?;
+                    self.memory_updater
+                        .forward(dx, &rep_msgs, &prev)
+                        .map_err(Into::into)
                 })?;
-                self.memory.update(
-                    &mut Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly),
-                    &rep_src,
-                    &new_mem,
-                )?;
+                self.memory.update(&mut dx, &rep_src, &new_mem)?;
 
-                let emb = ex.scope("embedding", |ex| -> Result<Tensor> {
-                    ex.launch(KernelDesc::gemm("attn_proj", bsz * (1 + k), d, 3 * d));
-                    ex.launch(KernelDesc::batched_gemm("attn_scores", bsz, 1, d, k));
-                    ex.launch(KernelDesc::reduce("attn_softmax", bsz, k));
-                    ex.launch(KernelDesc::batched_gemm("attn_ctx", bsz, 1, k, d));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let neigh_ids: Vec<usize> = rep_neighbors
-                        .iter()
-                        .flatten()
-                        .map(|s| s.node)
-                        .chain(rep_src.iter().copied())
+                let emb = dx.scope("embedding", |dx| -> Result<DeviceTensor> {
+                    // Keys/values: one event's sampled neighbors plus its
+                    // source, standing in for the full batch (scale bsz);
+                    // the queries are the rep updated-memory rows.
+                    let kv_ids: Vec<usize> = rep_neighbors
+                        .first()
+                        .map(|s| s.iter().map(|n| n.node).collect::<Vec<_>>())
+                        .unwrap_or_default()
+                        .into_iter()
+                        .chain(rep_src.first().copied())
                         .collect();
-                    let kv = self.memory.table().gather_rows(&neigh_ids)?;
-                    self.embed_attn.forward(&mut cpu, &new_mem, &kv, &kv).map_err(Into::into)
+                    let kv = self.memory.lookup_scaled(dx, &kv_ids, bsz as f64)?;
+                    self.embed_attn
+                        .forward(dx, &new_mem, &kv, &kv)
+                        .map_err(Into::into)
                 })?;
 
                 // 5. Prediction + memory write-back.
-                ex.scope("prediction", |ex| -> Result<()> {
-                    ex.launch(KernelDesc::gemm("predict", bsz, 2 * d, 1));
-                    let mut cpu =
-                        Executor::new(ex.spec().clone(), dgnn_device::ExecMode::CpuOnly);
-                    let pair = emb.concat_cols(&emb)?;
-                    checksum += self.predictor.forward(&mut cpu, &pair)?.sum();
+                dx.scope("prediction", |dx| -> Result<()> {
+                    let pair = dx.adopt(emb.data().concat_cols(emb.data())?, scale);
+                    checksum += self.predictor.forward(dx, &pair)?.data().sum();
                     Ok(())
                 })?;
-                ex.scope("memcpy_d2h", |ex| {
-                    ex.transfer(TransferDir::D2H, touched * row_bytes);
-                });
+                let writeback = dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
+                dx.scope("memcpy_d2h", |dx| dx.download(&writeback));
                 iterations += 1;
             }
             Ok(())
@@ -321,7 +325,9 @@ mod tests {
             let mut m = build();
             let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
             m.run(&mut ex, &cfg(bs)).unwrap();
-            InferenceProfile::capture(&ex, "inference").utilization.busy_fraction
+            InferenceProfile::capture(&ex, "inference")
+                .utilization
+                .busy_fraction
         };
         let small = util(32);
         let large = util(512);

@@ -5,8 +5,8 @@
 use dgnn_datasets::{iso17, pems, wikipedia, Scale};
 use dgnn_device::{DurationNs, ExecMode, Executor, PlatformSpec};
 use dgnn_models::{
-    Astgnn, AstgnnConfig, DgnnModel, InferenceConfig, MolDgnn, MolDgnnConfig, Tgat,
-    TgatConfig, Tgn, TgnConfig,
+    Astgnn, AstgnnConfig, DgnnModel, InferenceConfig, MolDgnn, MolDgnnConfig, Tgat, TgatConfig,
+    Tgn, TgnConfig,
 };
 
 const SEED: u64 = 99;
@@ -69,7 +69,9 @@ fn degenerate_platform_specs_still_work() {
     spec.pcie.bandwidth = 1e8;
     let mut slow_ex = Executor::new(spec, ExecMode::Gpu);
     let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
-    let cfg = InferenceConfig::default().with_batch_size(50).with_max_units(2);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(50)
+        .with_max_units(2);
     let slow = m.run(&mut slow_ex, &cfg).expect("slow platform runs");
 
     let mut fast_ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
@@ -84,10 +86,16 @@ fn moldgnn_handles_more_frames_than_dataset() {
     let frames = data.frames_per_molecule();
     let mut m = MolDgnn::new(
         data,
-        MolDgnnConfig { gcn_dim: 16, lstm_dim: 64, frames: frames * 50 },
+        MolDgnnConfig {
+            gcn_dim: 16,
+            lstm_dim: 64,
+            frames: frames * 50,
+        },
         SEED,
     );
-    let cfg = InferenceConfig::default().with_batch_size(8).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(8)
+        .with_max_units(1);
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
     assert!(m.run(&mut ex, &cfg).is_ok());
 }
@@ -95,7 +103,9 @@ fn moldgnn_handles_more_frames_than_dataset() {
 #[test]
 fn astgnn_single_sensor_batch() {
     let mut m = Astgnn::new(pems(Scale::Tiny, SEED), AstgnnConfig::default(), SEED);
-    let cfg = InferenceConfig::default().with_batch_size(1).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(1)
+        .with_max_units(1);
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
     let s = m.run(&mut ex, &cfg).expect("bs=1 runs");
     assert!(s.inference_time > DurationNs::ZERO);
@@ -106,7 +116,9 @@ fn repeated_runs_on_one_executor_accumulate_monotonically() {
     // Running two models back-to-back on the same executor keeps the
     // clock monotone and pays context init only once.
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-    let cfg = InferenceConfig::default().with_batch_size(50).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(50)
+        .with_max_units(1);
     let mut a = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
     a.run(&mut ex, &cfg).expect("first model");
     let t1 = ex.now();
@@ -127,7 +139,9 @@ fn checksum_depends_on_seed_but_timing_is_config_driven() {
     let time_and_sum = |seed: u64| {
         let mut m = Tgat::new(wikipedia(Scale::Tiny, 1), TgatConfig::default(), seed);
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
-        let cfg = InferenceConfig::default().with_batch_size(50).with_max_units(2);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(50)
+            .with_max_units(2);
         let s = m.run(&mut ex, &cfg).expect("runs");
         (s.inference_time, s.checksum)
     };

@@ -1,7 +1,7 @@
 //! Multi-head scaled-dot-product attention (TGAT, ASTGNN, LDG).
 
-use dgnn_device::{Executor, KernelDesc};
-use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use dgnn_device::{DeviceTensor, Dispatcher};
+use dgnn_tensor::{Initializer, OpDescriptor, Tensor, TensorRng};
 
 use crate::module::{Module, Param};
 use crate::Result;
@@ -27,7 +27,10 @@ impl MultiHeadAttention {
     ///
     /// Panics when `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, rng: &mut TensorRng) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide evenly into heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide evenly into heads"
+        );
         let mk = |name: &str, rng: &mut TensorRng| {
             Param::new(name, rng.init(&[dim, dim], Initializer::XavierUniform))
         };
@@ -57,23 +60,48 @@ impl MultiHeadAttention {
     ///
     /// Returns shape errors when `q`/`k`/`v` widths differ from `dim` or
     /// `k`/`v` row counts differ.
-    pub fn forward(&self, ex: &mut Executor, q: &Tensor, k: &Tensor, v: &Tensor) -> Result<Tensor> {
-        let m = q.dims()[0];
-        let n = k.dims()[0];
+    pub fn forward(
+        &self,
+        dx: &mut Dispatcher,
+        q: &DeviceTensor,
+        k: &DeviceTensor,
+        v: &DeviceTensor,
+    ) -> Result<DeviceTensor> {
+        let m = q.data().dims()[0];
+        let n = k.data().dims()[0];
         let d = self.dim;
         let dh = d / self.heads;
 
-        // Projections (three GEMMs).
-        ex.launch(KernelDesc::gemm("attn_q_proj", m, d, d));
-        ex.launch(KernelDesc::gemm("attn_kv_proj", n, d, 2 * d));
-        let qp = q.matmul(&self.wq.value.transpose()?)?;
-        let kp = k.matmul(&self.wk.value.transpose()?)?;
-        let vp = v.matmul(&self.wv.value.transpose()?)?;
+        // Projections: one GEMM for queries, one fused GEMM for keys and
+        // values together (they share the `[n, d]` input).
+        let qp = dx.matmul_nt("attn_q_proj", q, &self.wq.value)?;
+        dx.ensure_resident(k);
+        dx.ensure_resident(v);
+        let (kp, vp) = dx.fused(
+            OpDescriptor::gemm("attn_kv_proj", n, d, 2 * d),
+            k.scale(),
+            || {
+                let kp = k.data().matmul(&self.wk.value.transpose()?)?;
+                let vp = v.data().matmul(&self.wv.value.transpose()?)?;
+                Ok((kp, vp))
+            },
+        )?;
 
-        // Per-head scores, softmax, weighted sum.
-        ex.launch(KernelDesc::batched_gemm("attn_scores", self.heads, m, dh, n));
-        ex.launch(KernelDesc::reduce("attn_softmax", self.heads * m, n));
-        ex.launch(KernelDesc::batched_gemm("attn_context", self.heads, m, n, dh));
+        // Per-head scores, softmax, weighted sum: computed in one pass
+        // below, charged as the three batched kernels a fused attention
+        // implementation would launch.
+        dx.charge(
+            OpDescriptor::batched_gemm("attn_scores", self.heads, m, dh, n),
+            q.scale(),
+        );
+        dx.charge(
+            OpDescriptor::reduce("attn_softmax", self.heads * m, n),
+            q.scale(),
+        );
+        dx.charge(
+            OpDescriptor::batched_gemm("attn_context", self.heads, m, n, dh),
+            q.scale(),
+        );
 
         let scale = 1.0 / (dh as f32).sqrt();
         let mut context = Tensor::zeros(&[m, d]);
@@ -86,7 +114,7 @@ impl MultiHeadAttention {
                 }
                 Tensor::from_vec(data, &[rows, dh])
             };
-            let qh = slice_cols(&qp, m)?;
+            let qh = slice_cols(qp.data(), m)?;
             let kh = slice_cols(&kp, n)?;
             let vh = slice_cols(&vp, n)?;
             let scores = qh.matmul(&kh.transpose()?)?.scale(scale);
@@ -101,8 +129,8 @@ impl MultiHeadAttention {
         }
 
         // Output projection.
-        ex.launch(KernelDesc::gemm("attn_out_proj", m, d, d));
-        context.matmul(&self.wo.value.transpose()?)
+        let context = dx.adopt(context, q.scale());
+        dx.matmul_nt("attn_out_proj", &context, &self.wo.value)
     }
 }
 
@@ -115,10 +143,14 @@ impl Module for MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, PlatformSpec};
 
     fn ex() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    fn dt(t: Tensor) -> DeviceTensor {
+        DeviceTensor::host(t)
     }
 
     #[test]
@@ -126,11 +158,12 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let attn = MultiHeadAttention::new(8, 2, &mut rng);
         let mut ex = ex();
-        let q = TensorRng::seed(2).init(&[3, 8], Initializer::Normal(1.0));
-        let kv = TensorRng::seed(3).init(&[5, 8], Initializer::Normal(1.0));
-        let out = attn.forward(&mut ex, &q, &kv, &kv).unwrap();
-        assert_eq!(out.dims(), &[3, 8]);
-        assert!(out.all_finite());
+        let mut dx = Dispatcher::new(&mut ex);
+        let q = dt(TensorRng::seed(2).init(&[3, 8], Initializer::Normal(1.0)));
+        let kv = dt(TensorRng::seed(3).init(&[5, 8], Initializer::Normal(1.0)));
+        let out = attn.forward(&mut dx, &q, &kv, &kv).unwrap();
+        assert_eq!(out.data().dims(), &[3, 8]);
+        assert!(out.data().all_finite());
     }
 
     #[test]
@@ -140,12 +173,13 @@ mod tests {
         let mut rng = TensorRng::seed(4);
         let attn = MultiHeadAttention::new(4, 1, &mut rng);
         let mut ex = ex();
-        let q = TensorRng::seed(5).init(&[2, 4], Initializer::Normal(1.0));
-        let k = Tensor::ones(&[6, 4]);
-        let v = TensorRng::seed(6).init(&[6, 4], Initializer::Normal(1.0));
-        let out = attn.forward(&mut ex, &q, &k, &v).unwrap();
-        let row0 = out.row(0).unwrap();
-        let row1 = out.row(1).unwrap();
+        let mut dx = Dispatcher::new(&mut ex);
+        let q = dt(TensorRng::seed(5).init(&[2, 4], Initializer::Normal(1.0)));
+        let k = dt(Tensor::ones(&[6, 4]));
+        let v = dt(TensorRng::seed(6).init(&[6, 4], Initializer::Normal(1.0)));
+        let out = attn.forward(&mut dx, &q, &k, &v).unwrap();
+        let row0 = out.data().row(0).unwrap();
+        let row1 = out.data().row(1).unwrap();
         row0.assert_close(&row1, 1e-5);
     }
 
@@ -169,10 +203,11 @@ mod tests {
         let mut rng = TensorRng::seed(9);
         let attn = MultiHeadAttention::new(8, 2, &mut rng);
         let mut ex = ex();
-        let q = Tensor::zeros(&[2, 8]);
-        let kv = Tensor::zeros(&[3, 8]);
-        attn.forward(&mut ex, &q, &kv, &kv).unwrap();
-        assert!(ex.timeline().len() >= 6);
+        let mut dx = Dispatcher::new(&mut ex);
+        let q = dt(Tensor::zeros(&[2, 8]));
+        let kv = dt(Tensor::zeros(&[3, 8]));
+        attn.forward(&mut dx, &q, &kv, &kv).unwrap();
+        assert!(dx.executor().timeline().len() >= 6);
     }
 
     #[test]
@@ -180,8 +215,9 @@ mod tests {
         let mut rng = TensorRng::seed(10);
         let attn = MultiHeadAttention::new(8, 2, &mut rng);
         let mut ex = ex();
-        let q = Tensor::zeros(&[2, 6]);
-        let kv = Tensor::zeros(&[3, 8]);
-        assert!(attn.forward(&mut ex, &q, &kv, &kv).is_err());
+        let mut dx = Dispatcher::new(&mut ex);
+        let q = dt(Tensor::zeros(&[2, 6]));
+        let kv = dt(Tensor::zeros(&[3, 8]));
+        assert!(attn.forward(&mut dx, &q, &kv, &kv).is_err());
     }
 }

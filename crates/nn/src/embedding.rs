@@ -1,6 +1,6 @@
 //! Embedding tables with gather-kernel accounting.
 
-use dgnn_device::{Executor, KernelDesc};
+use dgnn_device::{DeviceTensor, Dispatcher};
 use dgnn_tensor::{Initializer, Tensor, TensorRng};
 
 use crate::module::{Module, Param};
@@ -8,8 +8,9 @@ use crate::Result;
 
 /// A dense embedding table `[rows, dim]` looked up by row index.
 ///
-/// Lookups launch a gather kernel (irregular access), matching how the
-/// profiled frameworks fetch node/edge embeddings.
+/// Lookups dispatch a gather kernel (irregular access), matching how the
+/// profiled frameworks fetch node/edge embeddings. The table itself is a
+/// weight: it lives on the compute device and never crosses PCIe.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmbeddingTable {
     table: Param,
@@ -36,7 +37,11 @@ impl EmbeddingTable {
         assert_eq!(values.rank(), 2, "embedding table must be rank 2");
         let rows = values.dims()[0];
         let dim = values.dims()[1];
-        EmbeddingTable { table: Param::new("table", values), rows, dim }
+        EmbeddingTable {
+            table: Param::new("table", values),
+            rows,
+            dim,
+        }
     }
 
     /// Number of rows.
@@ -54,25 +59,44 @@ impl EmbeddingTable {
         &self.table.value
     }
 
-    /// Gathers the rows at `indices`, launching a gather kernel.
+    /// Gathers the rows at `indices`, dispatching a gather kernel.
     ///
     /// # Errors
     ///
     /// Returns an index error when any index exceeds the table rows.
-    pub fn lookup(&self, ex: &mut Executor, indices: &[usize]) -> Result<Tensor> {
-        ex.launch(KernelDesc::gather("embedding_lookup", indices.len(), self.dim));
-        self.table.value.gather_rows(indices)
+    pub fn lookup(&self, dx: &mut Dispatcher, indices: &[usize]) -> Result<DeviceTensor> {
+        self.lookup_scaled(dx, indices, 1.0)
     }
 
-    /// Writes updated rows back (scatter), launching a gather-family
-    /// kernel; returns the new table state and replaces the stored one.
+    /// [`EmbeddingTable::lookup`] with a representative-batch `scale`:
+    /// the gather is priced (and the result tagged) as if `scale`× the
+    /// physical index count had been fetched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an index error when any index exceeds the table rows.
+    pub fn lookup_scaled(
+        &self,
+        dx: &mut Dispatcher,
+        indices: &[usize],
+        scale: f64,
+    ) -> Result<DeviceTensor> {
+        dx.gather_rows("embedding_lookup", &self.table.value, indices, scale)
+    }
+
+    /// Writes updated rows back (scatter), dispatching a gather-family
+    /// kernel and replacing the stored table.
     ///
     /// # Errors
     ///
     /// Returns shape/index errors from the scatter.
-    pub fn update(&mut self, ex: &mut Executor, indices: &[usize], rows: &Tensor) -> Result<()> {
-        ex.launch(KernelDesc::gather("embedding_update", indices.len(), self.dim));
-        self.table.value = self.table.value.scatter_rows(indices, rows)?;
+    pub fn update(
+        &mut self,
+        dx: &mut Dispatcher,
+        indices: &[usize],
+        rows: &DeviceTensor,
+    ) -> Result<()> {
+        self.table.value = dx.scatter_rows("embedding_update", &self.table.value, indices, rows)?;
         Ok(())
     }
 }
@@ -86,7 +110,7 @@ impl Module for EmbeddingTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, KernelKind, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, KernelKind, PlatformSpec};
 
     fn ex() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
@@ -97,10 +121,11 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let table = EmbeddingTable::new(10, 4, &mut rng);
         let mut ex = ex();
-        let out = table.lookup(&mut ex, &[3, 3, 7]).unwrap();
-        assert_eq!(out.dims(), &[3, 4]);
-        assert_eq!(out.row(0).unwrap(), out.row(1).unwrap());
-        assert_eq!(out.row(2).unwrap(), table.table().row(7).unwrap());
+        let mut dx = Dispatcher::new(&mut ex);
+        let out = table.lookup(&mut dx, &[3, 3, 7]).unwrap();
+        assert_eq!(out.data().dims(), &[3, 4]);
+        assert_eq!(out.data().row(0).unwrap(), out.data().row(1).unwrap());
+        assert_eq!(out.data().row(2).unwrap(), table.table().row(7).unwrap());
     }
 
     #[test]
@@ -108,19 +133,21 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let mut table = EmbeddingTable::new(6, 3, &mut rng);
         let mut ex = ex();
-        let new_rows = Tensor::full(&[2, 3], 9.0);
-        table.update(&mut ex, &[1, 4], &new_rows).unwrap();
-        let got = table.lookup(&mut ex, &[1, 4]).unwrap();
-        got.assert_close(&new_rows, 0.0);
+        let mut dx = Dispatcher::new(&mut ex);
+        let new_rows = dx.adopt(Tensor::full(&[2, 3], 9.0), 1.0);
+        table.update(&mut dx, &[1, 4], &new_rows).unwrap();
+        let got = table.lookup(&mut dx, &[1, 4]).unwrap();
+        got.data().assert_close(new_rows.data(), 0.0);
     }
 
     #[test]
-    fn lookup_launches_gather_kernel() {
+    fn lookup_dispatches_gather_kernel() {
         let mut rng = TensorRng::seed(3);
         let table = EmbeddingTable::new(5, 2, &mut rng);
         let mut ex = ex();
-        table.lookup(&mut ex, &[0]).unwrap();
-        let hist = ex.timeline().kernel_histogram();
+        let mut dx = Dispatcher::new(&mut ex);
+        table.lookup(&mut dx, &[0]).unwrap();
+        let hist = dx.executor().timeline().kernel_histogram();
         assert!(hist.iter().any(|(k, _, _)| *k == KernelKind::Gather));
     }
 
@@ -129,7 +156,8 @@ mod tests {
         let mut rng = TensorRng::seed(4);
         let table = EmbeddingTable::new(5, 2, &mut rng);
         let mut ex = ex();
-        assert!(table.lookup(&mut ex, &[5]).is_err());
+        let mut dx = Dispatcher::new(&mut ex);
+        assert!(table.lookup(&mut dx, &[5]).is_err());
     }
 
     #[test]

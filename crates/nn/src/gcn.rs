@@ -1,6 +1,6 @@
 //! Graph convolution layer (EvolveGCN, MolDGNN, ASTGNN's spatial block).
 
-use dgnn_device::{Executor, KernelDesc};
+use dgnn_device::{DeviceTensor, Dispatcher};
 use dgnn_tensor::{Initializer, Tensor, TensorRng};
 
 use crate::module::{Module, Param};
@@ -22,7 +22,10 @@ impl GcnLayer {
     /// Creates a GCN layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
         GcnLayer {
-            weight: Param::new("weight", rng.init(&[in_dim, out_dim], Initializer::XavierUniform)),
+            weight: Param::new(
+                "weight",
+                rng.init(&[in_dim, out_dim], Initializer::XavierUniform),
+            ),
             in_dim,
             out_dim,
         }
@@ -48,8 +51,13 @@ impl GcnLayer {
     /// # Errors
     ///
     /// Returns shape errors when `adj` is not `[n, n]` or `x` not `[n, in]`.
-    pub fn forward(&self, ex: &mut Executor, adj: &Tensor, x: &Tensor) -> Result<Tensor> {
-        self.forward_with_weight(ex, adj, x, &self.weight.value)
+    pub fn forward(
+        &self,
+        dx: &mut Dispatcher,
+        adj: &DeviceTensor,
+        x: &DeviceTensor,
+    ) -> Result<DeviceTensor> {
+        self.forward_with_weight(dx, adj, x, &self.weight.value)
     }
 
     /// Forward with an externally supplied weight (EvolveGCN).
@@ -59,20 +67,15 @@ impl GcnLayer {
     /// Returns shape errors on dimension mismatch.
     pub fn forward_with_weight(
         &self,
-        ex: &mut Executor,
-        adj: &Tensor,
-        x: &Tensor,
+        dx: &mut Dispatcher,
+        adj: &DeviceTensor,
+        x: &DeviceTensor,
         weight: &Tensor,
-    ) -> Result<Tensor> {
-        let n = adj.dims()[0];
-        let out = weight.dims()[1];
+    ) -> Result<DeviceTensor> {
         // Propagation (A·X) then transformation (·W), then ReLU.
-        ex.launch(KernelDesc::gemm("gcn_propagate", n, n, x.dims()[1]));
-        let propagated = adj.matmul(x)?;
-        ex.launch(KernelDesc::gemm("gcn_transform", n, x.dims()[1], out));
-        let transformed = propagated.matmul(weight)?;
-        ex.launch(KernelDesc::elementwise("gcn_relu", n * out, 1, 1));
-        Ok(transformed.relu())
+        let propagated = dx.matmul("gcn_propagate", adj, x)?;
+        let transformed = dx.matmul("gcn_transform", &propagated, weight)?;
+        Ok(dx.relu("gcn_relu", &transformed))
     }
 }
 
@@ -85,16 +88,21 @@ impl Module for GcnLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, PlatformSpec};
     use dgnn_graph::Graph;
 
     fn ex() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
     }
 
+    fn dt(t: Tensor) -> DeviceTensor {
+        DeviceTensor::host(t)
+    }
+
     fn ring_adjacency(n: usize) -> Tensor {
-        let edges: Vec<(usize, usize)> =
-            (0..n).flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)]).collect();
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)])
+            .collect();
         let g = Graph::from_edges(n, &edges).unwrap();
         Tensor::from_vec(g.normalized_adjacency(), &[n, n]).unwrap()
     }
@@ -104,25 +112,27 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let layer = GcnLayer::new(6, 4, &mut rng);
         let mut ex = ex();
-        let adj = ring_adjacency(5);
-        let x = TensorRng::seed(2).init(&[5, 6], Initializer::Normal(1.0));
-        let h = layer.forward(&mut ex, &adj, &x).unwrap();
-        assert_eq!(h.dims(), &[5, 4]);
-        assert!(h.as_slice().iter().all(|&v| v >= 0.0), "ReLU output");
+        let mut dx = Dispatcher::new(&mut ex);
+        let adj = dt(ring_adjacency(5));
+        let x = dt(TensorRng::seed(2).init(&[5, 6], Initializer::Normal(1.0)));
+        let h = layer.forward(&mut dx, &adj, &x).unwrap();
+        assert_eq!(h.data().dims(), &[5, 4]);
+        assert!(h.data().as_slice().iter().all(|&v| v >= 0.0), "ReLU output");
     }
 
     #[test]
     fn isolated_node_keeps_only_self_loop_signal() {
         // Empty graph: normalized adjacency is the identity (self-loops).
         let g = Graph::from_edges(3, &[]).unwrap();
-        let adj = Tensor::from_vec(g.normalized_adjacency(), &[3, 3]).unwrap();
+        let adj = dt(Tensor::from_vec(g.normalized_adjacency(), &[3, 3]).unwrap());
         let mut rng = TensorRng::seed(3);
         let layer = GcnLayer::new(2, 2, &mut rng);
         let mut ex = ex();
+        let mut dx = Dispatcher::new(&mut ex);
         let x = TensorRng::seed(4).init(&[3, 2], Initializer::Normal(1.0));
-        let h = layer.forward(&mut ex, &adj, &x).unwrap();
+        let h = layer.forward(&mut dx, &adj, &dt(x.clone())).unwrap();
         let manual = x.matmul(layer.weight()).unwrap().relu();
-        h.assert_close(&manual, 1e-5);
+        h.data().assert_close(&manual, 1e-5);
     }
 
     #[test]
@@ -130,11 +140,14 @@ mod tests {
         let mut rng = TensorRng::seed(5);
         let layer = GcnLayer::new(3, 3, &mut rng);
         let mut ex = ex();
-        let adj = ring_adjacency(4);
-        let x = Tensor::ones(&[4, 3]);
+        let mut dx = Dispatcher::new(&mut ex);
+        let adj = dt(ring_adjacency(4));
+        let x = dt(Tensor::ones(&[4, 3]));
         let w_zero = Tensor::zeros(&[3, 3]);
-        let h = layer.forward_with_weight(&mut ex, &adj, &x, &w_zero).unwrap();
-        assert_eq!(h.sum(), 0.0);
+        let h = layer
+            .forward_with_weight(&mut dx, &adj, &x, &w_zero)
+            .unwrap();
+        assert_eq!(h.data().sum(), 0.0);
     }
 
     #[test]
@@ -142,8 +155,11 @@ mod tests {
         let mut rng = TensorRng::seed(6);
         let layer = GcnLayer::new(2, 2, &mut rng);
         let mut ex = ex();
-        let adj = ring_adjacency(3);
-        layer.forward(&mut ex, &adj, &Tensor::zeros(&[3, 2])).unwrap();
-        assert_eq!(ex.timeline().len(), 3);
+        let mut dx = Dispatcher::new(&mut ex);
+        let adj = dt(ring_adjacency(3));
+        layer
+            .forward(&mut dx, &adj, &dt(Tensor::zeros(&[3, 2])))
+            .unwrap();
+        assert_eq!(dx.executor().timeline().len(), 3);
     }
 }

@@ -31,7 +31,7 @@ pub use gcn::GcnLayer;
 pub use layernorm::LayerNorm;
 pub use linear::{Linear, Mlp};
 pub use module::{Module, Param};
-pub use rnn::{GruCell, LstmCell, RnnCell};
+pub use rnn::{GruCell, LstmCell, LstmState, RnnCell};
 pub use time_encoding::{BochnerTimeEncoder, Time2Vec};
 
 /// Result alias: layers surface tensor shape errors.

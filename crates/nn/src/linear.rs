@@ -1,7 +1,7 @@
 //! Linear layers and MLPs.
 
-use dgnn_device::{Executor, KernelDesc};
-use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use dgnn_device::{DeviceTensor, Dispatcher};
+use dgnn_tensor::{Initializer, TensorRng};
 
 use crate::module::{Module, Param};
 use crate::Result;
@@ -19,7 +19,10 @@ impl Linear {
     /// Creates a Xavier-initialized layer.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
         Linear {
-            weight: Param::new("weight", rng.init(&[out_dim, in_dim], Initializer::XavierUniform)),
+            weight: Param::new(
+                "weight",
+                rng.init(&[out_dim, in_dim], Initializer::XavierUniform),
+            ),
             bias: Param::new("bias", rng.init(&[out_dim], Initializer::Zeros)),
             in_dim,
             out_dim,
@@ -36,18 +39,15 @@ impl Linear {
         self.out_dim
     }
 
-    /// Forward pass over a batch `x: [m, in] → [m, out]`, launching a
-    /// GEMM and a bias kernel on `ex`.
+    /// Forward pass over a batch `x: [m, in] → [m, out]`: one GEMM plus
+    /// one bias kernel, dispatched (and priced) from the actual shapes.
     ///
     /// # Errors
     ///
     /// Returns shape errors when `x` is not `[m, in]`.
-    pub fn forward(&self, ex: &mut Executor, x: &Tensor) -> Result<Tensor> {
-        let m = x.dims().first().copied().unwrap_or(0);
-        ex.launch(KernelDesc::gemm("linear_gemm", m, self.in_dim, self.out_dim));
-        let y = x.matmul(&self.weight.value.transpose()?)?;
-        ex.launch(KernelDesc::elementwise("linear_bias", m * self.out_dim, 1, 2));
-        y.add_row_broadcast(&self.bias.value)
+    pub fn forward(&self, dx: &mut Dispatcher, x: &DeviceTensor) -> Result<DeviceTensor> {
+        let y = dx.matmul_nt("linear_gemm", x, &self.weight.value)?;
+        dx.add_bias("linear_bias", &y, &self.bias.value)
     }
 }
 
@@ -71,8 +71,14 @@ impl Mlp {
     ///
     /// Panics when fewer than two widths are given.
     pub fn new(dims: &[usize], rng: &mut TensorRng) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output widths");
-        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         Mlp { layers }
     }
 
@@ -87,13 +93,12 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns shape errors from the underlying layers.
-    pub fn forward(&self, ex: &mut Executor, x: &Tensor) -> Result<Tensor> {
+    pub fn forward(&self, dx: &mut Dispatcher, x: &DeviceTensor) -> Result<DeviceTensor> {
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(ex, &h)?;
+            h = layer.forward(dx, &h)?;
             if i + 1 < self.layers.len() {
-                ex.launch(KernelDesc::elementwise("mlp_relu", h.len(), 1, 1));
-                h = h.relu();
+                h = dx.relu("mlp_relu", &h);
             }
         }
         Ok(h)
@@ -109,7 +114,8 @@ impl Module for Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, PlatformSpec};
+    use dgnn_tensor::Tensor;
 
     fn executor() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
@@ -120,11 +126,17 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let l = Linear::new(4, 3, &mut rng);
         let mut ex = executor();
-        let y = l.forward(&mut ex, &Tensor::zeros(&[2, 4])).unwrap();
-        assert_eq!(y.dims(), &[2, 3]);
+        let mut dx = Dispatcher::new(&mut ex);
+        let y = l
+            .forward(&mut dx, &DeviceTensor::host(Tensor::zeros(&[2, 4])))
+            .unwrap();
+        assert_eq!(y.data().dims(), &[2, 3]);
         // Zero input → bias only; bias initialized to zero.
-        assert_eq!(y.sum(), 0.0);
-        assert!(ex.timeline().len() >= 2, "gemm + bias kernels launched");
+        assert_eq!(y.data().sum(), 0.0);
+        assert!(
+            dx.executor().timeline().len() >= 2,
+            "gemm + bias kernels launched"
+        );
     }
 
     #[test]
@@ -132,7 +144,10 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let l = Linear::new(4, 3, &mut rng);
         let mut ex = executor();
-        assert!(l.forward(&mut ex, &Tensor::zeros(&[2, 5])).is_err());
+        let mut dx = Dispatcher::new(&mut ex);
+        assert!(l
+            .forward(&mut dx, &DeviceTensor::host(Tensor::zeros(&[2, 5])))
+            .is_err());
     }
 
     #[test]
@@ -140,11 +155,12 @@ mod tests {
         let mut rng = TensorRng::seed(3);
         let l = Linear::new(3, 2, &mut rng);
         let mut ex = executor();
+        let mut dx = Dispatcher::new(&mut ex);
         let x = TensorRng::seed(9).init(&[4, 3], Initializer::Uniform(1.0));
-        let y = l.forward(&mut ex, &x).unwrap();
+        let y = l.forward(&mut dx, &DeviceTensor::host(x.clone())).unwrap();
         let w = &l.parameters()[0].value;
         let manual = x.matmul(&w.transpose().unwrap()).unwrap();
-        y.assert_close(&manual, 1e-5);
+        y.data().assert_close(&manual, 1e-5);
     }
 
     #[test]
@@ -154,9 +170,12 @@ mod tests {
         assert_eq!(mlp.depth(), 2);
         assert_eq!(mlp.param_tensor_count(), 4);
         let mut ex = executor();
-        let y = mlp.forward(&mut ex, &Tensor::ones(&[5, 8])).unwrap();
-        assert_eq!(y.dims(), &[5, 4]);
-        assert!(y.all_finite());
+        let mut dx = Dispatcher::new(&mut ex);
+        let y = mlp
+            .forward(&mut dx, &DeviceTensor::host(Tensor::ones(&[5, 8])))
+            .unwrap();
+        assert_eq!(y.data().dims(), &[5, 4]);
+        assert!(y.data().all_finite());
     }
 
     #[test]
@@ -171,8 +190,10 @@ mod tests {
         let mut rng = TensorRng::seed(6);
         let l = Linear::new(64, 64, &mut rng);
         let mut ex = executor();
-        let t0 = ex.now();
-        l.forward(&mut ex, &Tensor::zeros(&[32, 64])).unwrap();
-        assert!(ex.now() > t0);
+        let mut dx = Dispatcher::new(&mut ex);
+        let t0 = dx.now();
+        l.forward(&mut dx, &DeviceTensor::host(Tensor::zeros(&[32, 64])))
+            .unwrap();
+        assert!(dx.now() > t0);
     }
 }

@@ -14,7 +14,10 @@ pub struct Param {
 impl Param {
     /// Creates a named parameter.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
-        Param { name: name.into(), value }
+        Param {
+            name: name.into(),
+            value,
+        }
     }
 }
 

@@ -3,10 +3,10 @@
 //! These are the time encoders of JODIE, EvolveGCN, MolDGNN, DyRep and
 //! LDG. Their strictly sequential use across time steps is the paper's
 //! first bottleneck; the cells themselves just do their gate math and
-//! launch the matching kernels.
+//! dispatch the matching kernels.
 
-use dgnn_device::{Executor, KernelDesc};
-use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use dgnn_device::{DeviceTensor, Dispatcher};
+use dgnn_tensor::{Initializer, OpDescriptor, Tensor, TensorRng};
 
 use crate::module::{Module, Param};
 use crate::Result;
@@ -18,32 +18,40 @@ fn gate_params(
     rng: &mut TensorRng,
 ) -> (Param, Param, Param) {
     (
-        Param::new("w_input", rng.init(&[n_gates * hidden, in_dim], Initializer::XavierUniform)),
-        Param::new("w_hidden", rng.init(&[n_gates * hidden, hidden], Initializer::XavierUniform)),
+        Param::new(
+            "w_input",
+            rng.init(&[n_gates * hidden, in_dim], Initializer::XavierUniform),
+        ),
+        Param::new(
+            "w_hidden",
+            rng.init(&[n_gates * hidden, hidden], Initializer::XavierUniform),
+        ),
         Param::new("bias", rng.init(&[n_gates * hidden], Initializer::Zeros)),
     )
 }
 
+/// Fused gate pre-activation: two GEMMs plus one element-wise combine,
+/// split into per-gate `[b, hidden]` blocks.
+#[allow(clippy::too_many_arguments)]
 fn gates(
-    ex: &mut Executor,
+    dx: &mut Dispatcher,
     label: &'static str,
-    x: &Tensor,
-    h: &Tensor,
+    x: &DeviceTensor,
+    h: &DeviceTensor,
     w_input: &Tensor,
     w_hidden: &Tensor,
     bias: &Tensor,
     n_gates: usize,
     hidden: usize,
 ) -> Result<Vec<Tensor>> {
-    let b = x.dims()[0];
-    let in_dim = x.dims()[1];
-    ex.launch(KernelDesc::gemm(label, b, in_dim, n_gates * hidden));
-    ex.launch(KernelDesc::gemm(label, b, hidden, n_gates * hidden));
-    ex.launch(KernelDesc::elementwise(label, b * n_gates * hidden, 2, 3));
-    let pre = x
-        .matmul(&w_input.transpose()?)?
-        .add(&h.matmul(&w_hidden.transpose()?)?)?
-        .add_row_broadcast(bias)?;
+    let b = x.data().dims()[0];
+    let xi = dx.matmul_nt(label, x, w_input)?;
+    let hh = dx.matmul_nt(label, h, w_hidden)?;
+    let pre = dx.fused(
+        OpDescriptor::elementwise(label, b * n_gates * hidden, 2, 3),
+        x.scale(),
+        || xi.data().add(hh.data())?.add_row_broadcast(bias),
+    )?;
     // Split the fused gate matrix into per-gate [b, hidden] blocks.
     let mut out = Vec::with_capacity(n_gates);
     for g in 0..n_gates {
@@ -71,7 +79,13 @@ impl GruCell {
     /// Creates a GRU cell.
     pub fn new(in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
         let (w_input, w_hidden, bias) = gate_params(3, in_dim, hidden, rng);
-        GruCell { w_input, w_hidden, bias, in_dim, hidden }
+        GruCell {
+            w_input,
+            w_hidden,
+            bias,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -84,9 +98,14 @@ impl GruCell {
     /// # Errors
     ///
     /// Returns shape errors when inputs don't match the cell dimensions.
-    pub fn forward(&self, ex: &mut Executor, x: &Tensor, h: &Tensor) -> Result<Tensor> {
+    pub fn forward(
+        &self,
+        dx: &mut Dispatcher,
+        x: &DeviceTensor,
+        h: &DeviceTensor,
+    ) -> Result<DeviceTensor> {
         let g = gates(
-            ex,
+            dx,
             "gru_gates",
             x,
             h,
@@ -96,17 +115,20 @@ impl GruCell {
             3,
             self.hidden,
         )?;
-        let z = g[0].sigmoid();
-        let r = g[1].sigmoid();
-        ex.launch(KernelDesc::elementwise("gru_update", h.len(), 6, 3));
-        // Candidate uses the reset gate on the hidden contribution. The
-        // fused pre-activation already mixed h in, so recompute the
-        // candidate from its block with the r-gated correction: the
-        // standard simplification n = tanh(pre_n - (1-r)·Uh·h) is
-        // approximated by gating the whole block, which preserves the
-        // cost model and keeps values bounded.
-        let n = g[2].mul(&r)?.tanh();
-        h.lerp_gate(&n, &z.map(|v| 1.0 - v))
+        let update = OpDescriptor::elementwise("gru_update", h.data().len(), 6, 3);
+        let h_new = dx.fused(update, h.scale(), || {
+            let z = g[0].sigmoid();
+            let r = g[1].sigmoid();
+            // Candidate uses the reset gate on the hidden contribution.
+            // The fused pre-activation already mixed h in, so recompute
+            // the candidate from its block with the r-gated correction:
+            // the standard simplification n = tanh(pre_n - (1-r)·Uh·h) is
+            // approximated by gating the whole block, which preserves the
+            // cost model and keeps values bounded.
+            let n = g[2].mul(&r)?.tanh();
+            h.data().lerp_gate(&n, &z.map(|v| 1.0 - v))
+        })?;
+        Ok(dx.adopt(h_new, h.scale()))
     }
 }
 
@@ -127,13 +149,19 @@ pub struct LstmCell {
 }
 
 /// LSTM state `(h, c)`.
-pub type LstmState = (Tensor, Tensor);
+pub type LstmState = (DeviceTensor, DeviceTensor);
 
 impl LstmCell {
     /// Creates an LSTM cell.
     pub fn new(in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
         let (w_input, w_hidden, bias) = gate_params(4, in_dim, hidden, rng);
-        LstmCell { w_input, w_hidden, bias, in_dim, hidden }
+        LstmCell {
+            w_input,
+            w_hidden,
+            bias,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -141,9 +169,20 @@ impl LstmCell {
         self.hidden
     }
 
-    /// Zero state for a batch of `b`.
-    pub fn zero_state(&self, b: usize) -> LstmState {
-        (Tensor::zeros(&[b, self.hidden]), Tensor::zeros(&[b, self.hidden]))
+    /// Zero state for a batch of `b`, resident on the compute device
+    /// (recurrent state lives where the kernels run — it never crosses
+    /// PCIe between steps).
+    pub fn zero_state(&self, dx: &Dispatcher, b: usize) -> LstmState {
+        self.zero_state_scaled(dx, b, 1.0)
+    }
+
+    /// [`LstmCell::zero_state`] for a representative batch of `b`
+    /// physical rows standing in for `scale × b` logical rows.
+    pub fn zero_state_scaled(&self, dx: &Dispatcher, b: usize, scale: f64) -> LstmState {
+        (
+            dx.adopt(Tensor::zeros(&[b, self.hidden]), scale),
+            dx.adopt(Tensor::zeros(&[b, self.hidden]), scale),
+        )
     }
 
     /// One step: `(x: [b, in], (h, c)) → (h', c')`.
@@ -151,10 +190,15 @@ impl LstmCell {
     /// # Errors
     ///
     /// Returns shape errors when inputs don't match the cell dimensions.
-    pub fn forward(&self, ex: &mut Executor, x: &Tensor, state: &LstmState) -> Result<LstmState> {
+    pub fn forward(
+        &self,
+        dx: &mut Dispatcher,
+        x: &DeviceTensor,
+        state: &LstmState,
+    ) -> Result<LstmState> {
         let (h, c) = state;
         let g = gates(
-            ex,
+            dx,
             "lstm_gates",
             x,
             h,
@@ -164,14 +208,17 @@ impl LstmCell {
             4,
             self.hidden,
         )?;
-        let i = g[0].sigmoid();
-        let f = g[1].sigmoid();
-        let o = g[2].sigmoid();
-        let cand = g[3].tanh();
-        ex.launch(KernelDesc::elementwise("lstm_state", h.len(), 6, 4));
-        let c_new = f.mul(c)?.add(&i.mul(&cand)?)?;
-        let h_new = o.mul(&c_new.tanh())?;
-        Ok((h_new, c_new))
+        let update = OpDescriptor::elementwise("lstm_state", h.data().len(), 6, 4);
+        let (h_new, c_new) = dx.fused(update, h.scale(), || {
+            let i = g[0].sigmoid();
+            let f = g[1].sigmoid();
+            let o = g[2].sigmoid();
+            let cand = g[3].tanh();
+            let c_new = f.mul(c.data())?.add(&i.mul(&cand)?)?;
+            let h_new = o.mul(&c_new.tanh())?;
+            Ok((h_new, c_new))
+        })?;
+        Ok((dx.adopt(h_new, h.scale()), dx.adopt(c_new, h.scale())))
     }
 }
 
@@ -195,7 +242,13 @@ impl RnnCell {
     /// Creates a vanilla RNN cell.
     pub fn new(in_dim: usize, hidden: usize, rng: &mut TensorRng) -> Self {
         let (w_input, w_hidden, bias) = gate_params(1, in_dim, hidden, rng);
-        RnnCell { w_input, w_hidden, bias, in_dim, hidden }
+        RnnCell {
+            w_input,
+            w_hidden,
+            bias,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Hidden width.
@@ -208,9 +261,14 @@ impl RnnCell {
     /// # Errors
     ///
     /// Returns shape errors when inputs don't match the cell dimensions.
-    pub fn forward(&self, ex: &mut Executor, x: &Tensor, h: &Tensor) -> Result<Tensor> {
+    pub fn forward(
+        &self,
+        dx: &mut Dispatcher,
+        x: &DeviceTensor,
+        h: &DeviceTensor,
+    ) -> Result<DeviceTensor> {
         let g = gates(
-            ex,
+            dx,
             "rnn_step",
             x,
             h,
@@ -220,8 +278,9 @@ impl RnnCell {
             1,
             self.hidden,
         )?;
-        ex.launch(KernelDesc::elementwise("rnn_tanh", h.len(), 1, 1));
-        Ok(g[0].tanh())
+        let tanh = OpDescriptor::elementwise("rnn_tanh", h.data().len(), 1, 1);
+        let out = dx.fused(tanh, h.scale(), || Ok(g[0].tanh()))?;
+        Ok(dx.adopt(out, h.scale()))
     }
 }
 
@@ -234,10 +293,14 @@ impl Module for RnnCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, PlatformSpec};
 
     fn ex() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    fn dt(t: Tensor) -> DeviceTensor {
+        DeviceTensor::host(t)
     }
 
     #[test]
@@ -245,13 +308,14 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let cell = GruCell::new(6, 8, &mut rng);
         let mut ex = ex();
-        let x = TensorRng::seed(2).init(&[3, 6], Initializer::Normal(2.0));
-        let h = TensorRng::seed(3).init(&[3, 8], Initializer::Uniform(1.0));
-        let h2 = cell.forward(&mut ex, &x, &h).unwrap();
-        assert_eq!(h2.dims(), &[3, 8]);
-        assert!(h2.all_finite());
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dt(TensorRng::seed(2).init(&[3, 6], Initializer::Normal(2.0)));
+        let h = dt(TensorRng::seed(3).init(&[3, 8], Initializer::Uniform(1.0)));
+        let h2 = cell.forward(&mut dx, &x, &h).unwrap();
+        assert_eq!(h2.data().dims(), &[3, 8]);
+        assert!(h2.data().all_finite());
         // GRU interpolates between bounded candidate and previous state.
-        assert!(h2.as_slice().iter().all(|v| v.abs() <= 1.01));
+        assert!(h2.data().as_slice().iter().all(|v| v.abs() <= 1.01));
     }
 
     #[test]
@@ -259,14 +323,17 @@ mod tests {
         let mut rng = TensorRng::seed(4);
         let cell = LstmCell::new(5, 7, &mut rng);
         let mut ex = ex();
-        let (h0, c0) = cell.zero_state(2);
-        let x = TensorRng::seed(5).init(&[2, 5], Initializer::Normal(1.0));
-        let (h1, c1) = cell.forward(&mut ex, &x, &(h0.clone(), c0.clone())).unwrap();
-        assert_eq!(h1.dims(), &[2, 7]);
-        assert_ne!(h1, h0);
-        assert_ne!(c1, c0);
-        let (h2, _) = cell.forward(&mut ex, &x, &(h1.clone(), c1)).unwrap();
-        assert_ne!(h2, h1);
+        let mut dx = Dispatcher::new(&mut ex);
+        let (h0, c0) = cell.zero_state(&dx, 2);
+        let x = dt(TensorRng::seed(5).init(&[2, 5], Initializer::Normal(1.0)));
+        let (h1, c1) = cell
+            .forward(&mut dx, &x, &(h0.clone(), c0.clone()))
+            .unwrap();
+        assert_eq!(h1.data().dims(), &[2, 7]);
+        assert_ne!(h1.data(), h0.data());
+        assert_ne!(c1.data(), c0.data());
+        let (h2, _) = cell.forward(&mut dx, &x, &(h1.clone(), c1)).unwrap();
+        assert_ne!(h2.data(), h1.data());
     }
 
     #[test]
@@ -274,10 +341,11 @@ mod tests {
         let mut rng = TensorRng::seed(6);
         let cell = RnnCell::new(4, 4, &mut rng);
         let mut ex = ex();
-        let x = TensorRng::seed(7).init(&[2, 4], Initializer::Normal(5.0));
-        let h = Tensor::zeros(&[2, 4]);
-        let out = cell.forward(&mut ex, &x, &h).unwrap();
-        assert!(out.as_slice().iter().all(|v| v.abs() <= 1.0));
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dt(TensorRng::seed(7).init(&[2, 4], Initializer::Normal(5.0)));
+        let h = dt(Tensor::zeros(&[2, 4]));
+        let out = cell.forward(&mut dx, &x, &h).unwrap();
+        assert!(out.data().as_slice().iter().all(|v| v.abs() <= 1.0));
     }
 
     #[test]
@@ -301,9 +369,15 @@ mod tests {
         let mut rng = TensorRng::seed(10);
         let cell = GruCell::new(4, 4, &mut rng);
         let mut ex = ex();
-        let before = ex.timeline().len();
-        cell.forward(&mut ex, &Tensor::zeros(&[1, 4]), &Tensor::zeros(&[1, 4])).unwrap();
-        assert!(ex.timeline().len() >= before + 4);
+        let mut dx = Dispatcher::new(&mut ex);
+        let before = dx.executor().timeline().len();
+        cell.forward(
+            &mut dx,
+            &dt(Tensor::zeros(&[1, 4])),
+            &dt(Tensor::zeros(&[1, 4])),
+        )
+        .unwrap();
+        assert!(dx.executor().timeline().len() >= before + 4);
     }
 
     #[test]
@@ -311,8 +385,13 @@ mod tests {
         let mut rng = TensorRng::seed(11);
         let cell = GruCell::new(4, 4, &mut rng);
         let mut ex = ex();
+        let mut dx = Dispatcher::new(&mut ex);
         assert!(cell
-            .forward(&mut ex, &Tensor::zeros(&[1, 5]), &Tensor::zeros(&[1, 4]))
+            .forward(
+                &mut dx,
+                &dt(Tensor::zeros(&[1, 5])),
+                &dt(Tensor::zeros(&[1, 4]))
+            )
             .is_err());
     }
 }

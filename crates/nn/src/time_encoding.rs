@@ -1,7 +1,7 @@
 //! Functional time encoders: Bochner (TGAT) and Time2Vec.
 
-use dgnn_device::{Executor, KernelDesc};
-use dgnn_tensor::{Initializer, Tensor, TensorRng};
+use dgnn_device::{DeviceTensor, Dispatcher};
+use dgnn_tensor::{Initializer, OpDescriptor, Tensor, TensorRng};
 
 use crate::module::{Module, Param};
 use crate::Result;
@@ -43,19 +43,23 @@ impl BochnerTimeEncoder {
     /// # Errors
     ///
     /// Returns shape errors when `deltas` is not rank 1.
-    pub fn forward(&self, ex: &mut Executor, deltas: &Tensor) -> Result<Tensor> {
-        let n = deltas.len();
-        ex.launch(KernelDesc::elementwise("time_encode", n * self.dim, 3, 2));
-        let scale = (1.0 / self.dim as f32).sqrt();
-        let mut data = Vec::with_capacity(n * self.dim);
-        for &t in deltas.as_slice() {
-            for j in 0..self.dim {
-                let w = self.omega.value.as_slice()[j];
-                let b = self.phase.value.as_slice()[j];
-                data.push(scale * (w * t + b).cos());
+    pub fn forward(&self, dx: &mut Dispatcher, deltas: &DeviceTensor) -> Result<DeviceTensor> {
+        let n = deltas.data().len();
+        dx.ensure_resident(deltas);
+        let desc = OpDescriptor::elementwise("time_encode", n * self.dim, 3, 2);
+        let out = dx.fused(desc, deltas.scale(), || {
+            let scale = (1.0 / self.dim as f32).sqrt();
+            let mut data = Vec::with_capacity(n * self.dim);
+            for &t in deltas.data().as_slice() {
+                for j in 0..self.dim {
+                    let w = self.omega.value.as_slice()[j];
+                    let b = self.phase.value.as_slice()[j];
+                    data.push(scale * (w * t + b).cos());
+                }
             }
-        }
-        Tensor::from_vec(data, &[n, self.dim])
+            Tensor::from_vec(data, &[n, self.dim])
+        })?;
+        Ok(dx.adopt(out, deltas.scale()))
     }
 }
 
@@ -99,17 +103,21 @@ impl Time2Vec {
     /// # Errors
     ///
     /// Returns shape errors when `deltas` is not rank 1.
-    pub fn forward(&self, ex: &mut Executor, deltas: &Tensor) -> Result<Tensor> {
-        let n = deltas.len();
-        ex.launch(KernelDesc::elementwise("time2vec", n * self.dim, 3, 2));
-        let mut data = Vec::with_capacity(n * self.dim);
-        for &t in deltas.as_slice() {
-            for j in 0..self.dim {
-                let v = self.omega.value.as_slice()[j] * t + self.phase.value.as_slice()[j];
-                data.push(if j == 0 { v } else { v.sin() });
+    pub fn forward(&self, dx: &mut Dispatcher, deltas: &DeviceTensor) -> Result<DeviceTensor> {
+        let n = deltas.data().len();
+        dx.ensure_resident(deltas);
+        let desc = OpDescriptor::elementwise("time2vec", n * self.dim, 3, 2);
+        let out = dx.fused(desc, deltas.scale(), || {
+            let mut data = Vec::with_capacity(n * self.dim);
+            for &t in deltas.data().as_slice() {
+                for j in 0..self.dim {
+                    let v = self.omega.value.as_slice()[j] * t + self.phase.value.as_slice()[j];
+                    data.push(if j == 0 { v } else { v.sin() });
+                }
             }
-        }
-        Tensor::from_vec(data, &[n, self.dim])
+            Tensor::from_vec(data, &[n, self.dim])
+        })?;
+        Ok(dx.adopt(out, deltas.scale()))
     }
 }
 
@@ -122,10 +130,14 @@ impl Module for Time2Vec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dgnn_device::{ExecMode, PlatformSpec};
+    use dgnn_device::{ExecMode, Executor, PlatformSpec};
 
     fn ex() -> Executor {
         Executor::new(PlatformSpec::default(), ExecMode::CpuOnly)
+    }
+
+    fn dt(t: Tensor) -> DeviceTensor {
+        DeviceTensor::host(t)
     }
 
     #[test]
@@ -133,11 +145,12 @@ mod tests {
         let mut rng = TensorRng::seed(1);
         let enc = BochnerTimeEncoder::new(16, &mut rng);
         let mut ex = ex();
-        let t = Tensor::from_vec(vec![0.0, 1.0, 100.0], &[3]).unwrap();
-        let e = enc.forward(&mut ex, &t).unwrap();
-        assert_eq!(e.dims(), &[3, 16]);
+        let mut dx = Dispatcher::new(&mut ex);
+        let t = dt(Tensor::from_vec(vec![0.0, 1.0, 100.0], &[3]).unwrap());
+        let e = enc.forward(&mut dx, &t).unwrap();
+        assert_eq!(e.data().dims(), &[3, 16]);
         let bound = (1.0f32 / 16.0).sqrt() + 1e-6;
-        assert!(e.as_slice().iter().all(|v| v.abs() <= bound));
+        assert!(e.data().as_slice().iter().all(|v| v.abs() <= bound));
     }
 
     #[test]
@@ -145,9 +158,10 @@ mod tests {
         let mut rng = TensorRng::seed(2);
         let enc = BochnerTimeEncoder::new(8, &mut rng);
         let mut ex = ex();
-        let t = Tensor::from_vec(vec![0.5, 5.0], &[2]).unwrap();
-        let e = enc.forward(&mut ex, &t).unwrap();
-        assert_ne!(e.row(0).unwrap(), e.row(1).unwrap());
+        let mut dx = Dispatcher::new(&mut ex);
+        let t = dt(Tensor::from_vec(vec![0.5, 5.0], &[2]).unwrap());
+        let e = enc.forward(&mut dx, &t).unwrap();
+        assert_ne!(e.data().row(0).unwrap(), e.data().row(1).unwrap());
     }
 
     #[test]
@@ -155,26 +169,28 @@ mod tests {
         let mut rng = TensorRng::seed(3);
         let enc = Time2Vec::new(4, &mut rng);
         let mut ex = ex();
-        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
-        let e = enc.forward(&mut ex, &t).unwrap();
+        let mut dx = Dispatcher::new(&mut ex);
+        let t = dt(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let e = enc.forward(&mut dx, &t).unwrap();
         // Linear component: equal second differences.
-        let v: Vec<f32> = (0..3).map(|i| e.at(&[i, 0]).unwrap()).collect();
+        let v: Vec<f32> = (0..3).map(|i| e.data().at(&[i, 0]).unwrap()).collect();
         assert!(((v[2] - v[1]) - (v[1] - v[0])).abs() < 1e-5);
         // Periodic components bounded by 1.
         for i in 0..3 {
             for j in 1..4 {
-                assert!(e.at(&[i, j]).unwrap().abs() <= 1.0);
+                assert!(e.data().at(&[i, j]).unwrap().abs() <= 1.0);
             }
         }
     }
 
     #[test]
-    fn encoders_register_params_and_launch() {
+    fn encoders_register_params_and_dispatch() {
         let mut rng = TensorRng::seed(4);
         let enc = BochnerTimeEncoder::new(8, &mut rng);
         assert_eq!(enc.param_tensor_count(), 2);
         let mut ex = ex();
-        enc.forward(&mut ex, &Tensor::zeros(&[5])).unwrap();
-        assert_eq!(ex.timeline().len(), 1);
+        let mut dx = Dispatcher::new(&mut ex);
+        enc.forward(&mut dx, &dt(Tensor::zeros(&[5]))).unwrap();
+        assert_eq!(dx.executor().timeline().len(), 1);
     }
 }

@@ -57,18 +57,31 @@ pub enum TensorError {
 impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TensorError::DataLenMismatch { data_len, shape_len } => write!(
+            TensorError::DataLenMismatch {
+                data_len,
+                shape_len,
+            } => write!(
                 f,
                 "data length {data_len} does not match shape element count {shape_len}"
             ),
             TensorError::ShapeMismatch { op, lhs, rhs } => {
                 write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
             }
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "rank mismatch in `{op}`: expected {expected}, got {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in `{op}`: expected {expected}, got {actual}"
+                )
             }
             TensorError::IndexOutOfBounds { op, index, len } => {
-                write!(f, "index {index} out of bounds for axis of length {len} in `{op}`")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis of length {len} in `{op}`"
+                )
             }
             TensorError::AxisOutOfBounds { axis, rank } => {
                 write!(f, "axis {axis} out of bounds for tensor of rank {rank}")

@@ -1,10 +1,10 @@
 //! Seeded random tensor initialization.
 //!
 //! All randomness in the suite flows through [`TensorRng`] so that every
-//! experiment is reproducible bit-for-bit from its seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! experiment is reproducible bit-for-bit from its seed. The generator is
+//! a self-contained xoshiro256++ (seeded through SplitMix64), so the
+//! workspace builds with no external crates and the stream is stable
+//! across toolchains.
 
 use crate::Tensor;
 
@@ -31,26 +31,72 @@ pub enum Initializer {
 /// assert_eq!(w.dims(), &[4, 3]);
 /// assert!(w.all_finite());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl TensorRng {
     /// Creates a generator from a fixed seed.
     pub fn seed(seed: u64) -> Self {
-        TensorRng { rng: StdRng::seed_from_u64(seed) }
+        // SplitMix64 expansion of the seed into the xoshiro state, as
+        // recommended by the xoshiro authors; guarantees a non-zero state.
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        TensorRng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws a uniform `f32` in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        lo + (hi - lo) * self.unit_f32()
+    }
+
+    /// Draws a uniform `f64` in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit_f64()
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
     }
 
     /// Draws a standard-normal `f32` via Box–Muller.
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen_range(0.0..1.0);
+        let u1 = self.unit_f32().max(f32::EPSILON);
+        let u2 = self.unit_f32();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -61,7 +107,9 @@ impl TensorRng {
     /// Panics when `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.rng.gen_range(0..n)
+        // Multiply-shift range reduction (Lemire); bias is < 2^-64 for the
+        // small ranges used here.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Initializes a tensor with the given scheme. For
@@ -120,9 +168,37 @@ mod tests {
         let mut rng = TensorRng::seed(5);
         let samples: Vec<f32> = (0..4000).map(|_| rng.normal()).collect();
         let mean = samples.iter().sum::<f32>() / samples.len() as f32;
-        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / samples.len() as f32;
+        let var =
+            samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / samples.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn unit_draws_stay_in_range() {
+        let mut rng = TensorRng::seed(6);
+        for _ in 0..10_000 {
+            let f = rng.unit_f32();
+            assert!((0.0..1.0).contains(&f));
+            let d = rng.unit_f64();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn index_covers_range_without_bias_holes() {
+        let mut rng = TensorRng::seed(8);
+        let mut counts = [0usize; 7];
+        for _ in 0..7_000 {
+            counts[rng.index(7)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 500), "{counts:?}");
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = TensorRng::seed(9);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
     }
 }

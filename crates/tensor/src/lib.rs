@@ -34,6 +34,7 @@ mod tensor;
 pub mod cost;
 pub mod ops;
 
+pub use cost::{OpDescriptor, OpKind};
 pub use error::TensorError;
 pub use init::{Initializer, TensorRng};
 pub use shape::Shape;

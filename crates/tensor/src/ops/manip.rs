@@ -5,7 +5,31 @@
 //! device layer prices them against *memory bandwidth with an
 //! irregular-access penalty* rather than FLOPs.
 
+use crate::cost::OpDescriptor;
 use crate::{Result, Tensor, TensorError};
+
+/// Descriptor of [`Tensor::gather_rows`]: `rows` rows of `width` f32.
+pub fn gather_rows_desc(rows: usize, width: usize) -> OpDescriptor {
+    OpDescriptor::gather("gather_rows", rows, width)
+}
+
+/// Descriptor of [`Tensor::scatter_rows`]: `rows` rows of `width` f32.
+pub fn scatter_rows_desc(rows: usize, width: usize) -> OpDescriptor {
+    OpDescriptor::gather("scatter_rows", rows, width)
+}
+
+/// Descriptor of [`Tensor::transpose`] of an `[m, n]` matrix — a
+/// strided permutation priced as an irregular copy.
+pub fn transpose_desc(m: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::gather("transpose", m * n, 1)
+}
+
+/// Descriptor of a contiguous copy/concatenation producing `len`
+/// elements ([`Tensor::concat_cols`], [`Tensor::concat_rows`],
+/// [`Tensor::stack_rows`]).
+pub fn concat_desc(len: usize) -> OpDescriptor {
+    OpDescriptor::elementwise("concat", len, 0, 1)
+}
 
 impl Tensor {
     /// Transpose of a rank-2 tensor.
@@ -15,7 +39,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless rank is 2.
     pub fn transpose(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
@@ -89,11 +117,19 @@ impl Tensor {
     /// Returns rank/index errors.
     pub fn row(&self, i: usize) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "row", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         if i >= m {
-            return Err(TensorError::IndexOutOfBounds { op: "row", index: i, len: m });
+            return Err(TensorError::IndexOutOfBounds {
+                op: "row",
+                index: i,
+                len: m,
+            });
         }
         Tensor::from_vec(self.as_slice()[i * n..(i + 1) * n].to_vec(), &[n])
     }
@@ -107,13 +143,21 @@ impl Tensor {
     /// index exceeds the row count.
     pub fn gather_rows(&self, indices: &[usize]) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "gather_rows", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "gather_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = Vec::with_capacity(indices.len() * n);
         for &i in indices {
             if i >= m {
-                return Err(TensorError::IndexOutOfBounds { op: "gather_rows", index: i, len: m });
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "gather_rows",
+                    index: i,
+                    len: m,
+                });
             }
             out.extend_from_slice(&self.as_slice()[i * n..(i + 1) * n]);
         }
@@ -146,7 +190,11 @@ impl Tensor {
         let mut out = self.as_slice().to_vec();
         for (k, &i) in indices.iter().enumerate() {
             if i >= m {
-                return Err(TensorError::IndexOutOfBounds { op: "scatter_rows", index: i, len: m });
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "scatter_rows",
+                    index: i,
+                    len: m,
+                });
             }
             out[i * n..(i + 1) * n].copy_from_slice(&rows.as_slice()[k * n..(k + 1) * n]);
         }
@@ -160,7 +208,9 @@ impl Tensor {
     /// Returns [`TensorError::EmptyInput`] for an empty list and shape
     /// errors when lengths differ.
     pub fn stack_rows(rows: &[Tensor]) -> Result<Tensor> {
-        let first = rows.first().ok_or(TensorError::EmptyInput { op: "stack_rows" })?;
+        let first = rows
+            .first()
+            .ok_or(TensorError::EmptyInput { op: "stack_rows" })?;
         let n = first.len();
         let mut data = Vec::with_capacity(rows.len() * n);
         for r in rows {

@@ -1,6 +1,27 @@
 //! Matrix multiplication kernels (the GEMM family).
 
+use crate::cost::OpDescriptor;
 use crate::{Result, Tensor, TensorError};
+
+/// Descriptor of [`Tensor::matmul`] on `[m, k] × [k, n]`.
+pub fn matmul_desc(m: usize, k: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::gemm("matmul", m, k, n)
+}
+
+/// Descriptor of [`Tensor::matvec`] on `[m, k] × [k]`.
+pub fn matvec_desc(m: usize, k: usize) -> OpDescriptor {
+    OpDescriptor::gemm("matvec", m, k, 1)
+}
+
+/// Descriptor of [`Tensor::bmm`] on `[b, m, k] × [b, k, n]`.
+pub fn bmm_desc(b: usize, m: usize, k: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::batched_gemm("bmm", b, m, k, n)
+}
+
+/// Descriptor of [`Tensor::outer`] on `[m] × [n]`.
+pub fn outer_desc(m: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::gemm("outer", m, 1, n)
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
@@ -23,10 +44,18 @@ impl Tensor {
     /// and [`TensorError::ShapeMismatch`] unless the inner dimensions agree.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         if rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: rhs.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: rhs.rank(),
+            });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
@@ -65,10 +94,18 @@ impl Tensor {
     /// Returns shape errors analogous to [`Tensor::matmul`].
     pub fn matvec(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matvec", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         if rhs.rank() != 1 {
-            return Err(TensorError::RankMismatch { op: "matvec", expected: 1, actual: rhs.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 1,
+                actual: rhs.rank(),
+            });
         }
         let (m, k) = (self.dims()[0], self.dims()[1]);
         if rhs.dims()[0] != k {
@@ -97,10 +134,18 @@ impl Tensor {
     /// or inner dimensions disagree.
     pub fn bmm(&self, rhs: &Tensor) -> Result<Tensor> {
         if self.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "bmm", expected: 3, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "bmm",
+                expected: 3,
+                actual: self.rank(),
+            });
         }
         if rhs.rank() != 3 {
-            return Err(TensorError::RankMismatch { op: "bmm", expected: 3, actual: rhs.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "bmm",
+                expected: 3,
+                actual: rhs.rank(),
+            });
         }
         let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
         let (b2, k2, n) = (rhs.dims()[0], rhs.dims()[1], rhs.dims()[2]);
@@ -196,11 +241,8 @@ mod tests {
     #[test]
     fn bmm_batches_independently() {
         let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[2, 2, 2]).unwrap();
-        let id = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0],
-            &[2, 2, 2],
-        )
-        .unwrap();
+        let id =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0], &[2, 2, 2]).unwrap();
         a.bmm(&id).unwrap().assert_close(&a, 1e-6);
     }
 

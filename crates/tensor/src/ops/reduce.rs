@@ -1,6 +1,19 @@
 //! Reductions and softmax (the reduction kernel family).
 
+use crate::cost::OpDescriptor;
 use crate::{Result, Tensor, TensorError};
+
+/// Descriptor of [`Tensor::softmax_rows`] over an `[m, n]` matrix.
+pub fn softmax_rows_desc(m: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::reduce("softmax_rows", m, n)
+}
+
+/// Descriptor of a plain reduction ([`Tensor::sum_rows`],
+/// [`Tensor::mean_rows`], [`Tensor::sum`], [`Tensor::max`]) over an
+/// `[m, n]` extent.
+pub fn reduce_desc(m: usize, n: usize) -> OpDescriptor {
+    OpDescriptor::reduce("reduce", m, n)
+}
 
 impl Tensor {
     /// Sum of all elements.
@@ -29,7 +42,11 @@ impl Tensor {
         if self.is_empty() {
             return Err(TensorError::EmptyInput { op: "max" });
         }
-        Ok(self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        Ok(self
+            .as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max))
     }
 
     /// Sums a rank-2 tensor over rows: `[m, n] → [n]`.
@@ -39,13 +56,18 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless rank is 2.
     pub fn sum_rows(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "sum_rows", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "sum_rows",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; n];
         for i in 0..m {
-            for j in 0..n {
-                out[j] += self.as_slice()[i * n + j];
+            let row = &self.as_slice()[i * n..(i + 1) * n];
+            for (acc, v) in out.iter_mut().zip(row) {
+                *acc += v;
             }
         }
         Tensor::from_vec(out, &[n])

@@ -22,7 +22,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a dimension slice.
     pub fn new(dims: &[usize]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Creates a scalar (rank-0) shape.
@@ -59,7 +61,10 @@ impl Shape {
         self.dims
             .get(axis)
             .copied()
-            .ok_or(TensorError::AxisOutOfBounds { axis, rank: self.rank() })
+            .ok_or(TensorError::AxisOutOfBounds {
+                axis,
+                rank: self.rank(),
+            })
     }
 
     /// Row-major strides (in elements) for this shape.
@@ -88,7 +93,11 @@ impl Shape {
         let mut off = 0;
         for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
             if i >= d {
-                return Err(TensorError::IndexOutOfBounds { op: "offset", index: i, len: d });
+                return Err(TensorError::IndexOutOfBounds {
+                    op: "offset",
+                    index: i,
+                    len: d,
+                });
             }
             let _ = axis;
             off = off * d + i;
@@ -164,7 +173,10 @@ mod tests {
             s.offset(&[2, 0]),
             Err(TensorError::IndexOutOfBounds { .. })
         ));
-        assert!(matches!(s.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -13,8 +13,8 @@ use dgnn_suite::datasets::{
 use dgnn_suite::device::{ExecMode, Executor, PlatformSpec};
 use dgnn_suite::models::{
     Astgnn, AstgnnConfig, DgnnModel, DyRep, DyRepConfig, EvolveGcn, EvolveGcnConfig,
-    InferenceConfig, Jodie, JodieConfig, Ldg, LdgConfig, MolDgnn, MolDgnnConfig, Tgat,
-    TgatConfig, Tgn, TgnConfig,
+    InferenceConfig, Jodie, JodieConfig, Ldg, LdgConfig, MolDgnn, MolDgnnConfig, Tgat, TgatConfig,
+    Tgn, TgnConfig,
 };
 use dgnn_suite::profile::InferenceProfile;
 
@@ -30,7 +30,12 @@ fn report(model: &mut dyn DgnnModel, cfg: &InferenceConfig) {
         p.inference_time
     );
     for f in &p.findings {
-        println!("    [{:>3.0}%] {}: {}", f.severity * 100.0, f.kind, f.evidence);
+        println!(
+            "    [{:>3.0}%] {}: {}",
+            f.severity * 100.0,
+            f.kind,
+            f.evidence
+        );
     }
 }
 

@@ -45,7 +45,9 @@ fn main() {
     // Profile a batch of molecules on the simulated GPU.
     let mut model = MolDgnn::new(data, MolDgnnConfig::default(), 11);
     let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
-    let cfg = InferenceConfig::default().with_batch_size(512).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(512)
+        .with_max_units(1);
     model.run(&mut ex, &cfg).expect("inference succeeds");
     let p = InferenceProfile::capture(&ex, "inference");
     let memcpy = p.breakdown.share_of("memcpy_h2d") + p.breakdown.share_of("memcpy_d2h");

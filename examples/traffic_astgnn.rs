@@ -23,7 +23,9 @@ fn main() {
     );
 
     for bs in [4usize, 8, 16] {
-        let cfg = InferenceConfig::default().with_batch_size(bs).with_max_units(2);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(bs)
+            .with_max_units(2);
 
         // GPU run with a utilization timeline.
         let mut model = Astgnn::new(data.clone(), AstgnnConfig::default(), 3);

@@ -8,8 +8,8 @@ use dgnn_suite::datasets::{
 use dgnn_suite::device::{DurationNs, ExecMode, Executor, PlatformSpec};
 use dgnn_suite::models::{
     Astgnn, AstgnnConfig, DgnnModel, DyRep, DyRepConfig, EvolveGcn, EvolveGcnConfig,
-    EvolveGcnVersion, InferenceConfig, Jodie, JodieConfig, Ldg, LdgConfig, LdgEncoder,
-    MolDgnn, MolDgnnConfig, Tgat, TgatConfig, Tgn, TgnConfig,
+    EvolveGcnVersion, InferenceConfig, Jodie, JodieConfig, Ldg, LdgConfig, LdgEncoder, MolDgnn,
+    MolDgnnConfig, Tgat, TgatConfig, Tgn, TgnConfig,
 };
 use dgnn_suite::profile::InferenceProfile;
 
@@ -30,7 +30,10 @@ fn zoo() -> Vec<(Box<dyn DgnnModel>, InferenceConfig)> {
         (
             Box::new(EvolveGcn::new(
                 bitcoin_alpha(s, SEED),
-                EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::O },
+                EvolveGcnConfig {
+                    hidden: 100,
+                    version: EvolveGcnVersion::O,
+                },
                 SEED,
             )) as _,
             base.clone().with_max_units(4),
@@ -38,7 +41,10 @@ fn zoo() -> Vec<(Box<dyn DgnnModel>, InferenceConfig)> {
         (
             Box::new(EvolveGcn::new(
                 bitcoin_alpha(s, SEED),
-                EvolveGcnConfig { hidden: 100, version: EvolveGcnVersion::H },
+                EvolveGcnConfig {
+                    hidden: 100,
+                    version: EvolveGcnVersion::H,
+                },
                 SEED,
             )) as _,
             base.clone().with_max_units(4),
@@ -52,13 +58,9 @@ fn zoo() -> Vec<(Box<dyn DgnnModel>, InferenceConfig)> {
             base.clone().with_batch_size(4),
         ),
         (
-            Box::new(DyRep::new(social_evolution(s, SEED), DyRepConfig::default(), SEED)) as _,
-            base.clone().with_batch_size(48),
-        ),
-        (
-            Box::new(Ldg::new(
-                github(s, SEED),
-                LdgConfig { dim: 32, encoder: LdgEncoder::Mlp },
+            Box::new(DyRep::new(
+                social_evolution(s, SEED),
+                DyRepConfig::default(),
                 SEED,
             )) as _,
             base.clone().with_batch_size(48),
@@ -66,7 +68,21 @@ fn zoo() -> Vec<(Box<dyn DgnnModel>, InferenceConfig)> {
         (
             Box::new(Ldg::new(
                 github(s, SEED),
-                LdgConfig { dim: 32, encoder: LdgEncoder::Bilinear },
+                LdgConfig {
+                    dim: 32,
+                    encoder: LdgEncoder::Mlp,
+                },
+                SEED,
+            )) as _,
+            base.clone().with_batch_size(48),
+        ),
+        (
+            Box::new(Ldg::new(
+                github(s, SEED),
+                LdgConfig {
+                    dim: 32,
+                    encoder: LdgEncoder::Bilinear,
+                },
                 SEED,
             )) as _,
             base.clone().with_batch_size(48),
@@ -87,7 +103,11 @@ fn every_model_runs_on_gpu_with_a_complete_profile() {
             .unwrap_or_else(|e| panic!("{} failed: {e}", model.name()));
         assert!(summary.iterations > 0, "{}", model.name());
         assert!(summary.checksum.is_finite(), "{}", model.name());
-        assert!(summary.inference_time > DurationNs::ZERO, "{}", model.name());
+        assert!(
+            summary.inference_time > DurationNs::ZERO,
+            "{}",
+            model.name()
+        );
 
         let p = InferenceProfile::capture(&ex, "inference");
         assert!(p.end_to_end >= p.inference_time, "{}", model.name());
@@ -130,7 +150,11 @@ fn simulated_time_is_reproducible_end_to_end() {
             .map(|(mut model, cfg)| {
                 let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
                 let s = model.run(&mut ex, &cfg).expect("inference");
-                (model.name().to_string(), ex.now().as_nanos(), s.checksum.to_bits())
+                (
+                    model.name().to_string(),
+                    ex.now().as_nanos(),
+                    s.checksum.to_bits(),
+                )
             })
             .collect()
     };

@@ -15,7 +15,10 @@ const SEED: u64 = 33;
 fn egcn(version: EvolveGcnVersion) -> EvolveGcn {
     EvolveGcn::new(
         bitcoin_alpha(Scale::Tiny, SEED),
-        EvolveGcnConfig { hidden: 100, version },
+        EvolveGcnConfig {
+            hidden: 100,
+            version,
+        },
         SEED,
     )
 }
@@ -26,7 +29,10 @@ fn fig10_pipelining_improves_both_evolvegcn_variants() {
     for version in [EvolveGcnVersion::O, EvolveGcnVersion::H] {
         let r = pipelined_evolvegcn(&mut egcn(version), &cfg).expect("ablation runs");
         assert!(r.optimized < r.baseline, "{version:?} must improve");
-        assert!(r.speedup() <= 2.0 + 1e-9, "{version:?}: two stages cap at 2x");
+        assert!(
+            r.speedup() <= 2.0 + 1e-9,
+            "{version:?}: two stages cap at 2x"
+        );
     }
 }
 
@@ -35,11 +41,17 @@ fn overlap_speedup_bounded_by_device_share() {
     // Overlapping sampling with compute can hide at most the smaller of
     // the two chains; with sampling dominating, speedup is bounded by
     // 1 / sampling_share.
-    let cfg = InferenceConfig::default().with_batch_size(150).with_max_units(4);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(150)
+        .with_max_units(4);
     let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
     let r = overlapped_sampling_tgat(&mut m, &cfg).expect("ablation runs");
     assert!(r.optimized < r.baseline);
-    assert!(r.speedup() < 2.0, "sampling-bound: speedup {} must stay < 2x", r.speedup());
+    assert!(
+        r.speedup() < 2.0,
+        "sampling-bound: speedup {} must stay < 2x",
+        r.speedup()
+    );
 }
 
 #[test]

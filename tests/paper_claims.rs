@@ -7,8 +7,8 @@
 use dgnn_suite::datasets::{iso17, social_evolution, wikipedia, Scale};
 use dgnn_suite::device::{ExecMode, Executor, PlatformSpec};
 use dgnn_suite::models::{
-    DgnnModel, DyRep, DyRepConfig, InferenceConfig, MolDgnn, MolDgnnConfig, Tgat, TgatConfig,
-    Tgn, TgnConfig,
+    DgnnModel, DyRep, DyRepConfig, InferenceConfig, MolDgnn, MolDgnnConfig, Tgat, TgatConfig, Tgn,
+    TgnConfig,
 };
 use dgnn_suite::profile::{BottleneckKind, InferenceProfile};
 
@@ -24,7 +24,9 @@ fn gpu_run(model: &mut dyn DgnnModel, cfg: &InferenceConfig) -> (InferenceProfil
 fn sec42_tgat_sampling_dominates_inference() {
     // Paper: neighborhood sampling is 83%→94% of TGAT inference time.
     let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
-    let cfg = InferenceConfig::default().with_batch_size(200).with_max_units(3);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(200)
+        .with_max_units(3);
     let (p, _) = gpu_run(&mut m, &cfg);
     let share = p.breakdown.share_of("sampling");
     assert!((0.70..=0.97).contains(&share), "sampling share {share}");
@@ -37,7 +39,9 @@ fn sec42_tgat_total_time_flat_in_batch_size() {
     let total_time = |bs: usize| {
         let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
         // Whole dataset: units large enough to cover it at every bs.
-        let cfg = InferenceConfig::default().with_batch_size(bs).with_max_units(1_000);
+        let cfg = InferenceConfig::default()
+            .with_batch_size(bs)
+            .with_max_units(1_000);
         let (p, _) = gpu_run(&mut m, &cfg);
         p.inference_time
     };
@@ -93,7 +97,9 @@ fn sec43_moldgnn_memcpy_dominates_gpu_working_time() {
     // Paper Fig 7b: memcpy is 80–90% of MolDGNN's GPU working time at
     // realistic batch sizes.
     let mut m = MolDgnn::new(iso17(Scale::Tiny, SEED), MolDgnnConfig::default(), SEED);
-    let cfg = InferenceConfig::default().with_batch_size(512).with_max_units(1);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(512)
+        .with_max_units(1);
     let (_, ex) = gpu_run(&mut m, &cfg);
     let tl = ex.timeline();
     let memcpy = tl.busy_time(dgnn_suite::device::Place::Pcie).as_nanos() as f64;
@@ -101,7 +107,10 @@ fn sec43_moldgnn_memcpy_dominates_gpu_working_time() {
         .category_time(dgnn_suite::device::EventCategory::is_gpu_compute)
         .as_nanos() as f64;
     let share = memcpy / (memcpy + kernels);
-    assert!((0.6..=0.98).contains(&share), "memcpy share of GPU working time {share}");
+    assert!(
+        (0.6..=0.98).contains(&share),
+        "memcpy share of GPU working time {share}"
+    );
 }
 
 #[test]
@@ -110,10 +119,15 @@ fn sec41_dyrep_gpu_never_outperforms_cpu() {
     // batch size.
     for bs in [16usize, 64, 160] {
         let time = |mode| {
-            let mut m =
-                DyRep::new(social_evolution(Scale::Tiny, SEED), DyRepConfig::default(), SEED);
+            let mut m = DyRep::new(
+                social_evolution(Scale::Tiny, SEED),
+                DyRepConfig::default(),
+                SEED,
+            );
             let mut ex = Executor::new(PlatformSpec::default(), mode);
-            let cfg = InferenceConfig::default().with_batch_size(bs).with_max_units(1);
+            let cfg = InferenceConfig::default()
+                .with_batch_size(bs)
+                .with_max_units(1);
             m.run(&mut ex, &cfg).expect("inference").inference_time
         };
         assert!(
@@ -127,7 +141,9 @@ fn sec41_dyrep_gpu_never_outperforms_cpu() {
 fn sec44_one_time_warmup_is_tens_of_batches() {
     // Paper: GPU warm-up ≈ 86× one TGAT mini-batch.
     let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
-    let cfg = InferenceConfig::default().with_batch_size(200).with_max_units(4);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(200)
+        .with_max_units(4);
     let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
     let s = m.run(&mut ex, &cfg).expect("inference");
     let p = InferenceProfile::capture(&ex, "inference");
@@ -164,9 +180,13 @@ fn sec41_utilization_ordering_matches_paper() {
     let util = |name: &str| -> f64 {
         let (p, _) = match name {
             "tgat" => {
-                let mut m =
-                    Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
-                gpu_run(&mut m, &InferenceConfig::default().with_batch_size(200).with_max_units(2))
+                let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
+                gpu_run(
+                    &mut m,
+                    &InferenceConfig::default()
+                        .with_batch_size(200)
+                        .with_max_units(2),
+                )
             }
             "dyrep" => {
                 let mut m = DyRep::new(
@@ -174,12 +194,21 @@ fn sec41_utilization_ordering_matches_paper() {
                     DyRepConfig::default(),
                     SEED,
                 );
-                gpu_run(&mut m, &InferenceConfig::default().with_batch_size(64).with_max_units(1))
+                gpu_run(
+                    &mut m,
+                    &InferenceConfig::default()
+                        .with_batch_size(64)
+                        .with_max_units(1),
+                )
             }
             _ => {
-                let mut m =
-                    MolDgnn::new(iso17(Scale::Tiny, SEED), MolDgnnConfig::default(), SEED);
-                gpu_run(&mut m, &InferenceConfig::default().with_batch_size(512).with_max_units(1))
+                let mut m = MolDgnn::new(iso17(Scale::Tiny, SEED), MolDgnnConfig::default(), SEED);
+                gpu_run(
+                    &mut m,
+                    &InferenceConfig::default()
+                        .with_batch_size(512)
+                        .with_max_units(1),
+                )
             }
         };
         p.utilization.busy_fraction
