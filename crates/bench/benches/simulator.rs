@@ -39,8 +39,24 @@ fn bench_graph_substrate() {
     let adj = TemporalAdjacency::from_stream(&data.stream);
     let t_end = data.stream.end_time();
     bench("graph/sample_khop_2x20", SAMPLES, || {
-        let mut s = NeighborSampler::new(SampleStrategy::Uniform, 7);
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 7);
         black_box(s.sample_khop(&adj, &[(0, t_end)], &[20, 20]))
+    });
+    let batch_roots: Vec<(usize, f64)> = data
+        .stream
+        .events()
+        .iter()
+        .rev()
+        .take(256)
+        .map(|e| (e.src, e.time))
+        .collect();
+    bench("graph/sample_khop_batch_256x2x20_serial", SAMPLES, || {
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 7);
+        black_box(s.sample_khop_batch_threads(&adj, &batch_roots, &[20, 20], 1))
+    });
+    bench("graph/sample_khop_batch_256x2x20_parallel", SAMPLES, || {
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 7);
+        black_box(s.sample_khop_batch(&adj, &batch_roots, &[20, 20]))
     });
     bench("graph/tbatch_build_full_stream", SAMPLES, || {
         black_box(TBatcher::new().build_stream(&data.stream))

@@ -1,0 +1,171 @@
+//! Wall-clock throughput of the CSR temporal sampling engine, serial vs
+//! parallel, plus the simulated "parallel sampling" ablation.
+//!
+//! The paper's Section 4.2 bottleneck is CPU-side temporal neighbor
+//! sampling (83–94% of TGAT inference as batch size goes 200→4000). This
+//! binary measures two things:
+//!
+//! 1. **Real wall-clock** of the host sampler itself: `sample_khop`
+//!    (serial) vs `sample_khop_batch` (thread fan-out) over a power-law
+//!    interaction stream, sweeping batch size and fan-out `k`. Both
+//!    paths return byte-identical samples (asserted), so the comparison
+//!    is pure engine throughput.
+//! 2. **Simulated sampling share** of TGAT inference as the platform's
+//!    core count grows with `parallel_sampling` enabled — the ablation
+//!    that shrinks the paper's workload imbalance.
+//!
+//! Every measurement is also emitted as a machine-readable
+//! `BENCH {json}` line for downstream tooling.
+//!
+//! Usage: `sampling_throughput [--scale tiny|small|full] [--seed N]`
+
+use std::time::Instant;
+
+use dgnn_bench::parse_opts;
+use dgnn_datasets::{wikipedia, PowerLawSampler, Scale};
+use dgnn_device::{ExecMode, Executor, PlatformSpec};
+use dgnn_graph::{par, EventStream, NeighborSampler, SampleStrategy, TemporalAdjacency};
+use dgnn_models::{DgnnModel, InferenceConfig, Tgat, TgatConfig};
+use dgnn_profile::{InferenceProfile, TextTable};
+use dgnn_tensor::TensorRng;
+
+/// Power-law interaction stream: uniform sources, Zipf destinations.
+fn power_law_stream(n_nodes: usize, n_events: usize, alpha: f64, seed: u64) -> EventStream {
+    let mut rng = TensorRng::seed(seed);
+    let zipf = PowerLawSampler::new(n_nodes, alpha);
+    let mut t = 0.0f64;
+    let events = (0..n_events)
+        .map(|i| {
+            t += rng.unit_f64();
+            let src = rng.index(n_nodes);
+            let mut dst = zipf.sample(&mut rng);
+            if dst == src {
+                dst = (dst + 1) % n_nodes;
+            }
+            dgnn_graph::TemporalEvent {
+                src,
+                dst,
+                time: t,
+                feature_idx: i,
+            }
+        })
+        .collect();
+    EventStream::new(n_nodes, events).expect("generated stream is valid")
+}
+
+/// Times `f` over `samples` iterations (one untimed warm-up), mean ns.
+fn mean_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..samples {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_nanos() as f64 / samples as f64
+}
+
+fn main() {
+    let opts = parse_opts();
+    let n_events = opts.scale.apply(600_000, 20_000);
+    let n_nodes = (n_events / 10).max(1_000);
+    let stream = power_law_stream(n_nodes, n_events, 1.2, opts.seed);
+    let adj = TemporalAdjacency::from_stream(&stream);
+    let threads = par::max_threads();
+    let samples = 5;
+
+    let mut table = TextTable::new(
+        &format!(
+            "Sampling throughput — CSR engine, serial vs parallel ({threads} threads, \
+             {n_events} events, {n_nodes} nodes)"
+        ),
+        &[
+            "batch",
+            "k (2 hops)",
+            "serial ms",
+            "parallel ms",
+            "speedup",
+            "roots/s parallel",
+        ],
+    );
+
+    for &batch in &[200usize, 1_000, 4_000] {
+        for &k in &[10usize, 20] {
+            let roots: Vec<(usize, f64)> = stream
+                .events()
+                .iter()
+                .rev()
+                .take(batch)
+                .map(|e| (e.src, e.time))
+                .collect();
+            let ks = [k, k];
+            let sampler = NeighborSampler::new(SampleStrategy::Uniform, opts.seed);
+
+            // Parallel must reproduce serial byte-for-byte.
+            let serial_out = sampler.sample_khop(&adj, &roots, &ks);
+            let parallel_out = sampler.sample_khop_batch(&adj, &roots, &ks);
+            assert_eq!(serial_out, parallel_out, "parallel sampling diverged");
+
+            let serial_ns = mean_ns(samples, || sampler.sample_khop(&adj, &roots, &ks));
+            let parallel_ns = mean_ns(samples, || sampler.sample_khop_batch(&adj, &roots, &ks));
+            let speedup = serial_ns / parallel_ns;
+            let roots_per_sec = roots.len() as f64 / (parallel_ns / 1e9);
+
+            table.row(&[
+                format!("{batch}"),
+                format!("{k}"),
+                format!("{:.3}", serial_ns / 1e6),
+                format!("{:.3}", parallel_ns / 1e6),
+                format!("{speedup:.2}x"),
+                format!("{roots_per_sec:.0}"),
+            ]);
+            println!(
+                "BENCH {{\"bench\":\"sampling_throughput\",\"mode\":\"serial\",\"batch\":{batch},\
+                 \"k\":{k},\"threads\":1,\"mean_ns\":{serial_ns:.0}}}"
+            );
+            println!(
+                "BENCH {{\"bench\":\"sampling_throughput\",\"mode\":\"parallel\",\"batch\":{batch},\
+                 \"k\":{k},\"threads\":{threads},\"mean_ns\":{parallel_ns:.0},\
+                 \"speedup\":{speedup:.3},\"roots_per_sec\":{roots_per_sec:.0}}}"
+            );
+        }
+    }
+    print!("{}", table.render());
+
+    // Simulated ablation: TGAT sampling share vs core count with the
+    // cost model charging sampling as a parallel critical path.
+    let mut ablation = TextTable::new(
+        "Parallel sampling ablation — simulated TGAT sampling share vs CPU cores",
+        &["cores", "sampling share", "batch time ms"],
+    );
+    // Full-scale wikipedia is overkill for a share measurement; cap the
+    // ablation dataset at Small.
+    let ablation_scale = match opts.scale {
+        Scale::Full => Scale::Small,
+        s => s,
+    };
+    let data = wikipedia(ablation_scale, opts.seed);
+    let cfg = InferenceConfig::default()
+        .with_batch_size(4_000)
+        .with_max_units(1)
+        .with_parallel_sampling(true);
+    for &cores in &[1u32, 2, 4, 8, 16] {
+        let mut spec = PlatformSpec::default();
+        spec.cpu.cores = cores;
+        spec.cpu.saturation_width = cores as u64 * 256;
+        let mut model = Tgat::new(data.clone(), TgatConfig::default(), opts.seed);
+        let mut ex = Executor::new(spec, ExecMode::Gpu);
+        let summary = model.run(&mut ex, &cfg).expect("tgat run");
+        let profile = InferenceProfile::capture(&ex, "inference");
+        let share = profile.breakdown.share_of("sampling");
+        let ms = summary.inference_time.as_nanos() as f64 / 1e6;
+        ablation.row(&[
+            format!("{cores}"),
+            format!("{:.1}%", share * 100.0),
+            format!("{ms:.2}"),
+        ]);
+        println!(
+            "BENCH {{\"bench\":\"parallel_sampling_ablation\",\"cores\":{cores},\
+             \"sampling_share\":{share:.4},\"inference_ms\":{ms:.3}}}"
+        );
+    }
+    print!("{}", ablation.render());
+}

@@ -375,11 +375,23 @@ impl Executor {
 
     /// Executes host-side preprocessing work on the simulated CPU
     /// (always the CPU, in both modes). Returns the simulated duration.
+    ///
+    /// Serial stages (`parallelism == 1`) run on one core at
+    /// `host_ops_per_sec`. Stages that declare parallel work items are
+    /// charged as a critical path `total_ops / effective_cores`, where
+    /// the engaged core count follows the same occupancy ramp as CPU
+    /// kernels: `cores × clamp(parallelism / saturation_width,
+    /// 1/cores, 1)`. Irregular bandwidth also scales with the engaged
+    /// cores (memory-level parallelism), capped at the sequential peak.
     pub fn host(&mut self, work: HostWork) -> DurationNs {
         let c = &self.spec.cpu;
-        let ops_s = work.ops as f64 / c.host_ops_per_sec;
+        let occupancy =
+            (work.parallelism as f64 / c.saturation_width as f64).clamp(1.0 / c.cores as f64, 1.0);
+        let effective_cores = (c.cores as f64 * occupancy).max(1.0);
+        let ops_s = work.ops as f64 / (c.host_ops_per_sec * effective_cores);
         let seq_s = work.seq_bytes as f64 / c.mem_bw;
-        let irr_s = work.irregular_bytes as f64 / (c.mem_bw * c.irregular_efficiency);
+        let irr_bw = (c.mem_bw * c.irregular_efficiency * effective_cores).min(c.mem_bw);
+        let irr_s = work.irregular_bytes as f64 / irr_bw;
         let d = DurationNs::from_nanos(c.dispatch_overhead_ns)
             + DurationNs::from_secs_f64(ops_s + seq_s + irr_s);
         self.push_event(
@@ -457,6 +469,41 @@ mod tests {
         ex.host(HostWork::sequential("pack", 100, 1024));
         let t3 = ex.now();
         assert!(t0 < t1 && t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn parallel_host_work_shortens_critical_path() {
+        let time_for = |parallelism: u64| {
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+            ex.host(
+                HostWork::irregular("sample", 10_000_000, 1 << 24).with_parallelism(parallelism),
+            );
+            ex.now()
+        };
+        let serial = time_for(1);
+        let saturated = time_for(PlatformSpec::default().cpu.saturation_width);
+        // Fully saturated parallelism engages all cores on the ops term.
+        assert!(
+            saturated.as_nanos() * 8 < serial.as_nanos(),
+            "saturated {saturated:?} should be ≫ faster than serial {serial:?}"
+        );
+        // Sub-core-count parallelism must never price *slower* than serial.
+        assert!(time_for(4) <= serial);
+    }
+
+    #[test]
+    fn serial_host_pricing_is_unchanged_by_parallelism_field() {
+        let explicit = {
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+            ex.host(HostWork::irregular("sample", 5_000, 4_096).with_parallelism(1));
+            ex.now()
+        };
+        let default = {
+            let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+            ex.host(HostWork::irregular("sample", 5_000, 4_096));
+            ex.now()
+        };
+        assert_eq!(explicit, default);
     }
 
     #[test]

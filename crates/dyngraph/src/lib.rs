@@ -9,9 +9,10 @@
 //! provides both representations plus the preprocessing machinery whose
 //! CPU cost the paper identifies as a first-class bottleneck:
 //!
-//! * [`TemporalAdjacency`] — per-node, time-sorted neighbor lists with
-//!   bisection lookup, and [`NeighborSampler`] implementing TGAT-style
-//!   temporal neighbor sampling (most-recent and uniform);
+//! * [`TemporalAdjacency`] — a flat CSR index of per-node, time-sorted
+//!   neighbor history with bisection lookup, and [`NeighborSampler`]
+//!   implementing TGAT-style temporal neighbor sampling (most-recent and
+//!   uniform) with deterministic parallel batch APIs (see [`par`]);
 //! * [`TBatcher`] — JODIE's t-batch parallelization algorithm;
 //! * [`snapshots_from_events`] — sliding-window snapshot extraction for
 //!   discrete-time models.
@@ -24,6 +25,7 @@
 mod error;
 mod event;
 mod graph;
+pub mod par;
 pub mod sampler;
 mod snapshot;
 mod tbatch;
@@ -31,7 +33,7 @@ mod tbatch;
 pub use error::GraphError;
 pub use event::{EventStream, TemporalEvent};
 pub use graph::Graph;
-pub use sampler::{NeighborSampler, SampleStrategy, TemporalAdjacency};
+pub use sampler::{NeighborSampler, SampleStrategy, SampledNeighbor, TemporalAdjacency};
 pub use snapshot::{snapshots_from_events, Snapshot, SnapshotSequence};
 pub use tbatch::{TBatch, TBatcher};
 

@@ -1,0 +1,103 @@
+//! Minimal deterministic fan-out over OS threads.
+//!
+//! The workspace builds offline with no external crates, so this module
+//! stands in for rayon's `par_iter().map().collect()`: it splits a slice
+//! into contiguous chunks, maps each chunk on a scoped thread, and
+//! re-concatenates the per-chunk results **in chunk order**, so the
+//! output is always identical to `items.iter().map(f).collect()`
+//! regardless of thread count or scheduling.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set (the same knob
+//! rayon honors, which is what CI uses to pin the suite to one thread),
+//! falling back to [`std::thread::available_parallelism`].
+
+use std::num::NonZeroUsize;
+
+/// Fewest items worth shipping to a worker thread; below this the spawn
+/// overhead dwarfs the work and the map runs inline.
+const MIN_CHUNK: usize = 8;
+
+/// Worker threads the process should use: `RAYON_NUM_THREADS` when set
+/// to a positive integer, otherwise the machine's available parallelism.
+pub fn max_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using up to [`max_threads`] worker threads.
+///
+/// Output order (and therefore content) is identical to the serial
+/// `items.iter().map(f).collect()`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(items, max_threads(), f)
+}
+
+/// [`par_map`] with an explicit thread cap — lets tests assert that any
+/// thread count reproduces the serial result without touching the
+/// process environment.
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().div_ceil(MIN_CHUNK));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_for_every_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 64] {
+            let par = par_map_threads(&items, threads, |x| x * x + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_threads(&empty, 8, |x| *x).is_empty());
+        assert_eq!(par_map_threads(&[41u32], 8, |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -7,10 +7,27 @@
 //! sorting, which produces the irregular CPU memory traffic Section 4.2
 //! blames for starving the GPU. Sampling here returns both the sample and
 //! a [`SampleCost`] so the executor can charge that CPU time faithfully.
+//!
+//! # Engine layout
+//!
+//! [`TemporalAdjacency`] is a flat CSR index: one `offsets` array plus
+//! struct-of-arrays `neighbors`/`times`/`feature_idx` slabs, so a node's
+//! whole history is one contiguous slice and bisection/gathers walk
+//! contiguous memory instead of chasing `Vec<Vec<…>>` pointers.
+//!
+//! # Determinism under parallelism
+//!
+//! Every sampling call derives its RNG stream from
+//! `(sampler seed, node, query time)` rather than consuming a shared
+//! sequential stream. A call is therefore a pure function of its
+//! arguments, which makes the batch APIs ([`NeighborSampler::sample_batch`],
+//! [`NeighborSampler::sample_khop_batch`]) byte-identical to their serial
+//! counterparts for any worker-thread count: each root's subtree is
+//! reproduced independently and results are concatenated in root order.
 
 use dgnn_tensor::TensorRng;
 
-use crate::{EventStream, NodeId};
+use crate::{par, EventStream, NodeId};
 
 /// One sampled temporal neighbor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,8 +36,11 @@ pub struct SampledNeighbor {
     pub node: NodeId,
     /// Time of the interaction that created the edge.
     pub time: f64,
-    /// Edge-feature row of that interaction.
-    pub feature_idx: usize,
+    /// Edge-feature row of the interaction that produced this neighbor;
+    /// `None` for root-layer entries, which were not reached through any
+    /// interaction and must never be used to index the edge-feature
+    /// table.
+    pub feature_idx: Option<usize>,
 }
 
 /// Work performed by a sampling call, for host-cost pricing.
@@ -41,82 +61,135 @@ impl SampleCost {
 }
 
 /// How neighbors are drawn from the eligible past.
+///
+/// # Ordering contract
+///
+/// * [`SampleStrategy::MostRecent`] returns the window **most-recent
+///   first** (descending time), matching the reference TGAT
+///   `find_before` + tail-slice convention: index 0 is the latest
+///   eligible interaction.
+/// * [`SampleStrategy::Uniform`] returns draws in **ascending adjacency
+///   order** (the reference sorts sampled indices so the feature gather
+///   walks forward — the "node index sorting" the paper mentions).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SampleStrategy {
-    /// The `k` most recent interactions before the query time.
+    /// The `k` most recent interactions before the query time,
+    /// most-recent first.
     MostRecent,
     /// `k` uniform draws (with replacement) from the eligible past —
     /// TGAT's `--uniform` flag.
     Uniform,
 }
 
-/// Per-node, time-sorted adjacency built from an event stream.
+/// Per-node, time-sorted adjacency in CSR (compressed sparse row) form.
 ///
 /// Each undirected occurrence is indexed on both endpoints, matching the
-/// reference TGAT preprocessing.
+/// reference TGAT preprocessing. Node `v`'s interactions occupy the
+/// contiguous range `offsets[v]..offsets[v + 1]` of the three
+/// struct-of-arrays slabs, sorted by time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TemporalAdjacency {
-    // Parallel arrays per node, sorted by time.
-    neighbors: Vec<Vec<NodeId>>,
-    times: Vec<Vec<f64>>,
-    feature_idx: Vec<Vec<usize>>,
+    /// `n_nodes + 1` row boundaries into the slabs.
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    times: Vec<f64>,
+    feature_idx: Vec<usize>,
 }
 
 impl TemporalAdjacency {
-    /// Builds the adjacency index from a stream.
+    /// Builds the CSR index from a stream in two passes: degree count +
+    /// prefix sum, then a fill in stream order (events arrive
+    /// time-sorted, so every row ends up time-sorted too).
     pub fn from_stream(stream: &EventStream) -> Self {
         let n = stream.n_nodes();
-        let mut adj = TemporalAdjacency {
-            neighbors: vec![Vec::new(); n],
-            times: vec![Vec::new(); n],
-            feature_idx: vec![Vec::new(); n],
-        };
+        let mut degree = vec![0usize; n];
         for e in stream.events() {
-            adj.neighbors[e.src].push(e.dst);
-            adj.times[e.src].push(e.time);
-            adj.feature_idx[e.src].push(e.feature_idx);
-            adj.neighbors[e.dst].push(e.src);
-            adj.times[e.dst].push(e.time);
-            adj.feature_idx[e.dst].push(e.feature_idx);
+            degree[e.src] += 1;
+            degree[e.dst] += 1;
         }
-        // Events arrive time-sorted, so per-node lists are already sorted.
-        adj
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0 as NodeId; acc];
+        let mut times = vec![0.0f64; acc];
+        let mut feature_idx = vec![0usize; acc];
+        let mut cursor = offsets[..n].to_vec();
+        for e in stream.events() {
+            for (from, to) in [(e.src, e.dst), (e.dst, e.src)] {
+                let at = cursor[from];
+                neighbors[at] = to;
+                times[at] = e.time;
+                feature_idx[at] = e.feature_idx;
+                cursor[from] += 1;
+            }
+        }
+        TemporalAdjacency {
+            offsets,
+            neighbors,
+            times,
+            feature_idx,
+        }
     }
 
     /// Number of nodes indexed.
     pub fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total indexed interaction endpoints (twice the event count).
+    pub fn n_entries(&self) -> usize {
         self.neighbors.len()
     }
 
     /// Total degree (interactions) of `node`.
     pub fn degree(&self, node: NodeId) -> usize {
-        self.neighbors[node].len()
+        self.offsets[node + 1] - self.offsets[node]
+    }
+
+    /// The contiguous CSR row of `node`: `(neighbors, times, feature
+    /// rows)`, time-sorted.
+    pub fn row(&self, node: NodeId) -> (&[NodeId], &[f64], &[usize]) {
+        let r = self.offsets[node]..self.offsets[node + 1];
+        (
+            &self.neighbors[r.clone()],
+            &self.times[r.clone()],
+            &self.feature_idx[r],
+        )
     }
 
     /// Bisection: number of interactions of `node` strictly before `t`,
-    /// together with the number of comparison steps taken.
+    /// together with the number of comparison steps taken. A node with
+    /// no history costs nothing — there is no array to bisect.
     pub fn count_before(&self, node: NodeId, t: f64) -> (usize, u64) {
-        let times = &self.times[node];
+        let (_, times, _) = self.row(node);
+        if times.is_empty() {
+            return (0, 0);
+        }
         let idx = times.partition_point(|&x| x < t);
-        let steps = (times.len().max(1) as f64).log2().ceil() as u64 + 1;
+        let steps = (times.len() as f64).log2().ceil() as u64 + 1;
         (idx, steps)
     }
 }
 
 /// Draws temporal neighbor samples and accounts their CPU cost.
-#[derive(Debug)]
+///
+/// All methods take `&self`: each call derives a private RNG stream from
+/// `(seed, node, query time)`, so sampling is a pure function of its
+/// arguments and safe to fan out across threads (see module docs).
+#[derive(Debug, Clone)]
 pub struct NeighborSampler {
-    rng: TensorRng,
+    seed: u64,
     strategy: SampleStrategy,
 }
 
 impl NeighborSampler {
     /// Creates a sampler with a fixed seed.
     pub fn new(strategy: SampleStrategy, seed: u64) -> Self {
-        NeighborSampler {
-            rng: TensorRng::seed(seed),
-            strategy,
-        }
+        NeighborSampler { seed, strategy }
     }
 
     /// The configured strategy.
@@ -124,13 +197,31 @@ impl NeighborSampler {
         self.strategy
     }
 
+    /// The configured seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives the per-call RNG stream for `(node, t)`: the seed and both
+    /// call coordinates are mixed murmur3-style into the 64-bit key that
+    /// seeds an independent xoshiro stream.
+    fn stream_for(&self, node: NodeId, t: f64) -> TensorRng {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for w in [node as u64, t.to_bits()] {
+            h ^= w.wrapping_mul(0xff51_afd7_ed55_8ccd).rotate_left(31);
+            h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        }
+        TensorRng::seed(h)
+    }
+
     /// Samples up to `k` neighbors of `node` that interacted strictly
     /// before `t`. Returns fewer than `k` (possibly zero) when the
     /// eligible past is smaller — only for [`SampleStrategy::MostRecent`];
     /// uniform sampling draws with replacement and always returns `k`
-    /// unless the past is empty.
+    /// unless the past is empty. See [`SampleStrategy`] for the ordering
+    /// contract.
     pub fn sample(
-        &mut self,
+        &self,
         adj: &TemporalAdjacency,
         node: NodeId,
         t: f64,
@@ -145,18 +236,21 @@ impl NeighborSampler {
         if eligible == 0 {
             return (Vec::new(), cost);
         }
+        let (neighbors, times, feature_idx) = adj.row(node);
         let pick = |i: usize| SampledNeighbor {
-            node: adj.neighbors[node][i],
-            time: adj.times[node][i],
-            feature_idx: adj.feature_idx[node][i],
+            node: neighbors[i],
+            time: times[i],
+            feature_idx: Some(feature_idx[i]),
         };
         let picked: Vec<SampledNeighbor> = match self.strategy {
             SampleStrategy::MostRecent => {
                 let take = k.min(eligible);
-                (eligible - take..eligible).map(pick).collect()
+                // Most-recent first: walk the tail of the window backward.
+                (eligible - take..eligible).rev().map(pick).collect()
             }
             SampleStrategy::Uniform => {
-                let mut idx: Vec<usize> = (0..k).map(|_| self.rng.index(eligible)).collect();
+                let mut rng = self.stream_for(node, t);
+                let mut idx: Vec<usize> = (0..k).map(|_| rng.index(eligible)).collect();
                 // Reference implementation sorts sampled indices so the
                 // gather walks forward — the "node index sorting" the
                 // paper mentions.
@@ -174,31 +268,104 @@ impl NeighborSampler {
 
     /// Recursive k-hop sampling: layer `l` samples `ks[l]` neighbors of
     /// every node sampled at layer `l-1`. Returns the flattened frontier
-    /// per layer (layer 0 = the roots) and the accumulated cost.
+    /// per layer (layer 0 = the roots, with `feature_idx: None`) and the
+    /// accumulated cost.
     pub fn sample_khop(
-        &mut self,
+        &self,
         adj: &TemporalAdjacency,
         roots: &[(NodeId, f64)],
         ks: &[usize],
     ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
         let mut cost = SampleCost::default();
-        let mut layers: Vec<Vec<SampledNeighbor>> = vec![roots
+        let mut layers: Vec<Vec<SampledNeighbor>> = Vec::with_capacity(ks.len() + 1);
+        let mut frontier: Vec<SampledNeighbor> = roots
             .iter()
             .map(|&(node, time)| SampledNeighbor {
                 node,
                 time,
-                feature_idx: usize::MAX,
+                feature_idx: None,
             })
-            .collect()];
+            .collect();
         for &k in ks {
-            let prev = layers.last().expect("at least the root layer");
-            let mut next = Vec::with_capacity(prev.len() * k);
-            for s in prev.clone() {
+            let mut next = Vec::with_capacity(frontier.len().saturating_mul(k));
+            for s in &frontier {
                 let (picked, c) = self.sample(adj, s.node, s.time, k);
                 cost.add(c);
                 next.extend(picked);
             }
-            layers.push(next);
+            layers.push(std::mem::replace(&mut frontier, next));
+        }
+        layers.push(frontier);
+        (layers, cost)
+    }
+
+    /// Single-hop batch sampling: one sample per root, fanned out over
+    /// worker threads. Element `i` of the result is exactly what
+    /// `self.sample(adj, roots[i].0, roots[i].1, k)` returns, and the
+    /// cost is the sum over roots — byte-identical to the serial loop.
+    pub fn sample_batch(
+        &self,
+        adj: &TemporalAdjacency,
+        roots: &[(NodeId, f64)],
+        k: usize,
+    ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
+        self.sample_batch_threads(adj, roots, k, par::max_threads())
+    }
+
+    /// [`NeighborSampler::sample_batch`] with an explicit thread cap.
+    pub fn sample_batch_threads(
+        &self,
+        adj: &TemporalAdjacency,
+        roots: &[(NodeId, f64)],
+        k: usize,
+        threads: usize,
+    ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
+        let per_root =
+            par::par_map_threads(roots, threads, |&(node, t)| self.sample(adj, node, t, k));
+        let mut cost = SampleCost::default();
+        let samples = per_root
+            .into_iter()
+            .map(|(picked, c)| {
+                cost.add(c);
+                picked
+            })
+            .collect();
+        (samples, cost)
+    }
+
+    /// K-hop batch sampling: fans [`NeighborSampler::sample_khop`] out
+    /// over roots on worker threads and concatenates each layer in root
+    /// order, which reproduces the serial layer layout exactly (the
+    /// serial pass also visits layer `l` root-subtree by root-subtree).
+    /// Byte-identical samples and [`SampleCost`] to the serial call for
+    /// any thread count.
+    pub fn sample_khop_batch(
+        &self,
+        adj: &TemporalAdjacency,
+        roots: &[(NodeId, f64)],
+        ks: &[usize],
+    ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
+        self.sample_khop_batch_threads(adj, roots, ks, par::max_threads())
+    }
+
+    /// [`NeighborSampler::sample_khop_batch`] with an explicit thread cap.
+    pub fn sample_khop_batch_threads(
+        &self,
+        adj: &TemporalAdjacency,
+        roots: &[(NodeId, f64)],
+        ks: &[usize],
+        threads: usize,
+    ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
+        let per_root = par::par_map_threads(roots, threads, |&root| {
+            self.sample_khop(adj, std::slice::from_ref(&root), ks)
+        });
+        let mut layers: Vec<Vec<SampledNeighbor>> = (0..=ks.len()).map(|_| Vec::new()).collect();
+        let mut cost = SampleCost::default();
+        for (root_layers, c) in per_root {
+            cost.add(c);
+            for (l, mut layer) in root_layers.into_iter().enumerate() {
+                layers[l].append(&mut layer);
+            }
         }
         (layers, cost)
     }
@@ -245,6 +412,24 @@ mod tests {
         assert_eq!(adj.degree(0), 3);
         assert_eq!(adj.degree(2), 2);
         assert_eq!(adj.degree(3), 1);
+        assert_eq!(adj.n_entries(), 8);
+    }
+
+    #[test]
+    fn csr_rows_are_time_sorted_and_consistent() {
+        let adj = TemporalAdjacency::from_stream(&stream());
+        for node in 0..adj.n_nodes() {
+            let (neighbors, times, feats) = adj.row(node);
+            assert_eq!(neighbors.len(), adj.degree(node));
+            assert_eq!(times.len(), adj.degree(node));
+            assert_eq!(feats.len(), adj.degree(node));
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Node 0 interacted with 1, 2, 3 at times 1, 2, 4.
+        let (neighbors, times, feats) = adj.row(0);
+        assert_eq!(neighbors, &[1, 2, 3]);
+        assert_eq!(times, &[1.0, 2.0, 4.0]);
+        assert_eq!(feats, &[0, 1, 3]);
     }
 
     #[test]
@@ -258,12 +443,13 @@ mod tests {
     #[test]
     fn most_recent_returns_latest_first_eligible() {
         let adj = TemporalAdjacency::from_stream(&stream());
-        let mut s = NeighborSampler::new(SampleStrategy::MostRecent, 1);
+        let s = NeighborSampler::new(SampleStrategy::MostRecent, 1);
         let (picked, cost) = s.sample(&adj, 0, 4.5, 2);
         assert_eq!(picked.len(), 2);
-        // The two most recent: times 2.0 and 4.0.
-        assert_eq!(picked[0].time, 2.0);
-        assert_eq!(picked[1].time, 4.0);
+        // The two most recent, most-recent first: times 4.0 then 2.0.
+        assert_eq!(picked[0].time, 4.0);
+        assert_eq!(picked[1].time, 2.0);
+        assert_eq!(picked[0].feature_idx, Some(3));
         assert!(cost.ops > 0 && cost.irregular_bytes > 0);
     }
 
@@ -271,7 +457,7 @@ mod tests {
     fn all_samples_precede_query_time() {
         let adj = TemporalAdjacency::from_stream(&stream());
         for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
-            let mut s = NeighborSampler::new(strategy, 9);
+            let s = NeighborSampler::new(strategy, 9);
             let (picked, _) = s.sample(&adj, 0, 3.0, 10);
             assert!(!picked.is_empty());
             assert!(picked.iter().all(|n| n.time < 3.0));
@@ -281,24 +467,50 @@ mod tests {
     #[test]
     fn empty_past_returns_nothing() {
         let adj = TemporalAdjacency::from_stream(&stream());
-        let mut s = NeighborSampler::new(SampleStrategy::Uniform, 2);
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 2);
+        // Node 2 has history (degree 2) but none of it precedes t=2.0:
+        // the bisection over its non-empty row still costs.
         let (picked, cost) = s.sample(&adj, 2, 2.0, 5);
         assert!(picked.is_empty());
-        assert!(cost.ops > 0, "bisection still costs");
+        assert!(cost.ops > 0, "bisection over non-empty history costs");
+    }
+
+    #[test]
+    fn degree_zero_node_costs_nothing() {
+        // Node 2 never appears in any event: no adjacency row exists, so
+        // there is nothing to bisect and nothing to charge.
+        let lone = EventStream::new(
+            3,
+            vec![TemporalEvent {
+                src: 0,
+                dst: 1,
+                time: 1.0,
+                feature_idx: 0,
+            }],
+        )
+        .unwrap();
+        let adj = TemporalAdjacency::from_stream(&lone);
+        assert_eq!(adj.degree(2), 0);
+        assert_eq!(adj.count_before(2, 5.0), (0, 0));
+        let s = NeighborSampler::new(SampleStrategy::MostRecent, 2);
+        let (picked, cost) = s.sample(&adj, 2, 5.0, 4);
+        assert!(picked.is_empty());
+        assert_eq!(cost, SampleCost::default());
     }
 
     #[test]
     fn uniform_draws_with_replacement_fill_k() {
         let adj = TemporalAdjacency::from_stream(&stream());
-        let mut s = NeighborSampler::new(SampleStrategy::Uniform, 3);
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 3);
         let (picked, _) = s.sample(&adj, 0, 4.5, 8);
         assert_eq!(picked.len(), 8);
+        assert!(picked.iter().all(|n| n.feature_idx.is_some()));
     }
 
     #[test]
     fn khop_layers_expand() {
         let adj = TemporalAdjacency::from_stream(&stream());
-        let mut s = NeighborSampler::new(SampleStrategy::MostRecent, 4);
+        let s = NeighborSampler::new(SampleStrategy::MostRecent, 4);
         let (layers, cost) = s.sample_khop(&adj, &[(0, 4.5)], &[2, 2]);
         assert_eq!(layers.len(), 3);
         assert_eq!(layers[0].len(), 1);
@@ -308,12 +520,48 @@ mod tests {
     }
 
     #[test]
+    fn root_layer_has_no_feature_rows_but_hops_do() {
+        let adj = TemporalAdjacency::from_stream(&stream());
+        let s = NeighborSampler::new(SampleStrategy::Uniform, 4);
+        let (layers, _) = s.sample_khop(&adj, &[(0, 4.5), (1, 4.5)], &[3]);
+        assert!(layers[0].iter().all(|n| n.feature_idx.is_none()));
+        assert!(layers[1].iter().all(|n| n.feature_idx.is_some()));
+    }
+
+    #[test]
     fn sampler_is_deterministic_per_seed() {
         let adj = TemporalAdjacency::from_stream(&stream());
         let run = |seed| {
-            let mut s = NeighborSampler::new(SampleStrategy::Uniform, seed);
+            let s = NeighborSampler::new(SampleStrategy::Uniform, seed);
             s.sample(&adj, 0, 4.5, 6).0
         };
         assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn batch_apis_match_serial_for_any_thread_count() {
+        let adj = TemporalAdjacency::from_stream(&stream());
+        let roots: Vec<(NodeId, f64)> =
+            vec![(0, 4.5), (1, 4.5), (2, 4.5), (3, 4.5), (0, 2.5), (1, 3.5)];
+        for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
+            let s = NeighborSampler::new(strategy, 11);
+            let (serial_layers, serial_cost) = s.sample_khop(&adj, &roots, &[2, 2]);
+            let mut serial_hop = Vec::new();
+            let mut serial_hop_cost = SampleCost::default();
+            for &(node, t) in &roots {
+                let (picked, c) = s.sample(&adj, node, t, 3);
+                serial_hop.push(picked);
+                serial_hop_cost.add(c);
+            }
+            for threads in [1, 2, 4, 16] {
+                let (l, c) = s.sample_khop_batch_threads(&adj, &roots, &[2, 2], threads);
+                assert_eq!(l, serial_layers, "khop threads={threads}");
+                assert_eq!(c, serial_cost, "khop cost threads={threads}");
+                let (b, bc) = s.sample_batch_threads(&adj, &roots, 3, threads);
+                assert_eq!(b, serial_hop, "batch threads={threads}");
+                assert_eq!(bc, serial_hop_cost, "batch cost threads={threads}");
+            }
+        }
     }
 }

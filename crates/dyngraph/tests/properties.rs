@@ -85,7 +85,7 @@ fn sampled_neighbors_always_precede_query() {
         let adj = TemporalAdjacency::from_stream(&stream);
         let t_query = stream.end_time() / 2.0 + 1.0;
         for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
-            let mut sampler = NeighborSampler::new(strategy, rng.next_u64());
+            let sampler = NeighborSampler::new(strategy, rng.next_u64());
             for node in 0..stream.n_nodes() {
                 let (picked, _) = sampler.sample(&adj, node, t_query, 5);
                 for p in picked {
@@ -113,6 +113,45 @@ fn bisection_count_matches_brute_force() {
                 .filter(|e| (e.src == node || e.dst == node) && e.time < t_query)
                 .count();
             assert_eq!(adj.count_before(node, t_query).0, brute);
+        }
+    }
+}
+
+#[test]
+fn khop_batch_matches_serial_across_streams_strategies_and_threads() {
+    let mut rng = TensorRng::seed(0xba7c);
+    for stream in stream_cases(14, 120, 8) {
+        let adj = TemporalAdjacency::from_stream(&stream);
+        let t_query = stream.end_time() * 0.8 + 1.0;
+        let roots: Vec<(usize, f64)> = (0..stream.n_nodes().min(24))
+            .map(|v| (v, t_query))
+            .collect();
+        for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
+            let sampler = NeighborSampler::new(strategy, rng.next_u64());
+            let (serial, serial_cost) = sampler.sample_khop(&adj, &roots, &[4, 3]);
+            for threads in [1, 3, 8] {
+                let (parallel, cost) =
+                    sampler.sample_khop_batch_threads(&adj, &roots, &[4, 3], threads);
+                assert_eq!(serial, parallel);
+                assert_eq!(serial_cost, cost);
+            }
+        }
+    }
+}
+
+#[test]
+fn degree_zero_nodes_cost_nothing() {
+    for stream in stream_cases(16, 40, 12) {
+        let adj = TemporalAdjacency::from_stream(&stream);
+        let sampler = NeighborSampler::new(SampleStrategy::Uniform, 5);
+        for node in 0..stream.n_nodes() {
+            if adj.degree(node) > 0 {
+                continue;
+            }
+            let (picked, cost) = sampler.sample(&adj, node, stream.end_time() + 1.0, 6);
+            assert!(picked.is_empty());
+            assert_eq!(cost.ops, 0, "no history, nothing to bisect");
+            assert_eq!(cost.irregular_bytes, 0);
         }
     }
 }

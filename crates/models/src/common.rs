@@ -30,6 +30,12 @@ pub struct InferenceConfig {
     pub max_units: usize,
     /// Seed for model weights and samplers.
     pub seed: u64,
+    /// When true, temporal neighbor sampling (TGAT, TGN) is charged as a
+    /// parallel critical path fanned out over the batch's roots instead
+    /// of a serial per-node loop — the "parallel sampling" ablation. The
+    /// paper's profiled frameworks sample serially, so this defaults to
+    /// `false`.
+    pub parallel_sampling: bool,
 }
 
 impl Default for InferenceConfig {
@@ -39,6 +45,7 @@ impl Default for InferenceConfig {
             n_neighbors: 20,
             max_units: 8,
             seed: 42,
+            parallel_sampling: false,
         }
     }
 }
@@ -59,6 +66,13 @@ impl InferenceConfig {
     /// Builder-style unit-count override.
     pub fn with_max_units(mut self, max_units: usize) -> Self {
         self.max_units = max_units;
+        self
+    }
+
+    /// Builder-style parallel-sampling toggle (see
+    /// [`InferenceConfig::parallel_sampling`]).
+    pub fn with_parallel_sampling(mut self, parallel_sampling: bool) -> Self {
+        self.parallel_sampling = parallel_sampling;
         self
     }
 }

@@ -129,6 +129,7 @@ impl DgnnModel for DyRep {
                             ops: EVENT_LOOP_OPS,
                             seq_bytes: 512,
                             irregular_bytes: (4 * d * 4) as u64,
+                            parallelism: 1,
                         });
                     });
                     dx.scope("embedding_update", |dx| -> Result<()> {

@@ -159,6 +159,7 @@ impl DgnnModel for EvolveGcn {
                         ops: n as u64 * PREP_NODE_OPS + nnz as u64 * PREP_EDGE_OPS,
                         seq_bytes: feat_bytes,
                         irregular_bytes: snap.graph.byte_len(),
+                        parallelism: 1,
                     });
                 });
                 // CSR topology + node features + per-edge features are

@@ -136,6 +136,7 @@ impl DgnnModel for Jodie {
                             ops: build_ops + window.len() as u64 * TBATCH_EVENT_OPS,
                             seq_bytes: window.len() as u64 * dgnn_graph::EventStream::EVENT_BYTES,
                             irregular_bytes: window.len() as u64 * 64,
+                            parallelism: 1,
                         });
                         tb
                     } else {
@@ -159,6 +160,7 @@ impl DgnnModel for Jodie {
                             ops: TBATCH_STEP_OPS,
                             seq_bytes: (width * d * 4) as u64,
                             irregular_bytes: (width * 128) as u64,
+                            parallelism: 1,
                         });
                     });
                     let payload = DeviceTensor::host_scaled(

@@ -147,6 +147,7 @@ impl DgnnModel for Ldg {
                             ops: EVENT_LOOP_OPS,
                             seq_bytes: 512,
                             irregular_bytes: (5 * d * 4) as u64,
+                            parallelism: 1,
                         });
                     });
 

@@ -10,7 +10,10 @@
 //! * [`overlapped_sampling_tgat`] — CPU sampling of batch `t+1` overlaps
 //!   GPU compute of batch `t` (§5.1.1, the Zhang et al. scheme);
 //! * [`delta_snapshot_evolvegcn`] — transfer only the changed fraction of
-//!   each snapshot (§5.2.2, sliding-window similarity).
+//!   each snapshot (§5.2.2, sliding-window similarity);
+//! * [`parallel_sampling_tgat`] — parallelize the temporal sampling loop
+//!   itself across CPU cores (the CSR batch engine), instead of merely
+//!   overlapping it with device work.
 
 use dgnn_device::{DurationNs, EventCategory, ExecMode, Executor, PlatformSpec};
 use dgnn_profile::pipeline::{
@@ -102,6 +105,36 @@ pub fn overlapped_sampling_tgat(model: &mut Tgat, cfg: &InferenceConfig) -> Resu
     Ok(AblationResult {
         baseline,
         optimized: overlapped_makespan(&pairs),
+    })
+}
+
+/// Parallel CSR sampling: re-run TGAT with temporal sampling charged as
+/// a critical path fanned out over the batch's roots on a platform with
+/// `cores` CPU cores (saturation width scales with the core count, 256
+/// parallel roots per core as in the default spec). The baseline is the
+/// profiled frameworks' serial per-node sampling loop on the default
+/// platform. With enough roots per batch, the sampling share — and with
+/// it the paper's workload imbalance — shrinks as cores grow.
+///
+/// # Errors
+///
+/// Propagates inference errors from either run.
+pub fn parallel_sampling_tgat(
+    model: &mut Tgat,
+    cfg: &InferenceConfig,
+    cores: u32,
+) -> Result<AblationResult> {
+    let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    model.run(&mut ex, cfg)?;
+    let baseline = inference_total(&ex);
+    let mut spec = PlatformSpec::default();
+    spec.cpu.cores = cores;
+    spec.cpu.saturation_width = cores as u64 * 256;
+    let mut ex = Executor::new(spec, ExecMode::Gpu);
+    model.run(&mut ex, &cfg.clone().with_parallel_sampling(true))?;
+    Ok(AblationResult {
+        baseline,
+        optimized: inference_total(&ex),
     })
 }
 
@@ -245,6 +278,29 @@ mod tests {
         // Sampling dominates, so overlap is bounded by the sampling chain:
         // speedup stays modest but real.
         assert!(r.speedup() > 1.05, "speedup {}", r.speedup());
+    }
+
+    #[test]
+    fn parallel_sampling_speedup_grows_with_cores() {
+        let mut m = Tgat::new(wikipedia(Scale::Tiny, 1), TgatConfig::default(), 7);
+        // Enough roots per batch to engage many cores.
+        let cfg = InferenceConfig::default()
+            .with_batch_size(2000)
+            .with_max_units(1);
+        let mut previous = 0.0;
+        for cores in [1u32, 4, 16] {
+            let r = parallel_sampling_tgat(&mut m, &cfg, cores).unwrap();
+            assert!(
+                r.speedup() >= previous,
+                "speedup must be monotone in cores: {} at {cores} cores after {previous}",
+                r.speedup()
+            );
+            previous = r.speedup();
+        }
+        assert!(
+            previous > 1.5,
+            "16 cores should clearly beat serial sampling, got {previous}"
+        );
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl DgnnModel for Tgat {
         let k = cfg.n_neighbors.max(1);
         let d = self.cfg.dim;
         let n_layers = self.cfg.n_layers;
-        let mut sampler = NeighborSampler::new(SampleStrategy::Uniform, cfg.seed);
+        let sampler = NeighborSampler::new(SampleStrategy::Uniform, cfg.seed);
         let mut checksum = 0.0f32;
         let mut iterations = 0usize;
 
@@ -185,23 +185,28 @@ impl DgnnModel for Tgat {
                 let rows = bsz * self.rows_per_event(k);
                 let edge_rows = bsz * self.edge_rows_per_event(k);
 
-                // 1. Temporal neighborhood sampling on the CPU.
+                // 1. Temporal neighborhood sampling on the CPU, fanned
+                // out over the batch's roots (the parallel CSR engine);
+                // serial and parallel runs are byte-identical, only the
+                // *charged* critical path differs.
                 let rep_layers = dx.scope("sampling", |dx| {
                     let roots: Vec<(usize, f64)> =
                         batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
                     let ks = vec![k; n_layers.max(1)];
-                    let (layers, cost) = sampler.sample_khop(&self.adj, &roots, &ks);
+                    let (layers, cost) = sampler.sample_khop_batch(&self.adj, &roots, &ks);
                     let scale = (bsz as u64).div_ceil(rep as u64);
                     let calls = (bsz * (1 + k)) as u64;
                     // The reference also sorts the sampled node indices
                     // per batch so the feature gather walks forward.
                     let sorted = (bsz * (1 + k)) as u64;
                     let sort_ops = sorted * (64 - sorted.max(2).leading_zeros() as u64);
+                    let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
                     dx.host(HostWork {
                         label: "temporal_sampling",
                         ops: cost.ops * scale + calls * SAMPLING_CALL_OPS + sort_ops,
                         seq_bytes: 0,
                         irregular_bytes: cost.irregular_bytes * scale,
+                        parallelism,
                     });
                     layers
                 });

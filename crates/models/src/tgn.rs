@@ -136,7 +136,7 @@ impl DgnnModel for Tgn {
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
         let k = cfg.n_neighbors.clamp(1, 10);
         let d = self.cfg.dim;
-        let mut sampler = NeighborSampler::new(SampleStrategy::MostRecent, cfg.seed);
+        let sampler = NeighborSampler::new(SampleStrategy::MostRecent, cfg.seed);
         let mut checksum = 0.0f32;
         let mut iterations = 0usize;
 
@@ -170,21 +170,20 @@ impl DgnnModel for Tgn {
                 );
                 dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&edge_payload));
 
-                // 2. Temporal neighbor sampling on the CPU.
+                // 2. Temporal neighbor sampling on the CPU — the CSR
+                // batch engine, one root per batch event.
                 let rep_neighbors = dx.scope("sampling", |dx| {
-                    let mut rep_samples = Vec::new();
-                    let mut cost = dgnn_graph::sampler::SampleCost::default();
-                    for e in batch.iter().take(rep) {
-                        let (picked, c) = sampler.sample(&self.adj, e.src, e.time, k);
-                        cost.add(c);
-                        rep_samples.push(picked);
-                    }
+                    let roots: Vec<(usize, f64)> =
+                        batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
+                    let (rep_samples, cost) = sampler.sample_batch(&self.adj, &roots, k);
                     let s = (bsz as u64).div_ceil(rep as u64);
+                    let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
                     dx.host(HostWork {
                         label: "temporal_sampling",
                         ops: cost.ops * s / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
                         seq_bytes: 0,
                         irregular_bytes: cost.irregular_bytes * s / 4,
+                        parallelism,
                     });
                     rep_samples
                 });

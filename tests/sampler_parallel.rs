@@ -1,0 +1,136 @@
+//! Determinism contract of the parallel CSR sampling engine: for the
+//! same seed, serial `sample_khop` and parallel `sample_khop_batch`
+//! (any thread count) must produce identical samples and identical
+//! accumulated `SampleCost`, across both strategies, on heavy-tailed
+//! (power-law) interaction streams like the paper's datasets.
+
+use dgnn_suite::datasets::PowerLawSampler;
+use dgnn_suite::graph::sampler::SampleCost;
+use dgnn_suite::graph::{EventStream, NeighborSampler, SampleStrategy, TemporalAdjacency};
+use dgnn_suite::tensor::TensorRng;
+
+/// Synthetic stream whose destination popularity is Zipf-distributed, so
+/// adjacency rows span isolated nodes to heavy hubs.
+fn power_law_stream(n_nodes: usize, n_events: usize, alpha: f64, seed: u64) -> EventStream {
+    let mut rng = TensorRng::seed(seed);
+    let zipf = PowerLawSampler::new(n_nodes, alpha);
+    let mut t = 0.0f64;
+    let events = (0..n_events)
+        .map(|i| {
+            t += rng.unit_f64();
+            let src = rng.index(n_nodes);
+            let mut dst = zipf.sample(&mut rng);
+            if dst == src {
+                dst = (dst + 1) % n_nodes;
+            }
+            dgnn_suite::graph::TemporalEvent {
+                src,
+                dst,
+                time: t,
+                feature_idx: i,
+            }
+        })
+        .collect();
+    EventStream::new(n_nodes, events).expect("generated stream is valid")
+}
+
+fn late_roots(stream: &EventStream, n: usize) -> Vec<(usize, f64)> {
+    stream
+        .events()
+        .iter()
+        .rev()
+        .take(n)
+        .map(|e| (e.src, e.time))
+        .collect()
+}
+
+#[test]
+fn parallel_khop_is_byte_identical_to_serial_on_power_law_streams() {
+    for (alpha, seed) in [(0.8, 0xa1), (1.3, 0xa2), (1.8, 0xa3)] {
+        let stream = power_law_stream(500, 6_000, alpha, seed);
+        let adj = TemporalAdjacency::from_stream(&stream);
+        let roots = late_roots(&stream, 200);
+        let ks = [8, 4];
+        for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
+            let sampler = NeighborSampler::new(strategy, seed ^ 0x5eed);
+            let (serial_layers, serial_cost) = sampler.sample_khop(&adj, &roots, &ks);
+            assert_eq!(serial_layers.len(), ks.len() + 1);
+            assert!(serial_cost.ops > 0);
+            for threads in [1, 2, 5, 16] {
+                let (layers, cost) = sampler.sample_khop_batch_threads(&adj, &roots, &ks, threads);
+                assert_eq!(
+                    layers, serial_layers,
+                    "samples diverge (alpha {alpha}, {strategy:?}, threads {threads})"
+                );
+                assert_eq!(
+                    cost, serial_cost,
+                    "cost diverges (alpha {alpha}, {strategy:?}, threads {threads})"
+                );
+            }
+            // Default-thread-count entry point agrees too.
+            let (layers, cost) = sampler.sample_khop_batch(&adj, &roots, &ks);
+            assert_eq!(layers, serial_layers);
+            assert_eq!(cost, serial_cost);
+        }
+    }
+}
+
+#[test]
+fn parallel_single_hop_matches_serial_loop() {
+    let stream = power_law_stream(300, 3_000, 1.2, 0xb7);
+    let adj = TemporalAdjacency::from_stream(&stream);
+    let roots = late_roots(&stream, 150);
+    for strategy in [SampleStrategy::MostRecent, SampleStrategy::Uniform] {
+        let sampler = NeighborSampler::new(strategy, 17);
+        let mut serial = Vec::new();
+        let mut serial_cost = SampleCost::default();
+        for &(node, t) in &roots {
+            let (picked, c) = sampler.sample(&adj, node, t, 10);
+            serial.push(picked);
+            serial_cost.add(c);
+        }
+        for threads in [1, 4, 12] {
+            let (batch, cost) = sampler.sample_batch_threads(&adj, &roots, 10, threads);
+            assert_eq!(batch, serial, "{strategy:?} threads {threads}");
+            assert_eq!(cost, serial_cost, "{strategy:?} threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn khop_roots_carry_no_feature_rows_and_hops_always_do() {
+    let stream = power_law_stream(200, 2_000, 1.1, 0xc3);
+    let adj = TemporalAdjacency::from_stream(&stream);
+    let roots = late_roots(&stream, 64);
+    let sampler = NeighborSampler::new(SampleStrategy::Uniform, 3);
+    let (layers, _) = sampler.sample_khop_batch(&adj, &roots, &[6, 3]);
+    assert!(layers[0].iter().all(|n| n.feature_idx.is_none()));
+    for layer in &layers[1..] {
+        assert!(layer.iter().all(|n| n.feature_idx.is_some()));
+    }
+    // Every sampled feature row must be a valid edge-feature index.
+    let n_events = stream.len();
+    for layer in &layers[1..] {
+        assert!(layer
+            .iter()
+            .all(|n| n.feature_idx.expect("hop layer") < n_events));
+    }
+}
+
+#[test]
+fn most_recent_batch_windows_are_descending_in_time() {
+    let stream = power_law_stream(200, 2_500, 1.4, 0xd9);
+    let adj = TemporalAdjacency::from_stream(&stream);
+    let roots = late_roots(&stream, 120);
+    let sampler = NeighborSampler::new(SampleStrategy::MostRecent, 23);
+    let (samples, _) = sampler.sample_batch(&adj, &roots, 12);
+    assert_eq!(samples.len(), roots.len());
+    let mut non_trivial = 0;
+    for window in &samples {
+        assert!(window.windows(2).all(|w| w[0].time >= w[1].time));
+        if window.len() > 1 {
+            non_trivial += 1;
+        }
+    }
+    assert!(non_trivial > 10, "sweep should exercise real windows");
+}
