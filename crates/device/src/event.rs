@@ -1,6 +1,7 @@
 //! Timeline events: the simulated Nsight Systems trace records.
 
 use crate::kernel::KernelKind;
+use crate::stream::StreamId;
 use crate::time::DurationNs;
 
 /// Where an event executed.
@@ -90,6 +91,10 @@ pub struct TimelineEvent {
     pub flops: u64,
     /// Bytes moved.
     pub bytes: u64,
+    /// Execution lane the event was issued on. `None` for the sequential
+    /// engine (the default); `Some` only inside a stream fork, where
+    /// events on different lanes may overlap in time.
+    pub stream: Option<StreamId>,
 }
 
 impl TimelineEvent {
@@ -121,6 +126,7 @@ mod tests {
             occupancy: 0.5,
             flops: 0,
             bytes: 0,
+            stream: None,
         }
     }
 

@@ -1,17 +1,26 @@
-//! The sequential execution engine: one shared virtual clock, one timeline.
+//! The execution engine: a shared virtual clock, with optional stream
+//! forks for pipelined schedules.
 //!
 //! The profiled frameworks execute DGNN inference as a strict sequence —
 //! sample on the CPU, copy over PCIe, launch kernels, copy back — and that
 //! serialization is the root of the paper's temporal-dependency and
-//! workload-imbalance bottlenecks. [`Executor`] models exactly that: every
-//! priced action advances a single clock. (The §5 optimization ablations
-//! re-schedule recorded scope intervals instead of complicating this engine
-//! with streams.)
+//! workload-imbalance bottlenecks. By default [`Executor`] models exactly
+//! that: every priced action advances a single clock, and timelines are a
+//! serial tape.
+//!
+//! To quantify the paper's proposed mitigations (§5: pipelining, transfer
+//! batching) the executor can *fork* into three CUDA-style lanes
+//! ([`StreamId::Host`], [`StreamId::Copy`], [`StreamId::Compute`]) with
+//! independent clocks, ordered across lanes only by recorded events
+//! ([`Executor::record_event`] / [`Executor::wait_event`]). While no fork
+//! is active the engine is bit-identical to the historical sequential
+//! implementation — every existing timeline invariant holds unchanged.
 
 use crate::event::{EventCategory, Place, TimelineEvent, TransferDir};
 use crate::kernel::{HostWork, KernelDesc, KernelKind};
 use crate::memory::MemoryTracker;
 use crate::spec::PlatformSpec;
+use crate::stream::{EventId, StreamId, StreamSet};
 use crate::time::DurationNs;
 use crate::timeline::Timeline;
 use crate::warmup::WarmupModel;
@@ -74,6 +83,11 @@ pub struct Executor {
     cpu_mem: MemoryTracker,
     gpu_mem: MemoryTracker,
     context_ready: bool,
+    /// Per-lane clocks while a stream fork is active; `None` otherwise.
+    streams: Option<StreamSet>,
+    /// Lane that priced actions are currently issued on (inside
+    /// [`Executor::on_stream`]); `None` targets the serial clock.
+    current_stream: Option<StreamId>,
 }
 
 impl Executor {
@@ -90,12 +104,125 @@ impl Executor {
             gpu_mem: MemoryTracker::new(),
             // CPU-only runs never pay GPU warm-up.
             context_ready: mode == ExecMode::CpuOnly,
+            streams: None,
+            current_stream: None,
         }
     }
 
-    /// Current simulated time.
+    /// Current simulated time on the serial clock. Inside a stream fork
+    /// this is the fork origin; lanes are queried with
+    /// [`Executor::stream_now`] and folded back by
+    /// [`Executor::join_streams`].
     pub fn now(&self) -> DurationNs {
         self.clock
+    }
+
+    /// The clock the next priced action would start at: the active lane's
+    /// clock inside [`Executor::on_stream`], the serial clock otherwise.
+    fn cursor(&self) -> DurationNs {
+        match (self.current_stream, &self.streams) {
+            (Some(lane), Some(s)) => s.clock(lane),
+            _ => self.clock,
+        }
+    }
+
+    /// Current virtual time of a lane (the serial clock when no fork is
+    /// active).
+    pub fn stream_now(&self, lane: StreamId) -> DurationNs {
+        match &self.streams {
+            Some(s) => s.clock(lane),
+            None => self.clock,
+        }
+    }
+
+    /// Whether a stream fork is active.
+    pub fn streams_active(&self) -> bool {
+        self.streams.is_some()
+    }
+
+    /// Forks the timeline into the three execution lanes, each starting at
+    /// the current serial clock. Until [`Executor::join_streams`], work
+    /// issued inside [`Executor::on_stream`] advances only its lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fork is already active (forks do not nest).
+    pub fn fork_streams(&mut self) {
+        assert!(self.streams.is_none(), "stream fork already active");
+        self.streams = Some(StreamSet::forked_at(self.clock));
+    }
+
+    /// Ends the stream fork: the serial clock advances to the latest lane
+    /// clock (the makespan of the forked region) and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no fork is active or a lane closure is still running.
+    pub fn join_streams(&mut self) -> DurationNs {
+        assert!(
+            self.current_stream.is_none(),
+            "cannot join streams inside on_stream"
+        );
+        let s = self
+            .streams
+            .take()
+            .expect("join_streams without fork_streams");
+        let end = s.max_clock().max(self.clock);
+        self.clock = end;
+        end
+    }
+
+    /// Runs `f` with every priced action placed on `lane`. Nesting is
+    /// allowed; the innermost lane wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no stream fork is active.
+    pub fn on_stream<R>(&mut self, lane: StreamId, f: impl FnOnce(&mut Self) -> R) -> R {
+        assert!(self.streams.is_some(), "on_stream requires fork_streams");
+        let prev = self.current_stream.replace(lane);
+        let result = f(self);
+        self.current_stream = prev;
+        result
+    }
+
+    /// Swaps the lane priced actions are issued on, returning the previous
+    /// one. Used by wrappers (the dispatcher) that cannot express the lane
+    /// as a closure over `&mut Executor`.
+    pub(crate) fn swap_current_stream(&mut self, lane: Option<StreamId>) -> Option<StreamId> {
+        assert!(
+            lane.is_none() || self.streams.is_some(),
+            "placing work on a lane requires fork_streams"
+        );
+        std::mem::replace(&mut self.current_stream, lane)
+    }
+
+    /// Records `lane`'s current clock as a waitable synchronization point
+    /// (the simulated `cudaEventRecord`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no stream fork is active.
+    pub fn record_event(&mut self, lane: StreamId) -> EventId {
+        self.streams
+            .as_mut()
+            .expect("record_event requires fork_streams")
+            .record(lane)
+    }
+
+    /// Stalls `lane` until the recorded event's timestamp (the simulated
+    /// `cudaStreamWaitEvent`): the lane clock advances to the max of its
+    /// dependencies and never rewinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no stream fork is active or the event was recorded on a
+    /// different executor.
+    pub fn wait_event(&mut self, lane: StreamId, event: EventId) {
+        self.streams
+            .as_mut()
+            .expect("wait_event requires fork_streams")
+            .wait(lane, event);
     }
 
     /// Execution mode.
@@ -148,13 +275,13 @@ impl Executor {
         ScopeToken {
             path: self.current_path(),
             depth: self.scope_stack.len() - 1,
-            start: self.clock,
+            start: self.cursor(),
         }
     }
 
     /// Closes the scope opened with the given token, recording its span.
     pub(crate) fn exit_scope(&mut self, token: ScopeToken) {
-        let end = self.clock;
+        let end = self.cursor();
         self.scope_stack.pop();
         self.scopes.push(ScopeRecord {
             path: token.path,
@@ -175,9 +302,9 @@ impl Executor {
     /// Runs `f` and returns its result together with the simulated time it
     /// consumed.
     pub fn timed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, DurationNs) {
-        let start = self.clock;
+        let start = self.cursor();
         let result = f(self);
-        (result, self.clock - start)
+        (result, self.cursor() - start)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -191,7 +318,7 @@ impl Executor {
         flops: u64,
         bytes: u64,
     ) {
-        let start = self.clock;
+        let start = self.cursor();
         let end = start + duration;
         self.timeline.push(TimelineEvent {
             label,
@@ -203,8 +330,12 @@ impl Executor {
             occupancy,
             flops,
             bytes,
+            stream: self.current_stream,
         });
-        self.clock = end;
+        match (self.current_stream, &mut self.streams) {
+            (Some(lane), Some(s)) => *s.clock_mut(lane) = end,
+            _ => self.clock = end,
+        }
     }
 
     /// Lazily initializes the CUDA context on first GPU activity
@@ -658,5 +789,100 @@ mod tests {
         ex.ensure_context();
         let d = ex.synchronize();
         assert_eq!(d.as_nanos(), PlatformSpec::default().gpu.launch_overhead_ns);
+    }
+
+    #[test]
+    fn forked_lanes_overlap_on_the_timeline() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let origin = ex.now();
+        ex.fork_streams();
+        ex.on_stream(StreamId::Host, |ex| {
+            ex.host(HostWork::sequential("sample", 1_000_000, 1 << 20));
+        });
+        ex.on_stream(StreamId::Compute, |ex| {
+            ex.launch(KernelDesc::gemm("attn", 256, 256, 256));
+        });
+        let host_end = ex.stream_now(StreamId::Host);
+        let compute_end = ex.stream_now(StreamId::Compute);
+        let end = ex.join_streams();
+        // Both lanes started at the fork origin: the events overlap and
+        // the makespan is the max, not the sum.
+        let events = ex.timeline().events();
+        let host_ev = events.iter().find(|e| e.label == "sample").unwrap();
+        let gemm_ev = events.iter().find(|e| e.label == "attn").unwrap();
+        assert_eq!(host_ev.start, origin);
+        assert_eq!(gemm_ev.start, origin);
+        assert_eq!(host_ev.stream, Some(StreamId::Host));
+        assert_eq!(gemm_ev.stream, Some(StreamId::Compute));
+        assert_eq!(end, host_end.max(compute_end));
+        assert!(end < origin + host_ev.duration() + gemm_ev.duration());
+        assert_eq!(ex.now(), end);
+    }
+
+    #[test]
+    fn wait_event_orders_across_lanes() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        ex.fork_streams();
+        let uploaded = ex.on_stream(StreamId::Copy, |ex| {
+            ex.transfer(TransferDir::H2D, 1 << 24);
+            ex.record_event(StreamId::Copy)
+        });
+        ex.wait_event(StreamId::Compute, uploaded);
+        ex.on_stream(StreamId::Compute, |ex| {
+            ex.launch(KernelDesc::gemm("dep", 64, 64, 64));
+        });
+        ex.join_streams();
+        let events = ex.timeline().events();
+        let copy = events.iter().find(|e| e.label == "memcpy_h2d").unwrap();
+        let kernel = events.iter().find(|e| e.label == "dep").unwrap();
+        assert!(
+            kernel.start >= copy.end,
+            "dependent kernel {kernel:?} must start after its upload {copy:?}"
+        );
+    }
+
+    #[test]
+    fn serial_actions_never_carry_a_stream_tag() {
+        let mut ex = gpu_executor();
+        ex.launch(KernelDesc::gemm("k", 32, 32, 32));
+        ex.transfer(TransferDir::D2H, 4096);
+        assert!(ex.timeline().events().iter().all(|e| e.stream.is_none()));
+        assert!(!ex.streams_active());
+    }
+
+    #[test]
+    fn join_without_lane_work_is_a_no_op_on_the_clock() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        let before = ex.now();
+        ex.fork_streams();
+        assert!(ex.streams_active());
+        let end = ex.join_streams();
+        assert_eq!(end, before);
+        assert_eq!(ex.now(), before);
+    }
+
+    #[test]
+    fn scopes_span_lane_work_inside_a_fork() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        ex.fork_streams();
+        ex.on_stream(StreamId::Host, |ex| {
+            ex.scope("sampling", |ex| {
+                ex.host(HostWork::sequential("sample", 10_000, 4096));
+            });
+        });
+        ex.join_streams();
+        let s = ex.scopes().iter().find(|s| s.path == "sampling").unwrap();
+        assert!(s.duration().as_nanos() > 0);
+        let e = ex
+            .timeline()
+            .events()
+            .iter()
+            .find(|e| e.label == "sample")
+            .unwrap();
+        assert!(s.start <= e.start && e.end <= s.end);
     }
 }

@@ -40,6 +40,7 @@ mod executor;
 mod kernel;
 mod memory;
 mod spec;
+mod stream;
 mod time;
 pub mod timeline;
 mod warmup;
@@ -50,6 +51,7 @@ pub use executor::{ExecMode, Executor, ScopeRecord};
 pub use kernel::{HostWork, KernelDesc, KernelKind};
 pub use memory::MemoryTracker;
 pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec};
+pub use stream::{EventId, StreamId};
 pub use time::DurationNs;
 pub use timeline::Timeline;
 pub use warmup::WarmupModel;

@@ -1,0 +1,177 @@
+//! Streams: the multi-lane virtual timeline behind pipelined execution.
+//!
+//! The sequential [`crate::Executor`] advances one shared clock — exactly
+//! what the profiled frameworks do, and the root of the paper's workload
+//! imbalance (§4.2) and data-movement (§4.3) bottlenecks. The proposed
+//! mitigations (sampling/compute overlap, transfer batching) need the
+//! opposite: independent work advancing on independent clocks, ordered
+//! only where data actually flows.
+//!
+//! This module models a CUDA-style stream machine with three lanes:
+//!
+//! * [`StreamId::Host`] — CPU preprocessing (sampling, snapshot prep);
+//! * [`StreamId::Copy`] — the PCIe copy engine (H2D and D2H share it);
+//! * [`StreamId::Compute`] — GPU kernels (or CPU kernels in CPU mode).
+//!
+//! Each lane owns a virtual clock. Work placed on a lane starts at that
+//! lane's clock; cross-lane ordering is expressed with recorded events
+//! (`cudaEventRecord`) and waits (`cudaStreamWaitEvent`): waiting
+//! advances the waiting lane's clock to the recorded timestamp, never
+//! backwards. The scheduler is therefore a longest-path evaluation over
+//! the dependency DAG, evaluated incrementally as work is issued in
+//! program order.
+//!
+//! The executor only consults lanes while one is *active* (see
+//! `Executor::on_stream`); with no active lane every action falls back
+//! to the single serial clock, which keeps the default execution model —
+//! and every recorded timeline — bit-identical to the sequential engine.
+
+use crate::time::DurationNs;
+
+/// One of the three execution lanes of the pipelined engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamId {
+    /// Host-side preprocessing lane (CPU sampling, batch/snapshot prep).
+    Host,
+    /// PCIe copy engine (both directions share one lane).
+    Copy,
+    /// Kernel execution lane on the compute device.
+    Compute,
+}
+
+impl StreamId {
+    /// All lanes, in a fixed order.
+    pub const ALL: [StreamId; 3] = [StreamId::Host, StreamId::Copy, StreamId::Compute];
+
+    /// Lane index into per-lane tables.
+    pub(crate) fn index(self) -> usize {
+        match self {
+            StreamId::Host => 0,
+            StreamId::Copy => 1,
+            StreamId::Compute => 2,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StreamId::Host => "host",
+            StreamId::Copy => "copy",
+            StreamId::Compute => "compute",
+        }
+    }
+}
+
+/// Handle to a recorded cross-stream synchronization point.
+///
+/// Returned by `Executor::record_event`; passed to
+/// `Executor::wait_event` to order a lane after the recorded timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) usize);
+
+/// Per-lane virtual clocks plus the table of recorded events.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StreamSet {
+    clocks: [DurationNs; 3],
+    recorded: Vec<DurationNs>,
+}
+
+impl StreamSet {
+    /// Creates a stream set with every lane clock at `origin`.
+    pub(crate) fn forked_at(origin: DurationNs) -> Self {
+        StreamSet {
+            clocks: [origin; 3],
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Current clock of a lane.
+    pub(crate) fn clock(&self, lane: StreamId) -> DurationNs {
+        self.clocks[lane.index()]
+    }
+
+    /// Mutable clock of a lane.
+    pub(crate) fn clock_mut(&mut self, lane: StreamId) -> &mut DurationNs {
+        &mut self.clocks[lane.index()]
+    }
+
+    /// Records the lane's current clock and returns a waitable handle.
+    pub(crate) fn record(&mut self, lane: StreamId) -> EventId {
+        self.recorded.push(self.clock(lane));
+        EventId(self.recorded.len() - 1)
+    }
+
+    /// Advances a lane's clock to at least the recorded timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the event handle was never recorded on this set.
+    pub(crate) fn wait(&mut self, lane: StreamId, event: EventId) {
+        let t = self.recorded[event.0];
+        let c = self.clock_mut(lane);
+        if t > *c {
+            *c = t;
+        }
+    }
+
+    /// Latest clock across all lanes (the makespan so far).
+    pub(crate) fn max_clock(&self) -> DurationNs {
+        self.clocks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(DurationNs::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> DurationNs {
+        DurationNs::from_nanos(n)
+    }
+
+    #[test]
+    fn lanes_have_independent_clocks() {
+        let mut s = StreamSet::forked_at(ns(10));
+        *s.clock_mut(StreamId::Host) = ns(50);
+        assert_eq!(s.clock(StreamId::Host), ns(50));
+        assert_eq!(s.clock(StreamId::Copy), ns(10));
+        assert_eq!(s.clock(StreamId::Compute), ns(10));
+        assert_eq!(s.max_clock(), ns(50));
+    }
+
+    #[test]
+    fn wait_advances_but_never_rewinds() {
+        let mut s = StreamSet::forked_at(ns(0));
+        *s.clock_mut(StreamId::Host) = ns(100);
+        let done = s.record(StreamId::Host);
+        s.wait(StreamId::Compute, done);
+        assert_eq!(s.clock(StreamId::Compute), ns(100));
+        // A later wait on an older event is a no-op.
+        *s.clock_mut(StreamId::Compute) = ns(200);
+        s.wait(StreamId::Compute, done);
+        assert_eq!(s.clock(StreamId::Compute), ns(200));
+    }
+
+    #[test]
+    fn record_captures_the_moment_not_the_lane() {
+        let mut s = StreamSet::forked_at(ns(0));
+        *s.clock_mut(StreamId::Copy) = ns(30);
+        let at30 = s.record(StreamId::Copy);
+        *s.clock_mut(StreamId::Copy) = ns(70);
+        s.wait(StreamId::Compute, at30);
+        assert_eq!(s.clock(StreamId::Compute), ns(30));
+    }
+
+    #[test]
+    fn lane_names_and_indices_are_stable() {
+        for (i, lane) in StreamId::ALL.iter().enumerate() {
+            assert_eq!(lane.index(), i);
+        }
+        assert_eq!(StreamId::Host.name(), "host");
+        assert_eq!(StreamId::Copy.name(), "copy");
+        assert_eq!(StreamId::Compute.name(), "compute");
+    }
+}

@@ -84,6 +84,21 @@ impl Timeline {
             .sum()
     }
 
+    /// Number of priced PCIe transfer events in the given direction (or
+    /// both when `dir` is `None`). Together with
+    /// [`Timeline::transfer_bytes`] this is the coalescing metric: merging
+    /// transfers reduces the count while conserving the bytes.
+    pub fn transfer_count(&self, dir: Option<crate::event::TransferDir>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| match (e.category, dir) {
+                (EventCategory::Transfer(d), Some(want)) => d == want,
+                (EventCategory::Transfer(_), None) => true,
+                _ => false,
+            })
+            .count()
+    }
+
     /// Occupancy-weighted GPU utilization over `[win_start, win_end)`:
     /// `Σ(kernel overlap × occupancy) / window`. This approximates what
     /// `nvidia-smi` reports for the window.
@@ -107,19 +122,42 @@ impl Timeline {
     /// the window during which *some* kernel was executing, ignoring
     /// occupancy. This is what `nvidia-smi`'s "GPU utilization" reports
     /// and what the paper's utilization numbers mean.
+    ///
+    /// Computed as the interval-union of kernel events clipped to the
+    /// window, so kernels that overlap in time (stream forks) are counted
+    /// once — summing per-event overlaps would double-count them and
+    /// report fractions above 1.
     pub fn gpu_busy_fraction(&self, win_start: DurationNs, win_end: DurationNs) -> f64 {
         let window = win_end.saturating_sub(win_start).as_nanos();
         if window == 0 {
             return 0.0;
         }
-        // The sequential executor never overlaps kernels, so summing
-        // per-event overlaps is exact.
-        let busy: u64 = self
+        let mut intervals: Vec<(u64, u64)> = self
             .events
             .iter()
             .filter(|e| e.category.is_gpu_compute())
-            .map(|e| e.overlap(win_start, win_end).as_nanos())
-            .sum();
+            .filter_map(|e| {
+                let s = e.start.max(win_start).as_nanos();
+                let t = e.end.min(win_end).as_nanos();
+                (t > s).then_some((s, t))
+            })
+            .collect();
+        intervals.sort_unstable();
+        let mut busy = 0u64;
+        let mut current: Option<(u64, u64)> = None;
+        for (s, t) in intervals {
+            match current {
+                Some((cs, ct)) if s <= ct => current = Some((cs, ct.max(t))),
+                Some((cs, ct)) => {
+                    busy += ct - cs;
+                    current = Some((s, t));
+                }
+                None => current = Some((s, t)),
+            }
+        }
+        if let Some((cs, ct)) = current {
+            busy += ct - cs;
+        }
         busy as f64 / window as f64
     }
 
@@ -190,6 +228,7 @@ mod tests {
             occupancy: occ,
             flops: 100,
             bytes: 10,
+            stream: None,
         }
     }
 
@@ -204,6 +243,7 @@ mod tests {
             occupancy: 1.0,
             flops: 0,
             bytes,
+            stream: None,
         }
     }
 
@@ -256,6 +296,46 @@ mod tests {
         assert_eq!(tl.transfer_bytes(Some(TransferDir::H2D)), 100);
         assert_eq!(tl.transfer_bytes(Some(TransferDir::D2H)), 40);
         assert_eq!(tl.transfer_bytes(None), 140);
+        assert_eq!(tl.transfer_count(Some(TransferDir::H2D)), 1);
+        assert_eq!(tl.transfer_count(Some(TransferDir::D2H)), 1);
+        assert_eq!(tl.transfer_count(None), 2);
+    }
+
+    #[test]
+    fn busy_fraction_counts_overlapping_kernels_once() {
+        let mut tl = Timeline::new();
+        // Two kernels overlapping on [20, 40): union is [0, 40) ∪ [50, 60).
+        tl.push(kernel(0, 40, 1.0));
+        tl.push(kernel(20, 60, 1.0));
+        tl.push(kernel(50, 60, 1.0));
+        let f = tl.gpu_busy_fraction(DurationNs::ZERO, DurationNs::from_nanos(100));
+        assert!(
+            (f - 0.6).abs() < 1e-9,
+            "union of [0,40)+[20,60)+[50,60) over 100ns is 0.6, got {f}"
+        );
+        // A naive per-event sum would claim (40 + 40 + 10) / 100 = 0.9.
+    }
+
+    #[test]
+    fn busy_fraction_never_exceeds_one() {
+        let mut tl = Timeline::new();
+        for _ in 0..4 {
+            tl.push(kernel(0, 100, 1.0));
+        }
+        let f = tl.gpu_busy_fraction(DurationNs::ZERO, DurationNs::from_nanos(100));
+        assert!((f - 1.0).abs() < 1e-9, "four coincident kernels: {f}");
+    }
+
+    #[test]
+    fn busy_fraction_serial_matches_event_sum() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 10, 1.0));
+        tl.push(kernel(30, 45, 1.0));
+        let f = tl.gpu_busy_fraction(DurationNs::ZERO, DurationNs::from_nanos(100));
+        assert!((f - 0.25).abs() < 1e-9);
+        // Clipping to a window that cuts both events.
+        let clipped = tl.gpu_busy_fraction(DurationNs::from_nanos(5), DurationNs::from_nanos(35));
+        assert!((clipped - 10.0 / 30.0).abs() < 1e-9);
     }
 
     #[test]

@@ -25,8 +25,12 @@
 mod error;
 mod event;
 mod graph;
-pub mod par;
 pub mod sampler;
+
+/// Deterministic thread fan-out, re-exported from `dgnn-tensor` where the
+/// cache-blocked parallel kernels live (this crate sits above it in the
+/// dependency graph and shares the same `RAYON_NUM_THREADS` discipline).
+pub use dgnn_tensor::par;
 mod snapshot;
 mod tbatch;
 

@@ -15,11 +15,13 @@
 //! utilization stays below 1%.
 
 use dgnn_datasets::SnapshotDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
+use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
 use dgnn_nn::{GcnLayer, GruCell, Linear, Module};
 use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
-use crate::common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
+use crate::common::{
+    lane_handoff, on_lane, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary, REP_CAP,
+};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -146,30 +148,60 @@ impl DgnnModel for EvolveGcn {
             .node_features
             .gather_rows(&(0..rep_n).collect::<Vec<_>>())?;
 
+        let gpu = ex.mode() == ExecMode::Gpu;
+        let overlap = cfg.pipeline_overlap && gpu;
+        let granular = cfg.granular_transfers() && gpu;
+
         let run: Result<()> = ex.scope("inference", |ex| {
-            let mut dx = Dispatcher::new(ex);
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
+            if overlap {
+                dx.fork_streams();
+            }
+            let mut staging = DoubleBuffer::new();
             for step in 0..n_steps {
                 let snap = &self.data.snapshots.snapshots()[step];
                 let nnz = snap.graph.n_edges();
 
                 // 1. Snapshot preparation (CPU) and full reload to GPU.
-                dx.scope("snapshot_prep", |dx| {
-                    dx.host(HostWork {
-                        label: "prepare_snapshot",
-                        ops: n as u64 * PREP_NODE_OPS + nnz as u64 * PREP_EDGE_OPS,
-                        seq_bytes: feat_bytes,
-                        irregular_bytes: snap.graph.byte_len(),
-                        parallelism: 1,
-                    });
+                // Pipelined runs prefetch snapshot i+1 on the host lane
+                // while snapshot i's (strictly sequential) kernels run.
+                staging.acquire(&mut dx, overlap, step, StreamId::Host);
+                on_lane(&mut dx, overlap, StreamId::Host, |dx| {
+                    dx.scope("snapshot_prep", |dx| {
+                        dx.host(HostWork {
+                            label: "prepare_snapshot",
+                            ops: n as u64 * PREP_NODE_OPS + nnz as u64 * PREP_EDGE_OPS,
+                            seq_bytes: feat_bytes,
+                            irregular_bytes: snap.graph.byte_len(),
+                            parallelism: 1,
+                        });
+                    })
                 });
                 // CSR topology + node features + per-edge features are
                 // re-shipped every snapshot; Reddit's denser snapshots
-                // move proportionally more (Fig 7i/j).
+                // move proportionally more (Fig 7i/j). Granular modes
+                // price the three constituents individually.
                 let edge_feat_bytes = (nnz * d_in * 4) as u64;
                 let reload_bytes = snap.graph.byte_len() + feat_bytes + edge_feat_bytes;
-                let reload =
-                    DeviceTensor::host_scaled(Tensor::zeros(&[1, 1]), reload_bytes as f64 / 4.0);
-                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&reload));
+                lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
+                on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                    dx.scope("memcpy_h2d", |dx| {
+                        if granular {
+                            for bytes in [snap.graph.byte_len(), feat_bytes, edge_feat_bytes] {
+                                dx.transfer(TransferDir::H2D, bytes);
+                            }
+                            dx.flush_transfers();
+                        } else {
+                            let reload = DeviceTensor::host_scaled(
+                                Tensor::zeros(&[1, 1]),
+                                reload_bytes as f64 / 4.0,
+                            );
+                            dx.ensure_resident(&reload);
+                        }
+                    })
+                });
+                staging.uploaded(&mut dx, overlap);
+                lane_handoff(&mut dx, overlap, StreamId::Copy, StreamId::Compute);
 
                 // Representative dense adjacency over the leading nodes.
                 let rep_edges: Vec<(usize, usize, f32)> = snap
@@ -185,53 +217,68 @@ impl DgnnModel for EvolveGcn {
 
                 // 2. Weight evolution (RNN), plus top-k for -H.
                 if self.cfg.version == EvolveGcnVersion::H {
-                    checksum += dx.scope("topk", |dx| -> Result<f32> {
-                        // Score all nodes with a fully-connected layer:
-                        // the rep rows run functionally, the node-count
-                        // scale prices the full snapshot.
-                        let feats = dx.adopt(rep_feats.clone(), node_scale);
-                        let scores = self.topk_scorer.forward(dx, &feats)?;
-                        // Sort and gather have no functional counterpart
-                        // at rep size — charge them directly.
-                        dx.charge(OpDescriptor::sort("topk_sort", n), 1.0);
-                        dx.charge(OpDescriptor::gather("topk_gather", h, h), 1.0);
-                        // Scores come back to the host for the index
-                        // selection, an interpreted partial sort.
-                        let logn = 64 - (n.max(2) as u64).leading_zeros() as u64;
-                        dx.host(HostWork::irregular(
-                            "topk_select",
-                            2 * n as u64 * logn,
-                            (n * 4) as u64,
-                        ));
-                        Ok(scores.data().sum() * 1e-3)
+                    checksum += on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                        dx.scope("topk", |dx| -> Result<f32> {
+                            // Score all nodes with a fully-connected layer:
+                            // the rep rows run functionally, the node-count
+                            // scale prices the full snapshot.
+                            let feats = dx.adopt(rep_feats.clone(), node_scale);
+                            let scores = self.topk_scorer.forward(dx, &feats)?;
+                            // Sort and gather have no functional counterpart
+                            // at rep size — charge them directly.
+                            dx.charge(OpDescriptor::sort("topk_sort", n), 1.0);
+                            dx.charge(OpDescriptor::gather("topk_gather", h, h), 1.0);
+                            // Scores come back to the host for the index
+                            // selection, an interpreted partial sort.
+                            let logn = 64 - (n.max(2) as u64).leading_zeros() as u64;
+                            dx.host(HostWork::irregular(
+                                "topk_select",
+                                2 * n as u64 * logn,
+                                (n * 4) as u64,
+                            ));
+                            Ok(scores.data().sum() * 1e-3)
+                        })
                     })?;
                 }
-                let new_weight = dx.scope("rnn", |dx| -> Result<Tensor> {
-                    // The GRU treats the h×h weight matrix as h rows of
-                    // dimension h — one functional step through the
-                    // dispatcher both prices and computes the evolution.
-                    let w = dx.adopt(self.evolved_weight.clone(), 1.0);
-                    let evolved = self.weight_rnn.forward(dx, &w, &w)?;
-                    Ok(evolved.data().clone())
+                let new_weight = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("rnn", |dx| -> Result<Tensor> {
+                        // The GRU treats the h×h weight matrix as h rows of
+                        // dimension h — one functional step through the
+                        // dispatcher both prices and computes the evolution.
+                        let w = dx.adopt(self.evolved_weight.clone(), 1.0);
+                        let evolved = self.weight_rnn.forward(dx, &w, &w)?;
+                        Ok(evolved.data().clone())
+                    })
                 })?;
                 self.evolved_weight = new_weight;
 
                 // 3. Two GCN layers with the evolved weights: propagate
                 // (A·X), transform (·W), ReLU — priced at the full node
                 // count through the adjacency's scale.
-                let emb = dx.scope("gnn", |dx| -> Result<DeviceTensor> {
-                    let x = dx.adopt(rep_feats.clone(), node_scale);
-                    let h1 = self.gcn1.forward(dx, &rep_adj, &x)?;
-                    self.gcn2
-                        .forward_with_weight(dx, &rep_adj, &h1, &self.evolved_weight)
-                        .map_err(Into::into)
+                let emb = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("gnn", |dx| -> Result<DeviceTensor> {
+                        let x = dx.adopt(rep_feats.clone(), node_scale);
+                        let h1 = self.gcn1.forward(dx, &rep_adj, &x)?;
+                        self.gcn2
+                            .forward_with_weight(dx, &rep_adj, &h1, &self.evolved_weight)
+                            .map_err(Into::into)
+                    })
                 })?;
                 checksum += emb.data().sum() * 1e-3;
 
                 // 4. Results back to the CPU.
                 let out = dx.adopt(Tensor::zeros(&[rep_n, h]), node_scale);
-                dx.scope("memcpy_d2h", |dx| dx.download(&out));
+                lane_handoff(&mut dx, overlap, StreamId::Compute, StreamId::Copy);
+                on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                    dx.scope("memcpy_d2h", |dx| {
+                        dx.download(&out);
+                        dx.flush_transfers();
+                    })
+                });
                 iterations += 1;
+            }
+            if overlap {
+                dx.join_streams();
             }
             Ok(())
         });

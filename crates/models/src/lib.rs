@@ -35,7 +35,10 @@ mod tgat;
 mod tgn;
 
 pub use astgnn::{Astgnn, AstgnnConfig};
-pub use common::{DgnnModel, InferenceConfig, RunSummary, REP_CAP};
+pub use common::{
+    lane_handoff, on_lane, split_bytes, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+    TransferGranularity, REP_CAP,
+};
 pub use dyrep::{DyRep, DyRepConfig};
 pub use error::ModelError;
 pub use evolvegcn::{EvolveGcn, EvolveGcnConfig, EvolveGcnVersion};

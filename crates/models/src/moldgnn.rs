@@ -12,11 +12,13 @@
 //!    atom-distance calculation.
 
 use dgnn_datasets::TrajectoryDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
+use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
 use dgnn_nn::{GcnLayer, Linear, LstmCell, Module};
 use dgnn_tensor::{Tensor, TensorRng};
 
-use crate::common::{representative, DgnnModel, InferenceConfig, RunSummary};
+use crate::common::{
+    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -135,27 +137,63 @@ impl DgnnModel for MolDgnn {
         let mut checksum = 0.0f32;
         let mut iterations = 0usize;
 
+        let gpu = ex.mode() == ExecMode::Gpu;
+        let overlap = cfg.pipeline_overlap && gpu;
+        let granular = cfg.granular_transfers() && gpu;
+
         let run: Result<()> = ex.scope("inference", |ex| {
-            let mut dx = Dispatcher::new(ex);
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
+            if overlap {
+                dx.fork_streams();
+            }
+            let mut staging = DoubleBuffer::new();
+            let mut step = 0usize;
             // Representative per-molecule LSTM state, resident on device.
             let mut state = self.lstm.zero_state_scaled(&dx, rep, mol_scale);
             for _ in 0..cfg.max_units.max(1) {
                 for frame in 0..frames {
                     // 1. Adjacency assembly on CPU + H2D of the batch.
-                    dx.scope("frame_prep", |dx| {
-                        dx.host(HostWork::sequential(
-                            "assemble_adjacency",
-                            FRAME_LOOP_OPS + b as u64 * FRAME_MOLECULE_OPS,
-                            self.adjacency_bytes(b),
-                        ));
+                    // Pipelined runs prepare frame i+1 on the host lane
+                    // while frame i's kernels run, double-buffered against
+                    // the copy engine.
+                    staging.acquire(&mut dx, overlap, step, StreamId::Host);
+                    on_lane(&mut dx, overlap, StreamId::Host, |dx| {
+                        dx.scope("frame_prep", |dx| {
+                            dx.host(HostWork::sequential(
+                                "assemble_adjacency",
+                                FRAME_LOOP_OPS + b as u64 * FRAME_MOLECULE_OPS,
+                                self.adjacency_bytes(b),
+                            ));
+                        })
                     });
                     // Adjacency matrices plus pairwise distances and
-                    // atom coordinates for the frame.
-                    let upload = DeviceTensor::host_scaled(
-                        Tensor::zeros(&[1, 1]),
-                        3.0 * self.adjacency_bytes(b) as f64 / 4.0,
-                    );
-                    dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&upload));
+                    // atom coordinates for the frame. Granular modes price
+                    // each molecule's adjacency as its own copy (the
+                    // per-tensor traffic behind Fig 7b's memcpy wall),
+                    // plus one coordinate and one distance block.
+                    lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
+                    on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                        dx.scope("memcpy_h2d", |dx| {
+                            if granular {
+                                // b adjacency matrices + coordinate block
+                                // + distance block = 3 × adjacency_bytes.
+                                for _ in 0..b {
+                                    dx.transfer(TransferDir::H2D, self.adjacency_bytes(1));
+                                }
+                                dx.transfer(TransferDir::H2D, self.adjacency_bytes(b));
+                                dx.transfer(TransferDir::H2D, self.adjacency_bytes(b));
+                                dx.flush_transfers();
+                            } else {
+                                let upload = DeviceTensor::host_scaled(
+                                    Tensor::zeros(&[1, 1]),
+                                    3.0 * self.adjacency_bytes(b) as f64 / 4.0,
+                                );
+                                dx.ensure_resident(&upload);
+                            }
+                        })
+                    });
+                    staging.uploaded(&mut dx, overlap);
+                    lane_handoff(&mut dx, overlap, StreamId::Copy, StreamId::Compute);
 
                     // 2. GCN over each molecule (batched small GEMMs).
                     // The first molecule runs through the dispatcher with
@@ -163,40 +201,62 @@ impl DgnnModel for MolDgnn {
                     // functional pass prices the whole batch; the other
                     // rep molecules run as plain tensor math to fill the
                     // representative embedding rows without re-charging.
-                    let rep_emb = dx.scope("gnn", |dx| -> Result<DeviceTensor> {
-                        let (adj0, coords0) = self.molecule_inputs(0, frame)?;
-                        let adj = dx.adopt(adj0, b as f64);
-                        let x = dx.adopt(coords0, b as f64);
-                        let emb0 = self.gcn.forward(dx, &adj, &x)?;
-                        let mut rows = vec![emb0.data().reshape(&[flat])?];
-                        for mol in 1..rep {
-                            let (adj, coords) = self.molecule_inputs(mol, frame)?;
-                            let emb = adj.matmul(&coords)?.matmul(self.gcn.weight())?.relu();
-                            rows.push(emb.reshape(&[flat])?);
-                        }
-                        Ok(dx.adopt(Tensor::stack_rows(&rows)?, mol_scale))
+                    let rep_emb = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                        dx.scope("gnn", |dx| -> Result<DeviceTensor> {
+                            let (adj0, coords0) = self.molecule_inputs(0, frame)?;
+                            let adj = dx.adopt(adj0, b as f64);
+                            let x = dx.adopt(coords0, b as f64);
+                            let emb0 = self.gcn.forward(dx, &adj, &x)?;
+                            let mut rows = vec![emb0.data().reshape(&[flat])?];
+                            for mol in 1..rep {
+                                let (adj, coords) = self.molecule_inputs(mol, frame)?;
+                                let emb = adj.matmul(&coords)?.matmul(self.gcn.weight())?.relu();
+                                rows.push(emb.reshape(&[flat])?);
+                            }
+                            Ok(dx.adopt(Tensor::stack_rows(&rows)?, mol_scale))
+                        })
                     })?;
 
                     // 3. LSTM over the temporal sequence.
-                    state = dx.scope("rnn", |dx| -> Result<dgnn_nn::LstmState> {
-                        self.lstm.forward(dx, &rep_emb, &state).map_err(Into::into)
+                    state = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                        dx.scope("rnn", |dx| -> Result<dgnn_nn::LstmState> {
+                            self.lstm.forward(dx, &rep_emb, &state).map_err(Into::into)
+                        })
                     })?;
 
                     // 4. Decode next-frame adjacency + D2H + CPU distances.
-                    dx.scope("prediction", |dx| -> Result<()> {
-                        let pred = self.decoder.forward(dx, &state.0)?;
-                        checksum += pred.data().sum() * 1e-3;
-                        Ok(())
+                    on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                        dx.scope("prediction", |dx| -> Result<()> {
+                            let pred = self.decoder.forward(dx, &state.0)?;
+                            checksum += pred.data().sum() * 1e-3;
+                            Ok(())
+                        })
                     })?;
                     // Predicted adjacency sequence returns to the CPU
-                    // for atom-to-atom distance calculation.
+                    // for atom-to-atom distance calculation: predicted
+                    // adjacencies plus the derived distance block.
                     let readback = dx.adopt(
                         Tensor::zeros(&[1, 1]),
                         2.0 * self.adjacency_bytes(b) as f64 / 4.0,
                     );
-                    dx.scope("memcpy_d2h", |dx| dx.download(&readback));
+                    lane_handoff(&mut dx, overlap, StreamId::Compute, StreamId::Copy);
+                    on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                        dx.scope("memcpy_d2h", |dx| {
+                            if granular {
+                                dx.transfer(TransferDir::D2H, self.adjacency_bytes(b));
+                                dx.transfer(TransferDir::D2H, self.adjacency_bytes(b));
+                            } else {
+                                dx.download(&readback);
+                            }
+                            dx.flush_transfers();
+                        })
+                    });
+                    step += 1;
                 }
                 iterations += 1;
+            }
+            if overlap {
+                dx.join_streams();
             }
             Ok(())
         });

@@ -17,12 +17,14 @@
 //! `transfer()` call.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
+use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{BochnerTimeEncoder, Linear, Module, MultiHeadAttention};
 use dgnn_tensor::{Tensor, TensorRng};
 
-use crate::common::{representative, DgnnModel, InferenceConfig, RunSummary};
+use crate::common::{
+    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -177,9 +179,17 @@ impl DgnnModel for Tgat {
             .map(|b| b.to_vec())
             .collect();
 
+        let gpu = ex.mode() == ExecMode::Gpu;
+        let overlap = cfg.pipeline_overlap && gpu;
+        let granular = cfg.granular_transfers() && gpu;
+
         let time = ex.scope("inference", |ex| -> Result<()> {
-            let mut dx = Dispatcher::new(ex);
-            for batch in &batches {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
+            if overlap {
+                dx.fork_streams();
+            }
+            let mut staging = DoubleBuffer::new();
+            for (i, batch) in batches.iter().enumerate() {
                 let bsz = batch.len();
                 let rep = representative(bsz);
                 let rows = bsz * self.rows_per_event(k);
@@ -188,37 +198,63 @@ impl DgnnModel for Tgat {
                 // 1. Temporal neighborhood sampling on the CPU, fanned
                 // out over the batch's roots (the parallel CSR engine);
                 // serial and parallel runs are byte-identical, only the
-                // *charged* critical path differs.
-                let rep_layers = dx.scope("sampling", |dx| {
-                    let roots: Vec<(usize, f64)> =
-                        batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
-                    let ks = vec![k; n_layers.max(1)];
-                    let (layers, cost) = sampler.sample_khop_batch(&self.adj, &roots, &ks);
-                    let scale = (bsz as u64).div_ceil(rep as u64);
-                    let calls = (bsz * (1 + k)) as u64;
-                    // The reference also sorts the sampled node indices
-                    // per batch so the feature gather walks forward.
-                    let sorted = (bsz * (1 + k)) as u64;
-                    let sort_ops = sorted * (64 - sorted.max(2).leading_zeros() as u64);
-                    let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
-                    dx.host(HostWork {
-                        label: "temporal_sampling",
-                        ops: cost.ops * scale + calls * SAMPLING_CALL_OPS + sort_ops,
-                        seq_bytes: 0,
-                        irregular_bytes: cost.irregular_bytes * scale,
-                        parallelism,
-                    });
-                    layers
+                // *charged* critical path differs. In pipelined mode it
+                // runs on the host lane, overlapping the previous batch's
+                // kernels, but may not reuse a staging buffer before the
+                // copy engine has drained it (depth-2 double buffering).
+                staging.acquire(&mut dx, overlap, i, StreamId::Host);
+                let rep_layers = on_lane(&mut dx, overlap, StreamId::Host, |dx| {
+                    dx.scope("sampling", |dx| {
+                        let roots: Vec<(usize, f64)> =
+                            batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
+                        let ks = vec![k; n_layers.max(1)];
+                        let (layers, cost) = sampler.sample_khop_batch(&self.adj, &roots, &ks);
+                        let scale = (bsz as u64).div_ceil(rep as u64);
+                        let calls = (bsz * (1 + k)) as u64;
+                        // The reference also sorts the sampled node indices
+                        // per batch so the feature gather walks forward.
+                        let sorted = (bsz * (1 + k)) as u64;
+                        let sort_ops = sorted * (64 - sorted.max(2).leading_zeros() as u64);
+                        let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
+                        dx.host(HostWork {
+                            label: "temporal_sampling",
+                            ops: cost.ops * scale + calls * SAMPLING_CALL_OPS + sort_ops,
+                            seq_bytes: 0,
+                            irregular_bytes: cost.irregular_bytes * scale,
+                            parallelism,
+                        });
+                        layers
+                    })
                 });
+                lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
 
                 // 2. The gathered edge features + time deltas cross PCIe
-                // once per batch: a staged host payload whose logical
-                // bytes are the full `edge_rows` feature block.
-                let payload = DeviceTensor::host_scaled(
-                    Tensor::zeros(&[1, self.data.edge_dim() + 2]),
-                    edge_rows as f64,
-                );
-                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&payload));
+                // once per batch. Staged granularity prices one aggregate
+                // payload whose logical bytes are the full `edge_rows`
+                // feature block; granular modes price its constituent
+                // tensors (edge features, time deltas, neighbor indices)
+                // individually, summing to exactly the same bytes.
+                on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                    dx.scope("memcpy_h2d", |dx| {
+                        if granular {
+                            let feat_bytes = (edge_rows * self.data.edge_dim() * 4) as u64;
+                            let delta_bytes = (edge_rows * 4) as u64;
+                            let index_bytes = (edge_rows * 4) as u64;
+                            for bytes in [feat_bytes, delta_bytes, index_bytes] {
+                                dx.transfer(TransferDir::H2D, bytes);
+                            }
+                            dx.flush_transfers();
+                        } else {
+                            let payload = DeviceTensor::host_scaled(
+                                Tensor::zeros(&[1, self.data.edge_dim() + 2]),
+                                edge_rows as f64,
+                            );
+                            dx.ensure_resident(&payload);
+                        }
+                    })
+                });
+                staging.uploaded(&mut dx, overlap);
+                lane_handoff(&mut dx, overlap, StreamId::Copy, StreamId::Compute);
 
                 // Representative functional inputs: the first `rep`
                 // targets and one event's worth of sampled neighbors.
@@ -238,13 +274,15 @@ impl DgnnModel for Tgat {
                 let kn = neigh_feats.dims()[0];
 
                 // 3. Time encoding, priced for all gathered rows.
-                let rep_time = dx.scope("time_encoding", |dx| {
-                    let n_phys = deltas.len();
-                    let t = Tensor::from_vec(deltas.clone(), &[n_phys])?;
-                    // The deltas arrived inside the staged payload, so
-                    // they are already device-resident.
-                    let t = dx.adopt(t, rows as f64 / n_phys as f64);
-                    self.time_enc.forward(dx, &t)
+                let rep_time = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("time_encoding", |dx| {
+                        let n_phys = deltas.len();
+                        let t = Tensor::from_vec(deltas.clone(), &[n_phys])?;
+                        // The deltas arrived inside the staged payload, so
+                        // they are already device-resident.
+                        let t = dx.adopt(t, rows as f64 / n_phys as f64);
+                        self.time_enc.forward(dx, &t)
+                    })
                 })?;
 
                 // 4. Attention layers. The queries are `rep` physical
@@ -253,44 +291,60 @@ impl DgnnModel for Tgat {
                 // rows standing in for `targets × k` logical rows — both
                 // quadratic attention dims (`k`, `d`) stay physical, so
                 // scaled pricing equals full-batch pricing.
-                let out = dx.scope("attention", |dx| -> Result<DeviceTensor> {
-                    let src = dx.adopt(src_feats.clone(), bsz as f64 / rep as f64);
-                    let q0 = self.feat_proj.forward(dx, &src)?;
-                    let nbr = dx.adopt(neigh_feats.clone(), (bsz * k) as f64 / kn as f64);
-                    let nf = self.feat_proj.forward(dx, &nbr)?;
-                    let nt = if nf.data().dims()[0] == rep_time.data().dims()[0] {
-                        let merged = nf.data().concat_cols(rep_time.data())?;
-                        let merged = dx.adopt(merged, nf.scale());
-                        self.merge[0].forward(dx, &merged)?
-                    } else {
-                        nf
-                    };
-                    let mut h = q0;
-                    for layer in 0..n_layers {
-                        let targets = if layer + 1 == n_layers { bsz } else { bsz * k };
-                        let q_rows = h.data().dims()[0];
-                        let q = dx.adopt(h.data().clone(), targets as f64 / q_rows as f64);
-                        let kv_rows = nt.data().dims()[0];
-                        let kv = dx.adopt(nt.data().clone(), (targets * k) as f64 / kv_rows as f64);
-                        h = self.attn[layer].forward(dx, &q, &kv, &kv)?;
-                    }
-                    Ok(h)
+                let out = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("attention", |dx| -> Result<DeviceTensor> {
+                        let src = dx.adopt(src_feats.clone(), bsz as f64 / rep as f64);
+                        let q0 = self.feat_proj.forward(dx, &src)?;
+                        let nbr = dx.adopt(neigh_feats.clone(), (bsz * k) as f64 / kn as f64);
+                        let nf = self.feat_proj.forward(dx, &nbr)?;
+                        let nt = if nf.data().dims()[0] == rep_time.data().dims()[0] {
+                            let merged = nf.data().concat_cols(rep_time.data())?;
+                            let merged = dx.adopt(merged, nf.scale());
+                            self.merge[0].forward(dx, &merged)?
+                        } else {
+                            nf
+                        };
+                        let mut h = q0;
+                        for layer in 0..n_layers {
+                            let targets = if layer + 1 == n_layers { bsz } else { bsz * k };
+                            let q_rows = h.data().dims()[0];
+                            let q = dx.adopt(h.data().clone(), targets as f64 / q_rows as f64);
+                            let kv_rows = nt.data().dims()[0];
+                            let kv =
+                                dx.adopt(nt.data().clone(), (targets * k) as f64 / kv_rows as f64);
+                            h = self.attn[layer].forward(dx, &q, &kv, &kv)?;
+                        }
+                        Ok(h)
+                    })
                 })?;
 
                 // 5. Prediction head + copy-back of the target embeddings.
-                let result = dx.scope("prediction", |dx| -> Result<DeviceTensor> {
-                    let out_rows = out.data().dims()[0];
-                    let pair = dx.adopt(
-                        out.data().concat_cols(out.data())?,
-                        bsz as f64 / out_rows as f64,
-                    );
-                    let score = self.predictor.forward(dx, &pair)?;
-                    checksum += score.data().sum();
-                    Ok(dx.adopt(out.data().clone(), bsz as f64 / out_rows as f64))
+                let result = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("prediction", |dx| -> Result<DeviceTensor> {
+                        let out_rows = out.data().dims()[0];
+                        let pair = dx.adopt(
+                            out.data().concat_cols(out.data())?,
+                            bsz as f64 / out_rows as f64,
+                        );
+                        let score = self.predictor.forward(dx, &pair)?;
+                        checksum += score.data().sum();
+                        Ok(dx.adopt(out.data().clone(), bsz as f64 / out_rows as f64))
+                    })
                 })?;
                 debug_assert_eq!(result.data().dims()[1], d);
-                dx.scope("memcpy_d2h", |dx| dx.download(&result));
+                lane_handoff(&mut dx, overlap, StreamId::Compute, StreamId::Copy);
+                on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                    dx.scope("memcpy_d2h", |dx| {
+                        dx.download(&result);
+                        // No-op unless coalescing staged this batch's
+                        // crossings; then it prices the merged copy here.
+                        dx.flush_transfers();
+                    })
+                });
                 iterations += 1;
+            }
+            if overlap {
+                dx.join_streams();
             }
             Ok(())
         });

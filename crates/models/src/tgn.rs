@@ -17,12 +17,14 @@
 //! [`DeviceTensor`]s whose residence crossings *are* the transfers.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};
+use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{EmbeddingTable, GruCell, Linear, Module, MultiHeadAttention, Time2Vec};
 use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
-use crate::common::{representative, DgnnModel, InferenceConfig, RunSummary};
+use crate::common::{
+    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+};
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
 
@@ -148,121 +150,210 @@ impl DgnnModel for Tgn {
             .map(|b| b.to_vec())
             .collect();
 
+        let gpu = ex.mode() == ExecMode::Gpu;
+        let overlap = cfg.pipeline_overlap && gpu;
+        let granular = cfg.granular_transfers() && gpu;
+
         let run: Result<()> = ex.scope("inference", |ex| {
-            let mut dx = Dispatcher::new(ex);
-            for batch in &batches {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
+            if overlap {
+                dx.fork_streams();
+            }
+            let mut staging = DoubleBuffer::new();
+            for (i, batch) in batches.iter().enumerate() {
                 let bsz = batch.len();
                 let rep = representative(bsz);
                 let scale = bsz as f64 / rep as f64;
                 let touched = self.touched_rows(bsz, k);
+                // Per-tensor decomposition of the batch's PCIe traffic
+                // (sums exactly to the staged aggregates): edge features,
+                // timestamps, then src/dst/neighbor memory-row blocks up;
+                // endpoint and neighbor message/memory blocks down.
+                let h2d_pieces = [
+                    (bsz * self.data.edge_dim() * 4) as u64,
+                    (bsz * 2 * 4) as u64,
+                    (bsz * 2 * d * 4) as u64,
+                    (bsz * 2 * d * 4) as u64,
+                    (bsz * k * 2 * d * 4) as u64,
+                ];
+                let d2h_pieces = [(bsz * 2 * d * 4) as u64, (bsz * k * d * 4) as u64];
 
-                // 1. Batch preparation + edge features to GPU.
-                dx.scope("batch_prep", |dx| {
-                    dx.host(HostWork::sequential(
-                        "pack_batch",
-                        bsz as u64 * PREP_CALL_OPS,
-                        bsz as u64 * dgnn_graph::EventStream::EVENT_BYTES,
-                    ));
+                // 1. Batch preparation (host lane) + edge features to GPU.
+                staging.acquire(&mut dx, overlap, i, StreamId::Host);
+                on_lane(&mut dx, overlap, StreamId::Host, |dx| {
+                    dx.scope("batch_prep", |dx| {
+                        dx.host(HostWork::sequential(
+                            "pack_batch",
+                            bsz as u64 * PREP_CALL_OPS,
+                            bsz as u64 * dgnn_graph::EventStream::EVENT_BYTES,
+                        ));
+                    })
                 });
-                let edge_payload = DeviceTensor::host_scaled(
-                    Tensor::zeros(&[1, self.data.edge_dim() + 2]),
-                    bsz as f64,
-                );
-                dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&edge_payload));
+                if !granular {
+                    // Staged aggregate: the edge payload ships as soon as
+                    // packing finishes.
+                    let edge_payload = DeviceTensor::host_scaled(
+                        Tensor::zeros(&[1, self.data.edge_dim() + 2]),
+                        bsz as f64,
+                    );
+                    lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
+                    on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                        dx.scope("memcpy_h2d", |dx| dx.ensure_resident(&edge_payload))
+                    });
+                    staging.uploaded(&mut dx, overlap);
+                }
 
                 // 2. Temporal neighbor sampling on the CPU — the CSR
                 // batch engine, one root per batch event.
-                let rep_neighbors = dx.scope("sampling", |dx| {
-                    let roots: Vec<(usize, f64)> =
-                        batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
-                    let (rep_samples, cost) = sampler.sample_batch(&self.adj, &roots, k);
-                    let s = (bsz as u64).div_ceil(rep as u64);
-                    let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
-                    dx.host(HostWork {
-                        label: "temporal_sampling",
-                        ops: cost.ops * s / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
-                        seq_bytes: 0,
-                        irregular_bytes: cost.irregular_bytes * s / 4,
-                        parallelism,
-                    });
-                    rep_samples
+                let rep_neighbors = on_lane(&mut dx, overlap, StreamId::Host, |dx| {
+                    dx.scope("sampling", |dx| {
+                        let roots: Vec<(usize, f64)> =
+                            batch.iter().take(rep).map(|e| (e.src, e.time)).collect();
+                        let (rep_samples, cost) = sampler.sample_batch(&self.adj, &roots, k);
+                        let s = (bsz as u64).div_ceil(rep as u64);
+                        let parallelism = if cfg.parallel_sampling { bsz as u64 } else { 1 };
+                        dx.host(HostWork {
+                            label: "temporal_sampling",
+                            ops: cost.ops * s / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
+                            seq_bytes: 0,
+                            irregular_bytes: cost.irregular_bytes * s / 4,
+                            parallelism,
+                        });
+                        rep_samples
+                    })
                 });
+
+                if granular {
+                    // Per-tensor granularity: once sampling has named the
+                    // touched memory rows, every upload of the batch is
+                    // issued back-to-back — individually priced copies, or
+                    // one merged transaction when coalescing.
+                    lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
+                    on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                        dx.scope("memcpy_h2d", |dx| {
+                            for bytes in h2d_pieces {
+                                dx.transfer(TransferDir::H2D, bytes);
+                            }
+                            dx.flush_transfers();
+                        })
+                    });
+                    staging.uploaded(&mut dx, overlap);
+                }
+                lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Compute);
+                lane_handoff(&mut dx, overlap, StreamId::Copy, StreamId::Compute);
 
                 let rep_src: Vec<usize> = batch.iter().take(rep).map(|e| e.src).collect();
 
                 // 3. Message passing: memory exchange + message kernels.
-                let rep_msgs = dx.scope("message_passing", |dx| -> Result<DeviceTensor> {
-                    // The memory rows of every touched node cross PCIe
-                    // both ways — the Fig 5(b) exchange, derived from the
-                    // residence of the staged row blocks.
-                    let mem_in = DeviceTensor::host_scaled(
-                        Tensor::zeros(&[rep, 2 * d]),
-                        touched as f64 / rep as f64,
-                    );
-                    dx.ensure_resident(&mem_in);
-                    let staged_out =
-                        dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
-                    dx.download(&staged_out);
+                let rep_msgs = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("message_passing", |dx| -> Result<DeviceTensor> {
+                        // The memory rows of every touched node cross PCIe
+                        // both ways — the Fig 5(b) exchange, derived from the
+                        // residence of the staged row blocks. In granular
+                        // modes the inbound rows were priced with the batch
+                        // upload; the outbound staged messages are priced as
+                        // their endpoint and neighbor blocks.
+                        if granular {
+                            for bytes in d2h_pieces {
+                                dx.transfer(TransferDir::D2H, bytes);
+                            }
+                        } else {
+                            let mem_in = DeviceTensor::host_scaled(
+                                Tensor::zeros(&[rep, 2 * d]),
+                                touched as f64 / rep as f64,
+                            );
+                            dx.ensure_resident(&mem_in);
+                            let staged_out =
+                                dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
+                            dx.download(&staged_out);
+                        }
 
-                    let src_mem = self.memory.lookup_scaled(dx, &rep_src, scale)?;
-                    let dst: Vec<usize> = batch.iter().take(rep).map(|e| e.dst).collect();
-                    let dst_mem = self.memory.lookup_scaled(dx, &dst, scale)?;
-                    let feats: Vec<usize> = batch.iter().take(rep).map(|e| e.feature_idx).collect();
-                    let edge = self.data.edge_features.gather_rows(&feats)?;
-                    let deltas = Tensor::from_vec(
-                        batch.iter().take(rep).map(|e| e.time as f32).collect(),
-                        &[rep],
-                    )?;
-                    let deltas = dx.adopt(deltas, scale);
-                    let time = self.time_enc.forward(dx, &deltas)?;
-                    let raw = src_mem
-                        .data()
-                        .concat_cols(dst_mem.data())?
-                        .concat_cols(&edge)?
-                        .concat_cols(time.data())?;
-                    let raw = dx.adopt(raw, scale);
-                    let msgs = self.message_fn.forward(dx, &raw)?;
-                    // Per-node aggregation of messages has no dense
-                    // functional counterpart; charge the reduce directly.
-                    dx.charge(OpDescriptor::reduce("message_agg", bsz, k.max(1)), 1.0);
-                    Ok(msgs)
+                        let src_mem = self.memory.lookup_scaled(dx, &rep_src, scale)?;
+                        let dst: Vec<usize> = batch.iter().take(rep).map(|e| e.dst).collect();
+                        let dst_mem = self.memory.lookup_scaled(dx, &dst, scale)?;
+                        let feats: Vec<usize> =
+                            batch.iter().take(rep).map(|e| e.feature_idx).collect();
+                        let edge = self.data.edge_features.gather_rows(&feats)?;
+                        let deltas = Tensor::from_vec(
+                            batch.iter().take(rep).map(|e| e.time as f32).collect(),
+                            &[rep],
+                        )?;
+                        let deltas = dx.adopt(deltas, scale);
+                        let time = self.time_enc.forward(dx, &deltas)?;
+                        let raw = src_mem
+                            .data()
+                            .concat_cols(dst_mem.data())?
+                            .concat_cols(&edge)?
+                            .concat_cols(time.data())?;
+                        let raw = dx.adopt(raw, scale);
+                        let msgs = self.message_fn.forward(dx, &raw)?;
+                        // Per-node aggregation of messages has no dense
+                        // functional counterpart; charge the reduce directly.
+                        dx.charge(OpDescriptor::reduce("message_agg", bsz, k.max(1)), 1.0);
+                        Ok(msgs)
+                    })
                 })?;
 
                 // 4. Memory update (GRU) + embedding (attention).
-                let new_mem = dx.scope("memory_update", |dx| -> Result<DeviceTensor> {
-                    let prev = self.memory.lookup_scaled(dx, &rep_src, scale)?;
-                    self.memory_updater
-                        .forward(dx, &rep_msgs, &prev)
-                        .map_err(Into::into)
+                let new_mem = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("memory_update", |dx| -> Result<DeviceTensor> {
+                        let prev = self.memory.lookup_scaled(dx, &rep_src, scale)?;
+                        self.memory_updater
+                            .forward(dx, &rep_msgs, &prev)
+                            .map_err(Into::into)
+                    })
                 })?;
-                self.memory.update(&mut dx, &rep_src, &new_mem)?;
+                on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    self.memory.update(dx, &rep_src, &new_mem)
+                })?;
 
-                let emb = dx.scope("embedding", |dx| -> Result<DeviceTensor> {
-                    // Keys/values: one event's sampled neighbors plus its
-                    // source, standing in for the full batch (scale bsz);
-                    // the queries are the rep updated-memory rows.
-                    let kv_ids: Vec<usize> = rep_neighbors
-                        .first()
-                        .map(|s| s.iter().map(|n| n.node).collect::<Vec<_>>())
-                        .unwrap_or_default()
-                        .into_iter()
-                        .chain(rep_src.first().copied())
-                        .collect();
-                    let kv = self.memory.lookup_scaled(dx, &kv_ids, bsz as f64)?;
-                    self.embed_attn
-                        .forward(dx, &new_mem, &kv, &kv)
-                        .map_err(Into::into)
+                let emb = on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("embedding", |dx| -> Result<DeviceTensor> {
+                        // Keys/values: one event's sampled neighbors plus its
+                        // source, standing in for the full batch (scale bsz);
+                        // the queries are the rep updated-memory rows.
+                        let kv_ids: Vec<usize> = rep_neighbors
+                            .first()
+                            .map(|s| s.iter().map(|n| n.node).collect::<Vec<_>>())
+                            .unwrap_or_default()
+                            .into_iter()
+                            .chain(rep_src.first().copied())
+                            .collect();
+                        let kv = self.memory.lookup_scaled(dx, &kv_ids, bsz as f64)?;
+                        self.embed_attn
+                            .forward(dx, &new_mem, &kv, &kv)
+                            .map_err(Into::into)
+                    })
                 })?;
 
                 // 5. Prediction + memory write-back.
-                dx.scope("prediction", |dx| -> Result<()> {
-                    let pair = dx.adopt(emb.data().concat_cols(emb.data())?, scale);
-                    checksum += self.predictor.forward(dx, &pair)?.data().sum();
-                    Ok(())
+                on_lane(&mut dx, overlap, StreamId::Compute, |dx| {
+                    dx.scope("prediction", |dx| -> Result<()> {
+                        let pair = dx.adopt(emb.data().concat_cols(emb.data())?, scale);
+                        checksum += self.predictor.forward(dx, &pair)?.data().sum();
+                        Ok(())
+                    })
                 })?;
                 let writeback = dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
-                dx.scope("memcpy_d2h", |dx| dx.download(&writeback));
+                lane_handoff(&mut dx, overlap, StreamId::Compute, StreamId::Copy);
+                on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
+                    dx.scope("memcpy_d2h", |dx| {
+                        if granular {
+                            for bytes in d2h_pieces {
+                                dx.transfer(TransferDir::D2H, bytes);
+                            }
+                        } else {
+                            dx.download(&writeback);
+                        }
+                        // Prices the batch's merged copy under coalescing;
+                        // no-op otherwise.
+                        dx.flush_transfers();
+                    })
+                });
                 iterations += 1;
+            }
+            if overlap {
+                dx.join_streams();
             }
             Ok(())
         });

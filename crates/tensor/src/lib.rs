@@ -33,6 +33,7 @@ mod tensor;
 
 pub mod cost;
 pub mod ops;
+pub mod par;
 
 pub use cost::{OpDescriptor, OpKind};
 pub use error::TensorError;

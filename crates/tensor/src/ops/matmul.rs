@@ -1,7 +1,72 @@
 //! Matrix multiplication kernels (the GEMM family).
+//!
+//! `matmul` is cache-blocked and fans row blocks out over worker threads
+//! (honoring `RAYON_NUM_THREADS` via [`crate::par`]). Both optimizations
+//! preserve the serial ikj kernel's result *bit for bit*: every output
+//! element still accumulates its `k` products in ascending-`kk` order
+//! with the same zero-skip, and row blocks are disjoint, so neither
+//! tiling nor threading can reorder a single f32 addition.
 
 use crate::cost::OpDescriptor;
+use crate::par;
 use crate::{Result, Tensor, TensorError};
+
+/// Tile of the reduction dimension held hot in L1 across a row sweep.
+const BLOCK_K: usize = 64;
+/// Tile of the output columns — with `BLOCK_K` this keeps the active
+/// `b` panel around 64 KiB.
+const BLOCK_N: usize = 256;
+/// Fewest rows per worker thread worth the spawn overhead.
+const MIN_ROWS_PER_THREAD: usize = 16;
+
+/// Multiplies `rows` rows of `a` (shape `[rows, k]`) by `b` (`[k, n]`)
+/// into a fresh `[rows, n]` buffer with k/n tiling. For each output
+/// element the `kk` loop still runs 0..k ascending (tiles are visited in
+/// order), so the result is bitwise equal to the untiled kernel.
+fn matmul_rows_blocked(a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * n];
+    for kt in (0..k).step_by(BLOCK_K) {
+        let kend = (kt + BLOCK_K).min(k);
+        for jt in (0..n).step_by(BLOCK_N) {
+            let jend = (jt + BLOCK_N).min(n);
+            for i in 0..rows {
+                for kk in kt..kend {
+                    let aik = a[i * k + kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n + jt..kk * n + jend];
+                    let orow = &mut out[i * n + jt..i * n + jend];
+                    for (o, bv) in orow.iter_mut().zip(brow) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Blocked GEMM with disjoint row blocks fanned out over worker threads;
+/// block results are re-concatenated in row order, so any thread count
+/// reproduces the single-threaded bytes.
+fn matmul_blocked_parallel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let threads = par::max_threads()
+        .min(m.div_ceil(MIN_ROWS_PER_THREAD))
+        .max(1);
+    if threads <= 1 {
+        return matmul_rows_blocked(a, b, m, k, n);
+    }
+    let rows_per = m.div_ceil(threads);
+    let blocks: Vec<(usize, usize)> = (0..m)
+        .step_by(rows_per)
+        .map(|start| (start, rows_per.min(m - start)))
+        .collect();
+    par::par_map_coarse(&blocks, threads, |&(start, rows)| {
+        matmul_rows_blocked(&a[start * k..(start + rows) * k], b, rows, k, n)
+    })
+    .concat()
+}
 
 /// Descriptor of [`Tensor::matmul`] on `[m, k] × [k, n]`.
 pub fn matmul_desc(m: usize, k: usize, n: usize) -> OpDescriptor {
@@ -66,24 +131,7 @@ impl Tensor {
                 rhs: rhs.dims().to_vec(),
             });
         }
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the innermost access contiguous on both
-        // `b` and `out`.
-        for i in 0..m {
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, bv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bv;
-                }
-            }
-        }
+        let out = matmul_blocked_parallel(self.as_slice(), rhs.as_slice(), m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -205,6 +253,87 @@ impl Tensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TensorRng;
+
+    /// The historical untiled single-threaded ikj kernel, kept verbatim
+    /// as the byte-identity reference for the blocked parallel version.
+    fn matmul_serial_reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let aik = a[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_parallel_matmul_is_byte_identical_to_serial() {
+        let mut rng = TensorRng::seed(11);
+        // Shapes straddling every tile boundary: smaller than one tile,
+        // exact multiples, and ragged remainders in both k and n.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, BLOCK_K, BLOCK_N),
+            (33, BLOCK_K + 7, BLOCK_N + 13),
+            (64, 200, 300),
+            (129, 65, 257),
+        ] {
+            let mut a = rng.init(&[m, k], crate::Initializer::Uniform(1.0));
+            // Inject zeros so the zero-skip path is exercised.
+            let az = a.as_mut_slice();
+            for idx in (0..az.len()).step_by(7) {
+                az[idx] = 0.0;
+            }
+            let b = rng.init(&[k, n], crate::Initializer::Uniform(1.0));
+            let reference = matmul_serial_reference(a.as_slice(), b.as_slice(), m, k, n);
+            let blocked = a.matmul(&b).unwrap();
+            let same_bits = reference
+                .iter()
+                .zip(blocked.as_slice())
+                .all(|(r, o)| r.to_bits() == o.to_bits());
+            assert!(same_bits, "bit mismatch at shape [{m},{k}]x[{k},{n}]");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_identical_across_thread_counts() {
+        let mut rng = TensorRng::seed(5);
+        let a = rng.init(&[97, 130], crate::Initializer::Uniform(1.0));
+        let b = rng.init(&[130, 71], crate::Initializer::Uniform(1.0));
+        let single = matmul_rows_blocked(a.as_slice(), b.as_slice(), 97, 130, 71);
+        for threads in [2usize, 3, 8] {
+            let rows_per = 97usize.div_ceil(threads);
+            let blocks: Vec<(usize, usize)> = (0..97)
+                .step_by(rows_per)
+                .map(|s| (s, rows_per.min(97 - s)))
+                .collect();
+            let par = crate::par::par_map_coarse(&blocks, threads, |&(s, rows)| {
+                matmul_rows_blocked(
+                    &a.as_slice()[s * 130..(s + rows) * 130],
+                    b.as_slice(),
+                    rows,
+                    130,
+                    71,
+                )
+            })
+            .concat();
+            let same = single
+                .iter()
+                .zip(&par)
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "threads={threads}");
+        }
+    }
 
     #[test]
     fn matmul_identity_is_noop() {

@@ -75,9 +75,53 @@ where
     })
 }
 
+/// [`par_map_threads`] for *coarse* items — each item is assumed to be a
+/// substantial unit of work (a row block, a whole subgraph), so the
+/// minimum-chunk heuristic is skipped: up to `threads` workers take one
+/// contiguous run of items each, and results are concatenated in item
+/// order, identical to the serial map.
+pub fn par_map_coarse<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map_coarse worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coarse_map_matches_serial_for_every_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 5, 37, 64] {
+            assert_eq!(
+                par_map_coarse(&items, threads, |x| x * 3 + 1),
+                serial,
+                "threads={threads}"
+            );
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_coarse(&empty, 4, |x| *x).is_empty());
+    }
 
     #[test]
     fn matches_serial_map_for_every_thread_count() {

@@ -71,6 +71,49 @@ fn delta_transfer_monotone_in_similarity() {
     }
 }
 
+/// The profiler must stay coherent when events overlap across stream
+/// lanes: the interval-union busy fraction is a true fraction, module
+/// shares are fractions, and the overlapped run really is shorter than
+/// the serial one while the GPU sits *less* idle.
+#[test]
+fn profile_stays_coherent_over_overlapping_events() {
+    use dgnn_suite::device::{ExecMode, Executor, PlatformSpec};
+    use dgnn_suite::models::DgnnModel;
+    use dgnn_suite::profile::InferenceProfile;
+
+    let cfg = InferenceConfig::default()
+        .with_batch_size(500)
+        .with_neighbors(50)
+        .with_max_units(3);
+    let run = |cfg: &InferenceConfig| {
+        let mut m = Tgat::new(wikipedia(Scale::Tiny, SEED), TgatConfig::default(), SEED);
+        let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+        m.run(&mut ex, cfg).expect("tgat runs");
+        InferenceProfile::capture(&ex, "inference")
+    };
+    let serial = run(&cfg);
+    let overlapped = run(&cfg.clone().with_pipeline_overlap(true));
+
+    assert!(overlapped.inference_time < serial.inference_time);
+    for p in [&serial, &overlapped] {
+        assert!(
+            p.utilization.busy_fraction > 0.0 && p.utilization.busy_fraction <= 1.0,
+            "busy fraction {} is not a fraction",
+            p.utilization.busy_fraction
+        );
+        let sampling = p.breakdown.share_of("sampling");
+        assert!((0.0..=1.0).contains(&sampling), "share {sampling}");
+    }
+    // Hiding kernels behind sampling shrinks the denominator (wall) while
+    // GPU-busy time is unchanged, so utilization must rise.
+    assert!(
+        overlapped.utilization.busy_fraction > serial.utilization.busy_fraction,
+        "overlap should raise GPU utilization ({} vs {})",
+        overlapped.utilization.busy_fraction,
+        serial.utilization.busy_fraction
+    );
+}
+
 #[test]
 fn ablations_are_deterministic() {
     let cfg = InferenceConfig::default().with_max_units(6);

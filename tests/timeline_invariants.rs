@@ -78,6 +78,48 @@ fn events_are_monotone_and_non_overlapping() {
     }
 }
 
+/// With `pipeline_overlap` off (the default), the decorated drivers must
+/// behave exactly like the seed's serial engine: no event carries a
+/// stream tag, and the timeline replays byte-for-byte — same labels,
+/// same nanosecond endpoints, same priced work. Overlap on is the only
+/// thing allowed to change the timeline.
+#[test]
+fn overlap_off_timelines_are_untagged_and_bit_stable() {
+    for (i, (_, cfg)) in zoo().iter().enumerate() {
+        assert!(
+            !cfg.pipeline_overlap,
+            "config {i}: pipeline_overlap must default off"
+        );
+    }
+    for mode in [ExecMode::Gpu, ExecMode::CpuOnly] {
+        for ((mut model, cfg), (mut replay, _)) in zoo().into_iter().zip(zoo()) {
+            let mut ex = Executor::new(PlatformSpec::default(), mode);
+            model.run(&mut ex, &cfg).unwrap();
+            let mut ex2 = Executor::new(PlatformSpec::default(), mode);
+            replay.run(&mut ex2, &cfg).unwrap();
+
+            let (a, b) = (ex.timeline().events(), ex2.timeline().events());
+            assert_eq!(a.len(), b.len(), "{}: event count drifted", model.name());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(
+                    x.stream,
+                    None,
+                    "{} [{mode:?}]: serial event '{}' carries a stream tag",
+                    model.name(),
+                    x.label,
+                );
+                assert_eq!(
+                    (x.label, x.start, x.end, x.flops, x.bytes),
+                    (y.label, y.start, y.end, y.flops, y.bytes),
+                    "{} [{mode:?}]: timeline is not bit-stable",
+                    model.name(),
+                );
+            }
+            assert_eq!(ex.now(), ex2.now());
+        }
+    }
+}
+
 #[test]
 fn top_level_scopes_tile_the_run_exactly() {
     for mode in [ExecMode::Gpu, ExecMode::CpuOnly] {
