@@ -1,0 +1,263 @@
+//! Vector-clock happens-before reconstruction over a recorded
+//! [`dgnn_device::ExecTrace`].
+//!
+//! The stream machine has four logical time components:
+//!
+//! | component | meaning |
+//! |---|---|
+//! | 0 `host`    | the Host lane of an active fork |
+//! | 1 `copy`    | the Copy lane of an active fork |
+//! | 2 `compute` | the Compute lane of an active fork |
+//! | 3 `serial`  | the serial clock — and, inside a fork, the *issuing thread* |
+//!
+//! Every causally relevant trace record becomes a [`Node`] stamped with
+//! its component's vector clock; `hb(a, b)` then answers whether `a` is
+//! ordered before `b` by the recorded synchronization — transitively,
+//! through any chain of `record_event`/`wait_event` edges, fork/join
+//! boundaries and issue order.
+//!
+//! Edges, mirroring the simulated CUDA semantics:
+//!
+//! * **Program order per component** — a component's own counter only
+//!   grows.
+//! * **Fork** — every lane inherits the serial clock (work before the
+//!   fork is visible to all lanes).
+//! * **Join** — the serial clock absorbs every lane (work in the fork is
+//!   visible after it).
+//! * **Event record/wait** — `record_event` snapshots the recording
+//!   lane's clock under the event index; `wait_event` joins the snapshot
+//!   into the waiting lane. Snapshots are scoped to the active fork,
+//!   matching the runtime's fork-ownership check on [`dgnn_device::EventId`].
+//! * **Issue order** — inside a fork, a lane node absorbs the *serial*
+//!   component at issue time: lane commands are created by the single
+//!   program thread in program order, so host-side bookkeeping (e.g.
+//!   `adopt`) that precedes a lane command in the program is visible to
+//!   it. The converse edge does not exist — lane work is asynchronous
+//!   and its effects are only visible to the serial component after a
+//!   join.
+
+use std::collections::HashMap;
+
+use dgnn_device::StreamId;
+
+/// Number of time components (three lanes + serial).
+pub(crate) const N_COMPONENTS: usize = 4;
+/// Component index of the serial clock / issuing thread.
+pub(crate) const SERIAL: usize = 3;
+
+/// Maps an issuing lane to its component index.
+pub(crate) fn component(lane: Option<StreamId>) -> usize {
+    match lane {
+        Some(StreamId::Host) => 0,
+        Some(StreamId::Copy) => 1,
+        Some(StreamId::Compute) => 2,
+        None => SERIAL,
+    }
+}
+
+/// Display name of a component.
+pub(crate) fn component_name(c: usize) -> &'static str {
+    match c {
+        0 => "host",
+        1 => "copy",
+        2 => "compute",
+        _ => "serial",
+    }
+}
+
+/// A four-component vector clock.
+pub(crate) type VClock = [u64; N_COMPONENTS];
+
+fn join_into(a: &mut VClock, b: &VClock) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// One causally relevant trace record, stamped at issue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    /// Issuing component.
+    pub comp: usize,
+    /// This node's sequence number on its component.
+    pub own: u64,
+    /// The component's vector clock including this node.
+    pub vc: VClock,
+    /// Trace record index (diagnostics).
+    pub rec: usize,
+    /// Timeline cursor when the record was logged (diagnostics).
+    pub at_event: usize,
+}
+
+/// Whether `a` happens-before `b` (or `a` and `b` are the same node).
+pub(crate) fn hb(a: &Node, b: &Node) -> bool {
+    b.vc[a.comp] >= a.own
+}
+
+/// Incremental vector-clock engine, advanced in trace program order.
+#[derive(Debug)]
+pub(crate) struct HbEngine {
+    vc: [VClock; N_COMPONENTS],
+    /// Event index → recording lane's clock, scoped to the active fork.
+    snapshots: HashMap<usize, VClock>,
+    /// Whether a fork is active.
+    pub forked: bool,
+}
+
+impl HbEngine {
+    pub(crate) fn new() -> Self {
+        HbEngine {
+            vc: [[0; N_COMPONENTS]; N_COMPONENTS],
+            snapshots: HashMap::new(),
+            forked: false,
+        }
+    }
+
+    /// Stamps a new node on `lane`'s component.
+    pub(crate) fn issue(&mut self, lane: Option<StreamId>, rec: usize, at_event: usize) -> Node {
+        let c = component(lane);
+        self.absorb_issue_order(c);
+        self.vc[c][c] += 1;
+        Node {
+            comp: c,
+            own: self.vc[c][c],
+            vc: self.vc[c],
+            rec,
+            at_event,
+        }
+    }
+
+    /// Inside a fork, lane commands absorb the issuing thread's progress.
+    fn absorb_issue_order(&mut self, c: usize) {
+        if self.forked && c != SERIAL {
+            let serial = self.vc[SERIAL];
+            join_into(&mut self.vc[c], &serial);
+        }
+    }
+
+    /// `fork_streams`: every lane inherits the serial clock; event
+    /// snapshots from earlier forks become unreachable (the runtime
+    /// panics on cross-fork waits).
+    pub(crate) fn fork(&mut self) {
+        let serial = self.vc[SERIAL];
+        for lane in 0..SERIAL {
+            self.vc[lane] = serial;
+        }
+        self.snapshots.clear();
+        self.forked = true;
+    }
+
+    /// `join_streams`: the serial clock absorbs every lane.
+    pub(crate) fn join(&mut self) {
+        let mut merged = self.vc[SERIAL];
+        for lane in 0..SERIAL {
+            join_into(&mut merged, &self.vc[lane]);
+        }
+        self.vc[SERIAL] = merged;
+        self.forked = false;
+    }
+
+    /// `record_event`: snapshot the recording lane's clock.
+    pub(crate) fn record(&mut self, event: usize, lane: StreamId) {
+        let c = component(Some(lane));
+        self.absorb_issue_order(c);
+        self.snapshots.insert(event, self.vc[c]);
+    }
+
+    /// `wait_event`: join the snapshot into the waiting lane. Returns
+    /// `false` when the event was never recorded in the active fork.
+    pub(crate) fn wait(&mut self, event: usize, lane: StreamId) -> bool {
+        let c = component(Some(lane));
+        self.absorb_issue_order(c);
+        match self.snapshots.get(&event) {
+            Some(snapshot) => {
+                let snapshot = *snapshot;
+                join_into(&mut self.vc[c], &snapshot);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_program_order_is_total() {
+        let mut e = HbEngine::new();
+        let a = e.issue(None, 0, 0);
+        let b = e.issue(None, 1, 0);
+        assert!(hb(&a, &b));
+        assert!(!hb(&b, &a));
+    }
+
+    #[test]
+    fn unsynchronized_lanes_are_concurrent() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let a = e.issue(Some(StreamId::Copy), 0, 0);
+        let b = e.issue(Some(StreamId::Compute), 1, 0);
+        assert!(!hb(&a, &b));
+        assert!(!hb(&b, &a));
+    }
+
+    #[test]
+    fn record_wait_orders_across_lanes() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let a = e.issue(Some(StreamId::Copy), 0, 0);
+        e.record(0, StreamId::Copy);
+        assert!(e.wait(0, StreamId::Compute));
+        let b = e.issue(Some(StreamId::Compute), 1, 0);
+        assert!(hb(&a, &b));
+    }
+
+    #[test]
+    fn hb_is_transitive_through_two_handoffs() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let a = e.issue(Some(StreamId::Host), 0, 0);
+        e.record(0, StreamId::Host);
+        assert!(e.wait(0, StreamId::Copy));
+        let _mid = e.issue(Some(StreamId::Copy), 1, 0);
+        e.record(1, StreamId::Copy);
+        assert!(e.wait(1, StreamId::Compute));
+        let c = e.issue(Some(StreamId::Compute), 2, 0);
+        assert!(hb(&a, &c));
+    }
+
+    #[test]
+    fn fork_and_join_order_serial_work() {
+        let mut e = HbEngine::new();
+        let before = e.issue(None, 0, 0);
+        e.fork();
+        let lane = e.issue(Some(StreamId::Compute), 1, 0);
+        assert!(hb(&before, &lane), "pre-fork work is visible to lanes");
+        e.join();
+        let after = e.issue(None, 2, 0);
+        assert!(hb(&lane, &after), "post-join serial sees lane work");
+    }
+
+    #[test]
+    fn issue_order_flows_serial_to_lane_but_not_back() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let lane = e.issue(Some(StreamId::Compute), 0, 0);
+        let bookkeeping = e.issue(None, 1, 0);
+        let later_lane = e.issue(Some(StreamId::Copy), 2, 0);
+        assert!(hb(&bookkeeping, &later_lane), "issue order is an edge");
+        assert!(!hb(&lane, &bookkeeping), "lane work is asynchronous");
+    }
+
+    #[test]
+    fn snapshots_do_not_survive_a_new_fork() {
+        let mut e = HbEngine::new();
+        e.fork();
+        e.record(0, StreamId::Copy);
+        e.join();
+        e.fork();
+        assert!(!e.wait(0, StreamId::Compute), "stale event index");
+    }
+}

@@ -1,0 +1,590 @@
+//! Adversarial and known-good traces for the timeline sanitizer.
+//!
+//! Every one of the six hazard rules is exercised with at least one
+//! hand-built trace that MUST be flagged, and the clean twins (plus real
+//! executor sessions) MUST pass. This is the regression net that keeps
+//! the checker honest in both directions: no missed hazards, no false
+//! positives on well-synchronized schedules.
+
+use dgnn_analysis::{audit, sanitize, BusyClaim, HazardRule, SanitizeOptions};
+use dgnn_device::{
+    AccessKind, DeviceTensor, Dispatcher, DurationNs, EventCategory, ExecMode, ExecTrace, Executor,
+    KernelKind, Place, PlatformSpec, StreamId, Timeline, TimelineEvent, TraceRecord, TransferDir,
+};
+use dgnn_tensor::Tensor;
+
+fn ns(n: u64) -> DurationNs {
+    DurationNs::from_nanos(n)
+}
+
+fn kernel_event(start: u64, end: u64, stream: Option<StreamId>) -> TimelineEvent {
+    TimelineEvent {
+        label: "kernel",
+        scope: String::new(),
+        category: EventCategory::Kernel(KernelKind::Gemm),
+        place: Place::Gpu,
+        start: ns(start),
+        end: ns(end),
+        occupancy: 1.0,
+        flops: 1,
+        bytes: 0,
+        stream,
+    }
+}
+
+fn transfer_event(dir: TransferDir, bytes: u64, stream: Option<StreamId>) -> TimelineEvent {
+    TimelineEvent {
+        label: "memcpy",
+        scope: String::new(),
+        category: EventCategory::Transfer(dir),
+        place: Place::Pcie,
+        start: ns(0),
+        end: ns(10),
+        occupancy: 1.0,
+        flops: 0,
+        bytes,
+        stream,
+    }
+}
+
+// ---------------------------------------------------------------------
+// RULE1 read-before-transfer
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule1_cross_lane_upload_without_wait_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(1),
+        dir: TransferDir::H2D,
+        bytes: 128,
+        lane: Some(StreamId::Copy),
+        staged: false,
+        at_event: 0,
+    });
+    // Compute reads the buffer with NO record/wait edge from Copy.
+    trace.push(TraceRecord::Access {
+        tensor: 1,
+        kind: AccessKind::Arg,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 1,
+    });
+    trace.push(TraceRecord::Join {
+        at: ns(20),
+        lane_clocks: [ns(10), ns(10), ns(10)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 1, "{report}");
+}
+
+#[test]
+fn rule1_read_of_never_uploaded_tensor_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Access {
+        tensor: 9,
+        kind: AccessKind::Arg,
+        lane: None,
+        place: Place::Gpu,
+        at_event: 0,
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 1, "{report}");
+}
+
+#[test]
+fn rule1_clean_twin_with_handoff_passes() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(1),
+        dir: TransferDir::H2D,
+        bytes: 128,
+        lane: Some(StreamId::Copy),
+        staged: false,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::EventRecord {
+        event: 0,
+        lane: StreamId::Copy,
+        at: ns(10),
+    });
+    trace.push(TraceRecord::EventWait {
+        event: 0,
+        lane: StreamId::Compute,
+    });
+    trace.push(TraceRecord::Access {
+        tensor: 1,
+        kind: AccessKind::Arg,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 1,
+    });
+    trace.push(TraceRecord::Join {
+        at: ns(20),
+        lane_clocks: [ns(10), ns(10), ns(15)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 0, "{report}");
+    assert_eq!(report.count(HazardRule::MissingWait), 0, "{report}");
+    assert_eq!(report.count(HazardRule::ClockMonotonicity), 0, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// RULE2 use-after-release
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule2_read_after_release_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(3),
+        dir: TransferDir::H2D,
+        bytes: 64,
+        lane: None,
+        staged: false,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Access {
+        tensor: 3,
+        kind: AccessKind::Arg,
+        lane: None,
+        place: Place::Gpu,
+        at_event: 1,
+    });
+    trace.push(TraceRecord::Release {
+        tensor: 3,
+        lane: None,
+        at_event: 2,
+    });
+    trace.push(TraceRecord::Access {
+        tensor: 3,
+        kind: AccessKind::Arg,
+        lane: None,
+        place: Place::Gpu,
+        at_event: 3,
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::UseAfterRelease), 1, "{report}");
+}
+
+#[test]
+fn rule2_read_after_download_is_flagged_but_reupload_heals() {
+    let mut trace = ExecTrace::new();
+    for (tensor, reupload) in [(4u64, false), (5u64, true)] {
+        trace.push(TraceRecord::Crossing {
+            tensor: Some(tensor),
+            dir: TransferDir::H2D,
+            bytes: 64,
+            lane: None,
+            staged: false,
+            at_event: 0,
+        });
+        // The download pair: read half then the D2H crossing.
+        trace.push(TraceRecord::Access {
+            tensor,
+            kind: AccessKind::Download,
+            lane: None,
+            place: Place::Gpu,
+            at_event: 1,
+        });
+        trace.push(TraceRecord::Crossing {
+            tensor: Some(tensor),
+            dir: TransferDir::D2H,
+            bytes: 64,
+            lane: None,
+            staged: false,
+            at_event: 1,
+        });
+        if reupload {
+            trace.push(TraceRecord::Crossing {
+                tensor: Some(tensor),
+                dir: TransferDir::H2D,
+                bytes: 64,
+                lane: None,
+                staged: false,
+                at_event: 2,
+            });
+        }
+        trace.push(TraceRecord::Access {
+            tensor,
+            kind: AccessKind::Arg,
+            lane: None,
+            place: Place::Gpu,
+            at_event: 3,
+        });
+    }
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    // Tensor 4 is flagged; tensor 5 was re-uploaded and is fine.
+    assert_eq!(report.count(HazardRule::UseAfterRelease), 1, "{report}");
+    let flagged = report
+        .hazards
+        .iter()
+        .find(|h| h.rule == HazardRule::UseAfterRelease)
+        .expect("one RULE2 hazard");
+    assert_eq!(flagged.tensor, Some(4));
+}
+
+// ---------------------------------------------------------------------
+// RULE3 missing-wait
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule3_cross_lane_write_racing_a_read_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    // Compute defines and reads the buffer...
+    trace.push(TraceRecord::Access {
+        tensor: 6,
+        kind: AccessKind::Adopt,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Access {
+        tensor: 6,
+        kind: AccessKind::Arg,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 1,
+    });
+    // ...while Copy releases it with no ordering edge.
+    trace.push(TraceRecord::Release {
+        tensor: 6,
+        lane: Some(StreamId::Copy),
+        at_event: 1,
+    });
+    trace.push(TraceRecord::Join {
+        at: ns(20),
+        lane_clocks: [ns(0), ns(10), ns(10)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::MissingWait), 1, "{report}");
+}
+
+#[test]
+fn rule3_wait_on_unrecorded_event_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::EventWait {
+        event: 7,
+        lane: StreamId::Compute,
+    });
+    trace.push(TraceRecord::Join {
+        at: ns(1),
+        lane_clocks: [ns(0), ns(0), ns(0)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::MissingWait), 1, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// RULE4 clock monotonicity
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule4_join_below_lane_clock_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::Join {
+        at: ns(5),
+        lane_clocks: [ns(10), ns(0), ns(0)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ClockMonotonicity), 1, "{report}");
+}
+
+#[test]
+fn rule4_lane_clock_rewind_and_unjoined_fork_are_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::EventRecord {
+        event: 0,
+        lane: StreamId::Copy,
+        at: ns(10),
+    });
+    trace.push(TraceRecord::EventRecord {
+        event: 1,
+        lane: StreamId::Copy,
+        at: ns(5), // rewinds the copy lane clock
+    });
+    // ...and the fork is never joined.
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ClockMonotonicity), 2, "{report}");
+}
+
+#[test]
+fn rule4_overlapping_events_on_one_lane_are_flagged() {
+    let mut tl = Timeline::new();
+    tl.push(kernel_event(0, 40, Some(StreamId::Compute)));
+    let mut bad = kernel_event(20, 60, Some(StreamId::Compute));
+    bad.label = "overlapping";
+    // Timeline::push debug-asserts end >= start, so build the overlap
+    // via two well-formed but overlapping same-lane events.
+    tl.push(bad);
+    let report = sanitize(&tl, &ExecTrace::new(), &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ClockMonotonicity), 1, "{report}");
+}
+
+#[test]
+fn rule4_overlap_across_lanes_is_legal() {
+    let mut tl = Timeline::new();
+    tl.push(kernel_event(0, 40, Some(StreamId::Compute)));
+    tl.push(transfer_event(TransferDir::H2D, 64, Some(StreamId::Copy)));
+    let report = sanitize(&tl, &ExecTrace::new(), &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ClockMonotonicity), 0, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// RULE5 byte conservation
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule5_staged_bytes_never_flushed_are_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(8),
+        dir: TransferDir::H2D,
+        bytes: 256,
+        lane: None,
+        staged: true,
+        at_event: 0,
+    });
+    // No Flush, no Priced: the staged bytes silently vanish.
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert!(report.count(HazardRule::ByteConservation) >= 1, "{report}");
+}
+
+#[test]
+fn rule5_flush_exceeding_staged_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(8),
+        dir: TransferDir::H2D,
+        bytes: 100,
+        lane: None,
+        staged: true,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Flush {
+        dir: TransferDir::H2D,
+        bytes: 300, // flushes more than was ever staged
+        lane: None,
+        at_event: 0,
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert!(report.count(HazardRule::ByteConservation) >= 1, "{report}");
+}
+
+#[test]
+fn rule5_priced_record_mismatching_timeline_is_flagged() {
+    let mut tl = Timeline::new();
+    tl.push(transfer_event(TransferDir::H2D, 64, None));
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Crossing {
+        tensor: Some(2),
+        dir: TransferDir::H2D,
+        bytes: 64,
+        lane: None,
+        staged: false,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Priced {
+        dir: TransferDir::H2D,
+        bytes: 999, // disagrees with the 64 B timeline event
+        lane: None,
+        event: 0,
+    });
+    let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+    assert!(report.count(HazardRule::ByteConservation) >= 1, "{report}");
+
+    let mut dangling = ExecTrace::new();
+    dangling.push(TraceRecord::Priced {
+        dir: TransferDir::D2H,
+        bytes: 64,
+        lane: None,
+        event: 17, // points past the timeline
+    });
+    let report = sanitize(&Timeline::new(), &dangling, &SanitizeOptions::default());
+    assert!(report.count(HazardRule::ByteConservation) >= 1, "{report}");
+}
+
+#[test]
+fn rule5_clean_staged_flush_price_cycle_passes() {
+    let mut tl = Timeline::new();
+    tl.push(transfer_event(TransferDir::H2D, 300, None));
+    let mut trace = ExecTrace::new();
+    for t in [1u64, 2, 3] {
+        trace.push(TraceRecord::Crossing {
+            tensor: Some(t),
+            dir: TransferDir::H2D,
+            bytes: 100,
+            lane: None,
+            staged: true,
+            at_event: 0,
+        });
+    }
+    trace.push(TraceRecord::Flush {
+        dir: TransferDir::H2D,
+        bytes: 300,
+        lane: None,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Priced {
+        dir: TransferDir::H2D,
+        bytes: 300,
+        lane: None,
+        event: 0,
+    });
+    let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::ByteConservation), 0, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// RULE6 busy-fraction consistency
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule6_per_event_sum_over_overlapping_kernels_is_flagged() {
+    let mut tl = Timeline::new();
+    // Three kernels overlapping on different lanes: union = [0, 60) minus
+    // nothing = 60 ns busy over a 100 ns window → 0.6.
+    tl.push(kernel_event(0, 40, Some(StreamId::Compute)));
+    tl.push(kernel_event(20, 60, Some(StreamId::Host)));
+    tl.push(kernel_event(50, 60, Some(StreamId::Copy)));
+    let naive_sum = (40.0 + 40.0 + 10.0) / 100.0; // 0.9, double-counted
+    let opts = SanitizeOptions {
+        busy_claim: Some(BusyClaim {
+            win_start: ns(0),
+            win_end: ns(100),
+            fraction: naive_sum,
+        }),
+        ..SanitizeOptions::default()
+    };
+    let report = sanitize(&tl, &ExecTrace::new(), &opts);
+    assert_eq!(report.count(HazardRule::BusyFraction), 1, "{report}");
+
+    let honest = SanitizeOptions {
+        busy_claim: Some(BusyClaim {
+            win_start: ns(0),
+            win_end: ns(100),
+            fraction: 0.6,
+        }),
+        ..SanitizeOptions::default()
+    };
+    let report = sanitize(&tl, &ExecTrace::new(), &honest);
+    assert_eq!(report.count(HazardRule::BusyFraction), 0, "{report}");
+}
+
+#[test]
+fn rule6_fraction_outside_unit_interval_is_flagged() {
+    let opts = SanitizeOptions {
+        busy_claim: Some(BusyClaim {
+            win_start: ns(0),
+            win_end: ns(100),
+            fraction: 1.3,
+        }),
+        ..SanitizeOptions::default()
+    };
+    let report = sanitize(&Timeline::new(), &ExecTrace::new(), &opts);
+    assert!(report.count(HazardRule::BusyFraction) >= 1, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// Known-good real sessions: the sanitizer must not cry wolf.
+// ---------------------------------------------------------------------
+
+#[test]
+fn real_serial_gpu_session_is_clean() {
+    let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
+    ex.enable_tracing();
+    {
+        let mut dx = Dispatcher::new(&mut ex);
+        let a = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let w = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let h = dx.matmul("proj", &a, &w).expect("shapes agree");
+        let out = dx.relu("act", &h);
+        dx.download(&out);
+        dx.release_tensor(&h);
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert!(report.stats.tensors >= 3);
+    assert!(report.stats.priced_bytes[0] > 0, "H2D was priced");
+}
+
+#[test]
+fn real_forked_session_with_handoffs_is_clean() {
+    let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
+    ex.enable_tracing();
+    {
+        let mut dx = Dispatcher::new(&mut ex);
+        let a = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let w = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        dx.fork_streams();
+        // Copy lane uploads both operands.
+        dx.on_stream(StreamId::Copy, |dx| {
+            dx.ensure_resident(&a);
+            dx.ensure_resident(&w);
+        });
+        let uploaded = dx.record_event(StreamId::Copy);
+        // Compute lane waits for the copies, then runs the kernels.
+        dx.wait_event(StreamId::Compute, uploaded);
+        let out = dx.on_stream(StreamId::Compute, |dx| {
+            let h = dx.matmul("proj", &a, &w).expect("shapes agree");
+            dx.relu("act", &h)
+        });
+        let computed = dx.record_event(StreamId::Compute);
+        // Copy lane waits for the kernels, then drains the result.
+        dx.wait_event(StreamId::Copy, computed);
+        dx.on_stream(StreamId::Copy, |dx| dx.download(&out));
+        dx.join_streams();
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.forks, 1);
+}
+
+#[test]
+fn real_coalesced_session_is_clean_once_flushed() {
+    let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
+    ex.enable_tracing();
+    {
+        let mut dx = Dispatcher::with_coalescing(&mut ex, true);
+        let a = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let w = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        dx.ensure_resident(&a);
+        dx.ensure_resident(&w);
+        dx.flush_transfers();
+        let h = dx.matmul("proj", &a, &w).expect("shapes agree");
+        dx.download(&h);
+        dx.flush_transfers();
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert!(report.stats.crossings >= 3);
+}
+
+#[test]
+fn real_cpu_only_session_is_clean() {
+    let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::CpuOnly);
+    ex.enable_tracing();
+    {
+        let mut dx = Dispatcher::new(&mut ex);
+        let a = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let w = DeviceTensor::host(Tensor::zeros(&[8, 8]));
+        let h = dx.matmul("proj", &a, &w).expect("shapes agree");
+        dx.download(&h);
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.priced_bytes, [0, 0], "CPU mode prices no PCIe");
+}
+
+#[test]
+fn audit_panics_without_tracing() {
+    let ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
+    let result = std::panic::catch_unwind(|| audit(&ex));
+    assert!(result.is_err(), "audit must refuse an untraced executor");
+}

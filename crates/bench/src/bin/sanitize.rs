@@ -1,0 +1,83 @@
+//! `sanitize` — run the timeline sanitizer over the model zoo.
+//!
+//! Replays every model (or `--model NAME`) with provenance tracing on
+//! and audits the recorded schedule against the six hazard rules.
+//! Exits non-zero if any hazard is found, so CI can gate on it.
+//!
+//! ```text
+//! cargo run --release -p dgnn-bench --bin sanitize -- --scale tiny
+//! cargo run --release -p dgnn-bench --bin sanitize -- --model tgn --mode overlap
+//! ```
+//!
+//! Modes: `serial`, `overlap`, `overlap-coalesced`, or `all` (default).
+
+use dgnn_bench::{
+    build_model, default_config, flag_value, measure_sanitized, parse_opts, MODEL_NAMES,
+};
+use dgnn_device::ExecMode;
+use dgnn_models::{InferenceConfig, TransferGranularity};
+
+fn mode_config(base: InferenceConfig, mode: &str) -> InferenceConfig {
+    match mode {
+        "serial" => base,
+        "overlap" => base.with_pipeline_overlap(true),
+        "overlap-coalesced" => base
+            .with_pipeline_overlap(true)
+            .with_transfer_granularity(TransferGranularity::Coalesced),
+        other => panic!("unknown --mode `{other}` (serial|overlap|overlap-coalesced|all)"),
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let only_model = flag_value(&opts.rest, "--model");
+    let mode_sel = flag_value(&opts.rest, "--mode").unwrap_or("all");
+    let modes: Vec<&str> = match mode_sel {
+        "all" => vec!["serial", "overlap", "overlap-coalesced"],
+        m => vec![m],
+    };
+
+    let mut total_hazards = 0usize;
+    let mut runs = 0usize;
+    println!(
+        "timeline sanitizer — scale {:?}, seed {}",
+        opts.scale, opts.seed
+    );
+    println!();
+    for &name in MODEL_NAMES {
+        if let Some(want) = only_model {
+            if name != want {
+                continue;
+            }
+        }
+        for &mode in &modes {
+            let cfg = mode_config(default_config(name), mode);
+            let mut model = build_model(name, opts.scale, opts.seed);
+            let (report, run) = measure_sanitized(model.as_mut(), ExecMode::Gpu, &cfg);
+            runs += 1;
+            total_hazards += report.hazards.len();
+            let verdict = if report.is_clean() {
+                "clean"
+            } else {
+                "HAZARDS"
+            };
+            println!(
+                "{name:>14} {mode:<18} {verdict:<8} {:>7} trace records, {:>6} events, {} fork(s), {} B H2D",
+                report.stats.trace_records,
+                report.stats.timeline_events,
+                report.stats.forks,
+                report.stats.priced_bytes[0],
+            );
+            if !report.is_clean() {
+                print!("{report}");
+            }
+            drop(run);
+        }
+    }
+    println!();
+    if total_hazards > 0 {
+        println!("FAIL: {total_hazards} hazard(s) across {runs} run(s)");
+        std::process::exit(1);
+    }
+    println!("OK: 0 hazards across {runs} run(s)");
+}

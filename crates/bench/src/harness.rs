@@ -19,6 +19,7 @@ pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
         times.push(t0.elapsed());
     }
     let total: Duration = times.iter().sum();
+    #[allow(clippy::cast_possible_truncation)] // sample counts are tiny
     let mean = total / times.len() as u32;
     let min = times.iter().min().copied().unwrap_or_default();
     let max = times.iter().max().copied().unwrap_or_default();

@@ -17,6 +17,8 @@
 //! | §4.1 utilization summary      | `util_summary` |
 //! | §5 / Fig 10 optimizations     | `ablation_optimizations` |
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use dgnn_datasets::{
@@ -177,6 +179,35 @@ pub fn measure(model: &mut dyn DgnnModel, mode: ExecMode, cfg: &InferenceConfig)
         summary,
         executor: ex,
     }
+}
+
+/// Runs `model` under `cfg` on a fresh executor with provenance tracing
+/// enabled, then audits the recorded execution with the timeline
+/// sanitizer (`dgnn-analysis`).
+///
+/// # Panics
+///
+/// Panics when inference fails (experiment configurations are known-good).
+pub fn measure_sanitized(
+    model: &mut dyn DgnnModel,
+    mode: ExecMode,
+    cfg: &InferenceConfig,
+) -> (dgnn_analysis::SanitizerReport, MeasuredRun) {
+    let mut ex = Executor::new(PlatformSpec::default(), mode);
+    ex.enable_tracing();
+    let summary = model
+        .run(&mut ex, cfg)
+        .unwrap_or_else(|e| panic!("{} inference failed: {e}", model.name()));
+    let report = dgnn_analysis::audit(&ex);
+    let profile = InferenceProfile::capture(&ex, "inference");
+    (
+        report,
+        MeasuredRun {
+            profile,
+            summary,
+            executor: ex,
+        },
+    )
 }
 
 /// CLI options shared by the experiment binaries.

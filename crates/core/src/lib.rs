@@ -32,6 +32,8 @@
 //! root or the iteration scope. [`Breakdown::from_scopes`] aggregates by
 //! module name across iterations.
 
+#![forbid(unsafe_code)]
+
 mod bottleneck;
 mod breakdown;
 mod kernels;

@@ -27,6 +27,8 @@
 //! assert!(a.stream.len() > 100);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod convert;
 mod events;
 mod interaction;

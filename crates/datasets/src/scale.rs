@@ -27,6 +27,7 @@ impl Scale {
     }
 
     /// Scales a full-size count, keeping at least `min`.
+    #[allow(clippy::cast_possible_truncation)] // rounded scaled count fits usize
     pub fn apply(self, full: usize, min: usize) -> usize {
         ((full as f64 * self.factor()).round() as usize).max(min)
     }

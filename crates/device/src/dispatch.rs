@@ -41,6 +41,7 @@
 //! escapes pricing.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dgnn_tensor::cost::OpDescriptor;
 use dgnn_tensor::ops::{activation, elementwise, manip, matmul, reduce};
@@ -51,6 +52,16 @@ use crate::executor::{ExecMode, Executor};
 use crate::kernel::{HostWork, KernelDesc};
 use crate::stream::{EventId, StreamId};
 use crate::time::DurationNs;
+use crate::trace::{AccessKind, TensorId};
+
+/// Process-wide supply of [`DeviceTensor`] buffer identities, consumed
+/// by the provenance trace. Clones share their origin's id (they alias
+/// the same logical buffer); ids carry no meaning beyond uniqueness.
+static NEXT_TENSOR_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_tensor_id() -> TensorId {
+    NEXT_TENSOR_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A tensor tagged with its simulated residence and a logical-batch
 /// scale factor.
@@ -58,11 +69,23 @@ use crate::time::DurationNs;
 /// `scale` is the ratio of logical rows to physically materialized rows
 /// (1.0 for fully materialized tensors); all kernel pricing and
 /// transfer byte counts derived from this tensor are multiplied by it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DeviceTensor {
     data: Tensor,
     place: Cell<Place>,
     scale: f64,
+    /// Buffer identity for the provenance trace. Clones keep it: they
+    /// alias the same logical buffer.
+    id: TensorId,
+}
+
+impl PartialEq for DeviceTensor {
+    /// Semantic equality: same values, residence and scale. Buffer
+    /// identity is deliberately excluded — two independently built
+    /// tensors with equal contents compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data && self.place == other.place && self.scale == other.scale
+    }
 }
 
 impl DeviceTensor {
@@ -72,6 +95,7 @@ impl DeviceTensor {
             data,
             place: Cell::new(Place::Cpu),
             scale: 1.0,
+            id: fresh_tensor_id(),
         }
     }
 
@@ -90,12 +114,18 @@ impl DeviceTensor {
             data,
             place: Cell::new(Place::Cpu),
             scale,
+            id: fresh_tensor_id(),
         }
     }
 
     /// The functional values.
     pub fn data(&self) -> &Tensor {
         &self.data
+    }
+
+    /// Buffer identity in the provenance trace.
+    pub fn trace_id(&self) -> TensorId {
+        self.id
     }
 
     /// Current simulated residence.
@@ -114,6 +144,7 @@ impl DeviceTensor {
     }
 
     /// Bytes this tensor logically occupies (physical bytes × scale).
+    #[allow(clippy::cast_possible_truncation)] // rounded byte counts fit u64
     pub fn logical_bytes(&self) -> u64 {
         (cost::f32_bytes(self.data.len()) as f64 * self.scale).round() as u64
     }
@@ -135,6 +166,12 @@ pub trait Operand {
     /// that must cross PCIe, or `None` when already there (or when the
     /// operand's residence is not tracked).
     fn relocate(&self, target: Place) -> Option<u64>;
+
+    /// Buffer identity for the provenance trace (`None` for weights and
+    /// other untracked operands).
+    fn operand_id(&self) -> Option<TensorId> {
+        None
+    }
 }
 
 impl Operand for Tensor {
@@ -163,6 +200,10 @@ impl Operand for DeviceTensor {
             self.place.set(target);
             Some(self.logical_bytes())
         }
+    }
+
+    fn operand_id(&self) -> Option<TensorId> {
+        Some(self.id)
     }
 }
 
@@ -221,15 +262,20 @@ impl<'a> Dispatcher<'a> {
     /// decompose a staged batch payload into its constituent per-tensor
     /// copies use this to price each piece.
     pub fn transfer(&mut self, dir: TransferDir, bytes: u64) {
-        self.charge_transfer(dir, bytes);
+        self.charge_transfer(dir, bytes, None);
     }
 
     /// Prices a residence crossing: immediately when coalescing is off,
-    /// otherwise into the staging accumulator.
-    fn charge_transfer(&mut self, dir: TransferDir, bytes: u64) {
+    /// otherwise into the staging accumulator. `tensor` attributes the
+    /// crossing in the provenance trace.
+    fn charge_transfer(&mut self, dir: TransferDir, bytes: u64, tensor: Option<TensorId>) {
         if self.coalesce && self.ex.mode() == ExecMode::Gpu {
+            self.ex.trace_crossing(tensor, dir, bytes, true);
             self.pending[dir_index(dir)] += bytes;
         } else {
+            if self.ex.mode() == ExecMode::Gpu {
+                self.ex.trace_crossing(tensor, dir, bytes, false);
+            }
             self.ex.transfer(dir, bytes);
         }
     }
@@ -243,6 +289,7 @@ impl<'a> Dispatcher<'a> {
         for dir in [TransferDir::H2D, TransferDir::D2H] {
             let bytes = std::mem::take(&mut self.pending[dir_index(dir)]);
             if bytes > 0 {
+                self.ex.trace_flush(dir, bytes);
                 total += self.ex.transfer(dir, bytes);
             }
         }
@@ -270,6 +317,9 @@ impl<'a> Dispatcher<'a> {
     /// Moves an operand to the compute device, charging the PCIe copy if
     /// its residence actually crosses. No-op for weights and for
     /// already-resident tensors; never charges in CPU-only mode.
+    ///
+    /// While tracing is on, logs the crossing (if any) and the operand's
+    /// consumption as a kernel argument on the current lane.
     pub fn ensure_resident(&mut self, op: &impl Operand) {
         let target = self.compute_place();
         if let Some(bytes) = op.relocate(target) {
@@ -278,7 +328,10 @@ impl<'a> Dispatcher<'a> {
             } else {
                 TransferDir::D2H
             };
-            self.charge_transfer(dir, bytes);
+            self.charge_transfer(dir, bytes, op.operand_id());
+        }
+        if let Some(id) = op.operand_id() {
+            self.ex.trace_access(id, AccessKind::Arg, target);
         }
     }
 
@@ -286,18 +339,32 @@ impl<'a> Dispatcher<'a> {
     /// read-back every inference pass ends with). No-op when already
     /// host-resident.
     pub fn download(&mut self, t: &DeviceTensor) {
+        let device = self.compute_place();
         if let Some(bytes) = t.relocate(Place::Cpu) {
-            self.charge_transfer(TransferDir::D2H, bytes);
+            self.ex.trace_access(t.id, AccessKind::Download, device);
+            self.charge_transfer(TransferDir::D2H, bytes, Some(t.id));
         }
     }
 
     /// Tags freshly computed data as resident on the compute device.
-    pub fn adopt(&self, data: Tensor, scale: f64) -> DeviceTensor {
-        DeviceTensor {
+    pub fn adopt(&mut self, data: Tensor, scale: f64) -> DeviceTensor {
+        let t = DeviceTensor {
             data,
             place: Cell::new(self.compute_place()),
             scale,
-        }
+            id: fresh_tensor_id(),
+        };
+        self.ex.trace_access(t.id, AccessKind::Adopt, t.place.get());
+        t
+    }
+
+    /// Releases a device-resident tensor: frees its logical bytes from
+    /// the compute device's memory tracker and logs the release in the
+    /// provenance trace. Any later device-side use of the tensor without
+    /// a fresh upload is a use-after-release hazard.
+    pub fn release_tensor(&mut self, t: &DeviceTensor) {
+        self.ex.trace_release(t.id);
+        self.ex.release(t.logical_bytes());
     }
 
     /// Charges `desc × scale` as one kernel launch without running any
@@ -848,6 +915,108 @@ mod tests {
         assert_eq!(dx.pending_transfer_bytes(TransferDir::H2D), 0);
         assert_eq!(dx.flush_transfers(), DurationNs::ZERO);
         assert_eq!(ex.timeline().transfer_count(None), 0);
+    }
+
+    #[test]
+    fn tracing_attributes_crossings_and_kernel_args_to_tensors() {
+        use crate::trace::{AccessKind, TraceRecord};
+        let mut ex = gpu();
+        ex.enable_tracing();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = DeviceTensor::host(Tensor::ones(&[4, 4]));
+        let id = x.trace_id();
+        let y = dx.matmul("mm", &x, &Tensor::eye(4)).unwrap();
+        dx.download(&y);
+        let records = ex.trace().unwrap().records().to_vec();
+        // The upload crossing carries the operand's buffer identity…
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Crossing {
+                tensor: Some(t),
+                dir: TransferDir::H2D,
+                staged: false,
+                ..
+            } if *t == id
+        )));
+        // …the kernel argument access follows it…
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Access {
+                tensor: t,
+                kind: AccessKind::Arg,
+                place: Place::Gpu,
+                ..
+            } if *t == id
+        )));
+        // …and the result's read-back is a Download access plus a D2H
+        // crossing attributed to the result tensor.
+        let yid = y.trace_id();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Access {
+                tensor: t,
+                kind: AccessKind::Download,
+                ..
+            } if *t == yid
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Crossing {
+                tensor: Some(t),
+                dir: TransferDir::D2H,
+                ..
+            } if *t == yid
+        )));
+    }
+
+    #[test]
+    fn tracing_marks_staged_crossings_and_flushes() {
+        use crate::trace::TraceRecord;
+        let mut ex = gpu();
+        ex.enable_tracing();
+        let mut dx = Dispatcher::with_coalescing(&mut ex, true);
+        for _ in 0..3 {
+            let x = DeviceTensor::host(Tensor::ones(&[4, 4]));
+            dx.matmul("mm", &x, &Tensor::eye(4)).unwrap();
+        }
+        dx.flush_transfers();
+        let records = ex.trace().unwrap().records();
+        let staged: u64 = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Crossing {
+                    bytes,
+                    staged: true,
+                    ..
+                } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        let flushed: u64 = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Flush { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(staged, 3 * 64);
+        assert_eq!(flushed, staged, "flush must conserve staged bytes");
+    }
+
+    #[test]
+    fn release_tensor_frees_memory_and_logs() {
+        use crate::trace::TraceRecord;
+        let mut ex = gpu();
+        ex.enable_tracing();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::ones(&[8, 8]), 1.0);
+        let id = x.trace_id();
+        dx.executor().gpu_memory();
+        dx.release_tensor(&x);
+        assert!(ex.trace().unwrap().records().iter().any(|r| matches!(
+            r,
+            TraceRecord::Release { tensor, .. } if *tensor == id
+        )));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::spec::PlatformSpec;
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::time::DurationNs;
 use crate::timeline::Timeline;
+use crate::trace::{AccessKind, ExecTrace, TensorId, TraceRecord};
 use crate::warmup::WarmupModel;
 
 /// Whether inference runs entirely on the CPU or offloads kernels to the
@@ -88,6 +89,9 @@ pub struct Executor {
     /// Lane that priced actions are currently issued on (inside
     /// [`Executor::on_stream`]); `None` targets the serial clock.
     current_stream: Option<StreamId>,
+    /// Causal provenance log for the timeline sanitizer; `None` (the
+    /// default) records nothing and costs one branch per action.
+    trace: Option<ExecTrace>,
 }
 
 impl Executor {
@@ -106,6 +110,85 @@ impl Executor {
             context_ready: mode == ExecMode::CpuOnly,
             streams: None,
             current_stream: None,
+            trace: None,
+        }
+    }
+
+    /// Switches on provenance tracing: from here on, every tensor
+    /// access, residence crossing, transfer, fork/join and event
+    /// record/wait is appended to the causal log the timeline sanitizer
+    /// consumes. Pricing, timelines and scopes are unaffected.
+    /// Idempotent; an already-collected trace is preserved.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(ExecTrace::new());
+        }
+    }
+
+    /// Whether provenance tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The causal provenance log collected so far (`None` while tracing
+    /// is off).
+    pub fn trace(&self) -> Option<&ExecTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Logs a tensor access on the current lane (dispatcher hook).
+    pub(crate) fn trace_access(&mut self, tensor: TensorId, kind: AccessKind, place: Place) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Access {
+                tensor,
+                kind,
+                lane: self.current_stream,
+                place,
+                at_event: self.timeline.len(),
+            });
+        }
+    }
+
+    /// Logs a residence-crossing intent (dispatcher hook).
+    pub(crate) fn trace_crossing(
+        &mut self,
+        tensor: Option<TensorId>,
+        dir: TransferDir,
+        bytes: u64,
+        staged: bool,
+    ) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Crossing {
+                tensor,
+                dir,
+                bytes,
+                lane: self.current_stream,
+                staged,
+                at_event: self.timeline.len(),
+            });
+        }
+    }
+
+    /// Logs a coalesced-flush pricing (dispatcher hook).
+    pub(crate) fn trace_flush(&mut self, dir: TransferDir, bytes: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Flush {
+                dir,
+                bytes,
+                lane: self.current_stream,
+                at_event: self.timeline.len(),
+            });
+        }
+    }
+
+    /// Logs an explicit device-buffer release (dispatcher hook).
+    pub(crate) fn trace_release(&mut self, tensor: TensorId) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Release {
+                tensor,
+                lane: self.current_stream,
+                at_event: self.timeline.len(),
+            });
         }
     }
 
@@ -150,6 +233,9 @@ impl Executor {
     pub fn fork_streams(&mut self) {
         assert!(self.streams.is_none(), "stream fork already active");
         self.streams = Some(StreamSet::forked_at(self.clock));
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Fork { at: self.clock });
+        }
     }
 
     /// Ends the stream fork: the serial clock advances to the latest lane
@@ -169,6 +255,16 @@ impl Executor {
             .expect("join_streams without fork_streams");
         let end = s.max_clock().max(self.clock);
         self.clock = end;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::Join {
+                at: end,
+                lane_clocks: [
+                    s.clock(StreamId::Host),
+                    s.clock(StreamId::Copy),
+                    s.clock(StreamId::Compute),
+                ],
+            });
+        }
         end
     }
 
@@ -204,10 +300,22 @@ impl Executor {
     ///
     /// Panics when no stream fork is active.
     pub fn record_event(&mut self, lane: StreamId) -> EventId {
-        self.streams
+        let id = self
+            .streams
             .as_mut()
             .expect("record_event requires fork_streams")
-            .record(lane)
+            .record(lane);
+        if self.trace.is_some() {
+            let at = self.stream_now(lane);
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord::EventRecord {
+                    event: id.index(),
+                    lane,
+                    at,
+                });
+            }
+        }
+        id
     }
 
     /// Stalls `lane` until the recorded event's timestamp (the simulated
@@ -216,13 +324,21 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics when no stream fork is active or the event was recorded on a
-    /// different executor.
+    /// Panics when no stream fork is active, or when the event was
+    /// recorded by a different fork — an earlier fork of this executor,
+    /// or another executor entirely. Such a handle would otherwise
+    /// advance the lane from an unrelated fork's timestamp table.
     pub fn wait_event(&mut self, lane: StreamId, event: EventId) {
         self.streams
             .as_mut()
             .expect("wait_event requires fork_streams")
             .wait(lane, event);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::EventWait {
+                event: event.index(),
+                lane,
+            });
+        }
     }
 
     /// Execution mode.
@@ -556,6 +672,18 @@ impl Executor {
             0,
             bytes,
         );
+        if self.trace.is_some() {
+            let event = self.timeline.len() - 1;
+            let lane = self.current_stream;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord::Priced {
+                    dir,
+                    bytes,
+                    lane,
+                    event,
+                });
+            }
+        }
         d
     }
 
@@ -841,6 +969,82 @@ mod tests {
             kernel.start >= copy.end,
             "dependent kernel {kernel:?} must start after its upload {copy:?}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "different stream fork")]
+    fn waiting_on_a_stale_forks_event_panics() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        ex.fork_streams();
+        let stale = ex.record_event(StreamId::Copy);
+        ex.join_streams();
+        // A new fork must not honor handles from the previous one.
+        ex.fork_streams();
+        ex.wait_event(StreamId::Compute, stale);
+    }
+
+    #[test]
+    #[should_panic(expected = "different stream fork")]
+    fn waiting_on_another_executors_event_panics() {
+        let mut a = gpu_executor();
+        a.fork_streams();
+        let foreign = a.record_event(StreamId::Copy);
+        let mut b = gpu_executor();
+        b.fork_streams();
+        b.wait_event(StreamId::Compute, foreign);
+    }
+
+    #[test]
+    fn tracing_captures_sync_records_and_transfers() {
+        use crate::trace::TraceRecord;
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        ex.enable_tracing();
+        assert!(ex.tracing_enabled());
+        ex.fork_streams();
+        let up = ex.on_stream(StreamId::Copy, |ex| {
+            ex.transfer(TransferDir::H2D, 4096);
+            ex.record_event(StreamId::Copy)
+        });
+        ex.wait_event(StreamId::Compute, up);
+        ex.join_streams();
+        let records = ex.trace().unwrap().records();
+        assert!(matches!(records[0], TraceRecord::Fork { .. }));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::Priced {
+                dir: TransferDir::H2D,
+                bytes: 4096,
+                lane: Some(StreamId::Copy),
+                ..
+            }
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::EventRecord {
+                event: 0,
+                lane: StreamId::Copy,
+                ..
+            }
+        )));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::EventWait {
+                event: 0,
+                lane: StreamId::Compute,
+            }
+        )));
+        assert!(matches!(records.last().unwrap(), TraceRecord::Join { .. }));
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let mut ex = gpu_executor();
+        ex.launch(KernelDesc::gemm("k", 32, 32, 32));
+        ex.transfer(TransferDir::H2D, 1024);
+        assert!(!ex.tracing_enabled());
+        assert!(ex.trace().is_none());
     }
 
     #[test]

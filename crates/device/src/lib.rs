@@ -34,6 +34,8 @@
 //! assert!(ex.now().as_nanos() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dispatch;
 mod event;
 mod executor;
@@ -43,6 +45,7 @@ mod spec;
 mod stream;
 mod time;
 pub mod timeline;
+pub mod trace;
 mod warmup;
 
 pub use dispatch::{DeviceTensor, Dispatcher, Operand};
@@ -54,4 +57,5 @@ pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec};
 pub use stream::{EventId, StreamId};
 pub use time::DurationNs;
 pub use timeline::Timeline;
+pub use trace::{AccessKind, ExecTrace, TensorId, TraceRecord};
 pub use warmup::WarmupModel;

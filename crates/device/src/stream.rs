@@ -26,7 +26,16 @@
 //! to the single serial clock, which keeps the default execution model —
 //! and every recorded timeline — bit-identical to the sequential engine.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::time::DurationNs;
+
+/// Process-wide supply of stream-fork identity tokens. Every
+/// [`StreamSet`] (one per `fork_streams`) takes a fresh token; events it
+/// records carry the token, so waiting on an event that belongs to a
+/// different fork — or a different executor entirely — is detected
+/// instead of silently reading another fork's timestamp table.
+static NEXT_FORK_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// One of the three execution lanes of the pipelined engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,14 +75,32 @@ impl StreamId {
 ///
 /// Returned by `Executor::record_event`; passed to
 /// `Executor::wait_event` to order a lane after the recorded timestamp.
+/// The handle remembers which stream fork recorded it: waiting on an
+/// event from another fork (stale handle) or another executor (foreign
+/// handle) panics with a diagnostic instead of reading garbage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(pub(crate) usize);
+pub struct EventId {
+    /// Index into the owning fork's recorded-timestamp table.
+    pub(crate) index: usize,
+    /// Identity token of the fork that recorded it.
+    pub(crate) owner: u64,
+}
+
+impl EventId {
+    /// Index within the owning fork's recorded-event table (the value
+    /// provenance traces store).
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
 
 /// Per-lane virtual clocks plus the table of recorded events.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub(crate) struct StreamSet {
     clocks: [DurationNs; 3],
     recorded: Vec<DurationNs>,
+    /// This fork's identity token (see [`NEXT_FORK_TOKEN`]).
+    token: u64,
 }
 
 impl StreamSet {
@@ -82,6 +109,7 @@ impl StreamSet {
         StreamSet {
             clocks: [origin; 3],
             recorded: Vec::new(),
+            token: NEXT_FORK_TOKEN.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -98,16 +126,31 @@ impl StreamSet {
     /// Records the lane's current clock and returns a waitable handle.
     pub(crate) fn record(&mut self, lane: StreamId) -> EventId {
         self.recorded.push(self.clock(lane));
-        EventId(self.recorded.len() - 1)
+        EventId {
+            index: self.recorded.len() - 1,
+            owner: self.token,
+        }
     }
 
     /// Advances a lane's clock to at least the recorded timestamp.
     ///
     /// # Panics
     ///
-    /// Panics when the event handle was never recorded on this set.
+    /// Panics when the event handle was recorded by a different stream
+    /// fork (stale, or from another executor): honoring it would
+    /// advance the lane from an unrelated fork's timestamp table.
     pub(crate) fn wait(&mut self, lane: StreamId, event: EventId) {
-        let t = self.recorded[event.0];
+        assert_eq!(
+            event.owner,
+            self.token,
+            "wait_event on {} for an event recorded by a different stream fork \
+             (event fork token {}, active fork token {}): the handle is stale or \
+             belongs to another executor",
+            lane.name(),
+            event.owner,
+            self.token,
+        );
+        let t = self.recorded[event.index];
         let c = self.clock_mut(lane);
         if t > *c {
             *c = t;
@@ -163,6 +206,25 @@ mod tests {
         *s.clock_mut(StreamId::Copy) = ns(70);
         s.wait(StreamId::Compute, at30);
         assert_eq!(s.clock(StreamId::Compute), ns(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "different stream fork")]
+    fn waiting_on_a_foreign_forks_event_panics() {
+        let mut a = StreamSet::forked_at(ns(0));
+        let mut b = StreamSet::forked_at(ns(0));
+        *a.clock_mut(StreamId::Copy) = ns(40);
+        let foreign = a.record(StreamId::Copy);
+        // `b` never recorded anything: honoring the handle would read
+        // `a`'s timestamp table.
+        b.wait(StreamId::Compute, foreign);
+    }
+
+    #[test]
+    fn event_ids_expose_their_index() {
+        let mut s = StreamSet::forked_at(ns(0));
+        assert_eq!(s.record(StreamId::Host).index(), 0);
+        assert_eq!(s.record(StreamId::Copy).index(), 1);
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Provenance tracing: the causal record behind the timeline sanitizer.
+//!
+//! A recorded [`crate::Timeline`] tells *when* things happened; it does
+//! not tell *why they were allowed to*. A Compute-lane kernel that reads
+//! a tensor whose H2D copy was never event-ordered before it produces a
+//! perfectly plausible-looking timeline — one whose overlap wins are
+//! fiction. Real stacks catch this class of bug with
+//! `compute-sanitizer`/TSAN; the simulated platform needs the same
+//! evidence trail.
+//!
+//! [`ExecTrace`] is that trail: an append-only program-order log of
+//! every causally relevant action the [`crate::Executor`] and
+//! [`crate::Dispatcher`] take — tensor accesses with their lane,
+//! residence crossings (immediate and coalesce-staged), coalesced
+//! flushes, priced transfers, stream forks/joins and event
+//! record/waits. The `dgnn-analysis` crate replays the log with vector
+//! clocks to reconstruct the happens-before DAG and check the hazard
+//! ruleset against it.
+//!
+//! Recording is off by default and costs one branch per action when off
+//! ([`crate::Executor::enable_tracing`] switches it on); no existing
+//! timeline, pricing, or scope behavior changes either way.
+
+use crate::event::{Place, TransferDir};
+use crate::stream::StreamId;
+use crate::time::DurationNs;
+
+/// Identity of a [`crate::DeviceTensor`]'s simulated buffer.
+///
+/// Unique per constructed tensor within a process; clones share the id
+/// (they alias the same logical buffer). Ids are compared for equality
+/// only — their numeric values are allocation-order artifacts.
+pub type TensorId = u64;
+
+/// How a traced tensor access touches the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Consumed as a kernel argument (staged via `ensure_resident`).
+    Arg,
+    /// Defined on the compute device without a transfer (`adopt`).
+    Adopt,
+    /// Read back to the host (`download`), invalidating the device copy.
+    Download,
+}
+
+/// One entry of the causal log, in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A tensor access on the issuing lane (`None` = the serial clock).
+    /// `place` is the compute device the access targets; `at_event` is
+    /// the timeline length when the access was logged (the index the
+    /// next priced event will take), tying diagnostics back to the
+    /// trace.
+    Access {
+        /// Buffer identity.
+        tensor: TensorId,
+        /// Kind of access.
+        kind: AccessKind,
+        /// Issuing lane (`None` = serial clock).
+        lane: Option<StreamId>,
+        /// Device the access targets.
+        place: Place,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
+    /// A residence crossing intent from the dispatcher. `staged` means
+    /// the bytes went into the coalescing accumulator instead of being
+    /// priced immediately; a later [`TraceRecord::Flush`] must drain
+    /// them.
+    Crossing {
+        /// Buffer identity, when the crossing came from a tracked
+        /// tensor (`None` for raw byte transfers).
+        tensor: Option<TensorId>,
+        /// Copy direction.
+        dir: TransferDir,
+        /// Bytes crossing.
+        bytes: u64,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Deferred into the coalescing accumulator.
+        staged: bool,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
+    /// A coalesced flush pricing `bytes` staged bytes as one merged
+    /// transaction in `dir`.
+    Flush {
+        /// Copy direction.
+        dir: TransferDir,
+        /// Merged byte count.
+        bytes: u64,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline length at log time (the merged transfer's index).
+        at_event: usize,
+    },
+    /// A priced PCIe transfer (the timeline's `Transfer` event twin).
+    Priced {
+        /// Copy direction.
+        dir: TransferDir,
+        /// Bytes priced.
+        bytes: u64,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline index of the priced event.
+        event: usize,
+    },
+    /// A device buffer explicitly released; later device accesses
+    /// without a re-upload are use-after-release hazards.
+    Release {
+        /// Buffer identity.
+        tensor: TensorId,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
+    /// The serial clock forked into the three lanes.
+    Fork {
+        /// Fork origin on the serial clock.
+        at: DurationNs,
+    },
+    /// The lanes folded back into the serial clock.
+    Join {
+        /// The joined serial clock.
+        at: DurationNs,
+        /// Per-lane clocks at join, in [`StreamId::ALL`] order
+        /// (`Host`, `Copy`, `Compute`).
+        lane_clocks: [DurationNs; 3],
+    },
+    /// `record_event`: `lane`'s clock captured as waitable event
+    /// `event` (index within the active fork).
+    EventRecord {
+        /// Event index within the active fork.
+        event: usize,
+        /// Recording lane.
+        lane: StreamId,
+        /// Captured timestamp.
+        at: DurationNs,
+    },
+    /// `wait_event`: `lane` ordered after recorded event `event`.
+    EventWait {
+        /// Event index within the active fork.
+        event: usize,
+        /// Waiting lane.
+        lane: StreamId,
+    },
+}
+
+/// The append-only causal log. Obtain one live from
+/// [`crate::Executor::trace`] after [`crate::Executor::enable_tracing`],
+/// or build one by hand (via [`ExecTrace::push`]) to feed the sanitizer
+/// adversarial schedules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecTrace {
+    records: Vec<TraceRecord>,
+}
+
+impl ExecTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ExecTrace::default()
+    }
+
+    /// Appends a record in program order. Called by the executor and
+    /// dispatcher while tracing; public so tests can assemble
+    /// adversarial traces the instrumented engine would never emit.
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in program order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_preserves_program_order() {
+        let mut t = ExecTrace::new();
+        assert!(t.is_empty());
+        t.push(TraceRecord::Fork {
+            at: DurationNs::ZERO,
+        });
+        t.push(TraceRecord::EventRecord {
+            event: 0,
+            lane: StreamId::Copy,
+            at: DurationNs::from_nanos(5),
+        });
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.records()[0], TraceRecord::Fork { .. }));
+        assert!(matches!(
+            t.records()[1],
+            TraceRecord::EventRecord {
+                event: 0,
+                lane: StreamId::Copy,
+                ..
+            }
+        ));
+    }
+}

@@ -97,6 +97,7 @@ fn sort_charge_matches_cost_estimator() {
 }
 
 #[test]
+#[allow(clippy::cast_possible_truncation)] // rounded scaled charges fit u64
 fn representative_scale_multiplies_the_charge_exactly() {
     let (m, k, n) = (8, 16, 8);
     let scale = 37.0;

@@ -22,6 +22,8 @@
 //! price the work the way the paper observed it (irregular memory access
 //! on the CPU).
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod event;
 mod graph;

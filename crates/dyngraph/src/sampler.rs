@@ -170,6 +170,7 @@ impl TemporalAdjacency {
             return (0, 0);
         }
         let idx = times.partition_point(|&x| x < t);
+        #[allow(clippy::cast_possible_truncation)] // log2 of a length fits u64
         let steps = (times.len() as f64).log2().ceil() as u64 + 1;
         (idx, steps)
     }
@@ -255,7 +256,10 @@ impl NeighborSampler {
                 // gather walks forward — the "node index sorting" the
                 // paper mentions.
                 idx.sort_unstable();
-                cost.ops += (k as f64 * (k.max(2) as f64).log2()) as u64;
+                #[allow(clippy::cast_possible_truncation)] // k·log₂k op count fits u64
+                {
+                    cost.ops += (k as f64 * (k.max(2) as f64).log2()) as u64;
+                }
                 idx.into_iter().map(pick).collect()
             }
         };

@@ -21,6 +21,8 @@
 //! the host while the simulated timing reflects the real workload. Every
 //! run returns a deterministic checksum over the representative outputs.
 
+#![forbid(unsafe_code)]
+
 mod astgnn;
 mod common;
 mod dyrep;

@@ -149,7 +149,7 @@ impl DgnnModel for MolDgnn {
             let mut staging = DoubleBuffer::new();
             let mut step = 0usize;
             // Representative per-molecule LSTM state, resident on device.
-            let mut state = self.lstm.zero_state_scaled(&dx, rep, mol_scale);
+            let mut state = self.lstm.zero_state_scaled(&mut dx, rep, mol_scale);
             for _ in 0..cfg.max_units.max(1) {
                 for frame in 0..frames {
                     // 1. Adjacency assembly on CPU + H2D of the batch.

@@ -16,6 +16,8 @@
 //! [`dgnn_device::Executor::model_init`] — the quantities that drive the
 //! paper's warm-up accounting.
 
+#![forbid(unsafe_code)]
+
 mod attention;
 mod embedding;
 mod gcn;

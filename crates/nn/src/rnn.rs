@@ -172,13 +172,13 @@ impl LstmCell {
     /// Zero state for a batch of `b`, resident on the compute device
     /// (recurrent state lives where the kernels run — it never crosses
     /// PCIe between steps).
-    pub fn zero_state(&self, dx: &Dispatcher, b: usize) -> LstmState {
+    pub fn zero_state(&self, dx: &mut Dispatcher, b: usize) -> LstmState {
         self.zero_state_scaled(dx, b, 1.0)
     }
 
     /// [`LstmCell::zero_state`] for a representative batch of `b`
     /// physical rows standing in for `scale × b` logical rows.
-    pub fn zero_state_scaled(&self, dx: &Dispatcher, b: usize, scale: f64) -> LstmState {
+    pub fn zero_state_scaled(&self, dx: &mut Dispatcher, b: usize, scale: f64) -> LstmState {
         (
             dx.adopt(Tensor::zeros(&[b, self.hidden]), scale),
             dx.adopt(Tensor::zeros(&[b, self.hidden]), scale),
@@ -324,7 +324,7 @@ mod tests {
         let cell = LstmCell::new(5, 7, &mut rng);
         let mut ex = ex();
         let mut dx = Dispatcher::new(&mut ex);
-        let (h0, c0) = cell.zero_state(&dx, 2);
+        let (h0, c0) = cell.zero_state(&mut dx, 2);
         let x = dt(TensorRng::seed(5).init(&[2, 5], Initializer::Normal(1.0)));
         let (h1, c1) = cell
             .forward(&mut dx, &x, &(h0.clone(), c0.clone()))

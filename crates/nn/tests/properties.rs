@@ -89,7 +89,7 @@ fn recurrent_cells_bound_their_state() {
         let lstm = LstmCell::new(i, h, &mut rng);
         let mut ex3 = cpu();
         let mut dx3 = Dispatcher::new(&mut ex3);
-        let state = lstm.zero_state(&dx3, b);
+        let state = lstm.zero_state(&mut dx3, b);
         let (hh, cc) = lstm.forward(&mut dx3, &x, &state).unwrap();
         assert!(hh.data().all_finite() && cc.data().all_finite());
         assert!(hh.data().as_slice().iter().all(|v| v.abs() <= 1.0));

@@ -17,6 +17,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
+
 pub use dgnn_datasets as datasets;
 pub use dgnn_device as device;
 pub use dgnn_graph as graph;
