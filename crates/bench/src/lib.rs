@@ -16,6 +16,7 @@
 //! | §4.4 warm-up ratios           | `warmup_ratios` |
 //! | §4.1 utilization summary      | `util_summary` |
 //! | §5 / Fig 10 optimizations     | `ablation_optimizations` |
+//! | §4.4 amortized (serving)      | `serve_sweep` |
 
 #![forbid(unsafe_code)]
 
@@ -150,6 +151,37 @@ pub fn default_config(name: &str) -> InferenceConfig {
         "dyrep" | "ldg_mlp" | "ldg_bilinear" => base.with_batch_size(64).with_max_units(2),
         _ => base.with_max_units(8), // EvolveGCN: snapshots
     }
+}
+
+/// A serving-ready replica handle for `name`: rebuilds the model (with
+/// its paper dataset at `scale`) identically on every call, which is
+/// exactly the contract `dgnn-serve` replicas need.
+///
+/// # Panics
+///
+/// Panics on an unknown name (same contract as [`build_model`]).
+pub fn replica_handle(name: &str, scale: Scale, seed: u64) -> dgnn_models::ReplicaHandle {
+    let _ = build_model(name, scale, seed); // validate the name eagerly
+    let owned = name.to_string();
+    dgnn_models::ReplicaHandle::new(name, move || build_model(&owned, scale, seed))
+}
+
+/// A uniformly-weighted serving mix over `names`, each model bound to
+/// its paper dataset at `scale` and its paper inference configuration
+/// capped at one unit per request.
+///
+/// # Panics
+///
+/// Panics on an unknown name (same contract as [`build_model`]).
+pub fn served_zoo(names: &[&str], scale: Scale, seed: u64) -> Vec<dgnn_serve::ServedModel> {
+    names
+        .iter()
+        .map(|name| dgnn_serve::ServedModel {
+            handle: replica_handle(name, scale, seed),
+            cfg: default_config(name).with_max_units(1),
+            weight: 1.0,
+        })
+        .collect()
 }
 
 /// Result of one measured run.

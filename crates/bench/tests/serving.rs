@@ -1,0 +1,59 @@
+//! Cross-validation of the serving path against the single-run harness:
+//! with micro-batching disabled (window 0) and a single warm replica,
+//! serving N single-model requests must reproduce — bit for bit — the
+//! numerics of N independent `measure_sanitized` runs.
+//!
+//! This pins down the core amortization claim: the warm pool changes
+//! *when* warm-up is priced, never *what* the model computes.
+
+use dgnn_bench::{build_model, default_config, measure_sanitized, served_zoo};
+use dgnn_datasets::Scale;
+use dgnn_device::{DurationNs, ExecMode, PlatformSpec};
+use dgnn_serve::{serve, ServeConfig};
+
+#[test]
+fn window_zero_pool_one_matches_sequential_runs() {
+    const N: usize = 5;
+    const SEED: u64 = 3;
+
+    let cfg = ServeConfig {
+        seed: 17,
+        n_requests: N,
+        arrival_rate_rps: 40.0,
+        batch_window: DurationNs::ZERO, // every request its own batch
+        max_batch: 1,
+        pool_size: 1,
+        queue_bound: 64,
+        mode: ExecMode::Gpu,
+        trace: true,
+        spec: PlatformSpec::default(),
+    };
+    let outcome = serve(&cfg, &served_zoo(&["jodie"], Scale::Tiny, SEED));
+    assert_eq!(outcome.report.served, N, "nothing may shed at this rate");
+    assert_eq!(outcome.report.batches, N, "window 0 must not batch");
+    assert_eq!(
+        outcome.report.cold_services, 0,
+        "single-model mix is all-warm"
+    );
+
+    // The serving timeline itself must be hazard-free.
+    let audit = dgnn_analysis::audit(&outcome.sessions[0]);
+    assert!(audit.is_clean(), "served session has hazards: {audit:?}");
+
+    let run_cfg = default_config("jodie").with_max_units(1);
+    for (i, batch) in outcome.batches.iter().enumerate() {
+        let mut model = build_model("jodie", Scale::Tiny, SEED);
+        let (report, run) = measure_sanitized(model.as_mut(), ExecMode::Gpu, &run_cfg);
+        assert!(report.is_clean(), "sequential run {i} has hazards");
+        assert_eq!(
+            batch.summary.checksum.to_bits(),
+            run.summary.checksum.to_bits(),
+            "request {i}: served checksum must equal the sequential run's"
+        );
+        assert_eq!(
+            batch.summary.inference_time, run.summary.inference_time,
+            "request {i}: priced inference time must be identical"
+        );
+        assert_eq!(batch.summary.iterations, run.summary.iterations);
+    }
+}

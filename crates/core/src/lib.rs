@@ -17,6 +17,9 @@
 //!   bottleneck classes from a profile;
 //! * [`InferenceProfile`] — one-call capture of all of the above from an
 //!   [`dgnn_device::Executor`];
+//! * [`LatencyStats`] / [`ServicePhases`] — tail-latency order
+//!   statistics and per-request phase decomposition for the serving
+//!   subsystem (`dgnn-serve`);
 //! * [`pipeline`] — schedule re-simulation for the §5 optimization
 //!   proposals (e.g. Fig 10's pipelined EvolveGCN);
 //! * [`chrome_trace`] — Chrome-trace/Perfetto export of the timeline
@@ -37,6 +40,7 @@
 mod bottleneck;
 mod breakdown;
 mod kernels;
+mod latency;
 pub mod pipeline;
 mod report;
 mod tablefmt;
@@ -47,6 +51,7 @@ mod warmup;
 pub use bottleneck::{BottleneckClassifier, BottleneckFinding, BottleneckKind, Thresholds};
 pub use breakdown::{Breakdown, BreakdownEntry};
 pub use kernels::{kernel_summary, render_kernel_summary, KernelStat};
+pub use latency::{LatencyStats, ServicePhases};
 pub use report::InferenceProfile;
 pub use tablefmt::TextTable;
 pub use trace::chrome_trace;

@@ -210,6 +210,25 @@ impl Operand for DeviceTensor {
 /// Executes tensor math while charging the owning [`Executor`] for every
 /// kernel and residence crossing. Create one per inference pass (or per
 /// scope) with [`Dispatcher::new`].
+///
+/// The first op that consumes a host-resident tensor in GPU mode prices
+/// its H2D upload automatically; the result is adopted device-resident,
+/// so chained ops cross PCIe only once per buffer:
+///
+/// ```
+/// use dgnn_device::{Dispatcher, DeviceTensor, ExecMode, Executor, PlatformSpec};
+/// use dgnn_tensor::Tensor;
+///
+/// let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+/// let mut d = Dispatcher::new(&mut ex);
+/// let a = DeviceTensor::host(Tensor::ones(&[4, 8]));
+/// let b = DeviceTensor::host(Tensor::ones(&[8, 2]));
+/// let y = d.matmul("proj", &a, &b)?;          // prices 2 uploads + 1 GEMM
+/// let z = d.relu("act", &y);                  // y is already resident: no copy
+/// assert_eq!(z.data().dims(), &[4, 2]);
+/// assert_eq!(ex.timeline().transfer_count(None), 2);
+/// # Ok::<(), dgnn_tensor::TensorError>(())
+/// ```
 #[derive(Debug)]
 pub struct Dispatcher<'a> {
     ex: &'a mut Executor,

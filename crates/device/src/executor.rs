@@ -73,6 +73,21 @@ impl ScopeRecord {
 /// The simulated runtime: prices kernels, host work, transfers and warm-up
 /// against the [`PlatformSpec`], advancing a virtual clock and recording a
 /// timeline plus profiler scopes.
+///
+/// ```
+/// use dgnn_device::{ExecMode, Executor, HostWork, KernelDesc, PlatformSpec, TransferDir};
+///
+/// let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+/// ex.scope("inference", |ex| {
+///     ex.host(HostWork::irregular("sampling", 10_000, 1 << 16));
+///     ex.transfer(TransferDir::H2D, 1 << 16);
+///     ex.launch(KernelDesc::gemm("attn", 128, 64, 128)); // pays context init first
+/// });
+/// // Everything was priced on one serial clock and recorded in order.
+/// assert_eq!(ex.timeline().len(), 4);
+/// assert_eq!(ex.now(), ex.timeline().span_end());
+/// assert_eq!(ex.scopes().len(), 1);
+/// ```
 #[derive(Debug)]
 pub struct Executor {
     spec: PlatformSpec,
@@ -226,6 +241,32 @@ impl Executor {
     /// Forks the timeline into the three execution lanes, each starting at
     /// the current serial clock. Until [`Executor::join_streams`], work
     /// issued inside [`Executor::on_stream`] advances only its lane.
+    ///
+    /// Cross-lane ordering is expressed with [`Executor::record_event`] /
+    /// [`Executor::wait_event`]; the join advances the serial clock to
+    /// the forked region's makespan:
+    ///
+    /// ```
+    /// use dgnn_device::{ExecMode, Executor, HostWork, KernelDesc, PlatformSpec, StreamId};
+    ///
+    /// let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    /// ex.ensure_context(); // pay warm-up outside the forked region
+    /// ex.fork_streams();
+    /// let sampled = ex.on_stream(StreamId::Host, |ex| {
+    ///     ex.host(HostWork::irregular("sample", 50_000, 1 << 18));
+    ///     ex.record_event(StreamId::Host)
+    /// });
+    /// // The kernel must not start before sampling finished…
+    /// ex.wait_event(StreamId::Compute, sampled);
+    /// let host_done = ex.stream_now(StreamId::Host);
+    /// ex.on_stream(StreamId::Compute, |ex| {
+    ///     ex.launch(KernelDesc::gemm("attn", 128, 64, 128));
+    /// });
+    /// let end = ex.join_streams();
+    /// // …so the makespan covers sampling plus the kernel.
+    /// assert!(end > host_done);
+    /// assert_eq!(ex.now(), end);
+    /// ```
     ///
     /// # Panics
     ///
@@ -474,6 +515,28 @@ impl Executor {
             0,
         );
         d
+    }
+
+    /// Whether the (simulated) CUDA context has already been
+    /// initialized — `true` from construction in CPU-only mode, and
+    /// after the first GPU activity otherwise.
+    ///
+    /// A serving layer uses this to distinguish a *warm session* (an
+    /// executor reused across requests, context and weights already
+    /// paid for) from a *cold start* that will pay
+    /// [`Executor::ensure_context`] and [`Executor::model_init`] on its
+    /// first priced action:
+    ///
+    /// ```
+    /// use dgnn_device::{ExecMode, Executor, KernelDesc, PlatformSpec};
+    ///
+    /// let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+    /// assert!(!ex.context_ready()); // cold: first launch pays init
+    /// ex.launch(KernelDesc::gemm("k", 8, 8, 8));
+    /// assert!(ex.context_ready()); // warm: reuse amortizes the cost
+    /// ```
+    pub fn context_ready(&self) -> bool {
+        self.context_ready
     }
 
     /// Performs model initialization: allocates and uploads `weight_bytes`

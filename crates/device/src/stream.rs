@@ -38,6 +38,13 @@ use crate::time::DurationNs;
 static NEXT_FORK_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// One of the three execution lanes of the pipelined engine.
+///
+/// ```
+/// use dgnn_device::StreamId;
+///
+/// assert_eq!(StreamId::ALL.len(), 3);
+/// assert_eq!(StreamId::Copy.name(), "copy");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StreamId {
     /// Host-side preprocessing lane (CPU sampling, batch/snapshot prep).

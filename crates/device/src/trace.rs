@@ -151,6 +151,20 @@ pub enum TraceRecord {
 /// [`crate::Executor::trace`] after [`crate::Executor::enable_tracing`],
 /// or build one by hand (via [`ExecTrace::push`]) to feed the sanitizer
 /// adversarial schedules.
+///
+/// ```
+/// use dgnn_device::{ExecMode, Executor, PlatformSpec, TraceRecord, TransferDir};
+///
+/// let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
+/// ex.enable_tracing();
+/// ex.transfer(TransferDir::H2D, 4096);
+/// let trace = ex.trace().expect("tracing is on");
+/// // The priced transfer has a causal twin in the log.
+/// assert!(trace.records().iter().any(|r| matches!(
+///     r,
+///     TraceRecord::Priced { dir: TransferDir::H2D, bytes: 4096, .. }
+/// )));
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecTrace {
     records: Vec<TraceRecord>,

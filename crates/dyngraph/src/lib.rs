@@ -13,7 +13,9 @@
 //!   neighbor history with bisection lookup, and [`NeighborSampler`]
 //!   implementing TGAT-style temporal neighbor sampling (most-recent and
 //!   uniform) with deterministic parallel batch APIs (see [`par`]);
-//! * [`TBatcher`] — JODIE's t-batch parallelization algorithm;
+//! * [`TBatcher`] — JODIE's t-batch parallelization algorithm, and
+//!   [`WindowBatcher`] — the arrival-time micro-batching rule the
+//!   `dgnn-serve` admission queue applies per model;
 //! * [`snapshots_from_events`] — sliding-window snapshot extraction for
 //!   discrete-time models.
 //!
@@ -41,7 +43,7 @@ pub use event::{EventStream, TemporalEvent};
 pub use graph::Graph;
 pub use sampler::{NeighborSampler, SampleStrategy, SampledNeighbor, TemporalAdjacency};
 pub use snapshot::{snapshots_from_events, Snapshot, SnapshotSequence};
-pub use tbatch::{TBatch, TBatcher};
+pub use tbatch::{MicroBatch, TBatch, TBatcher, WindowBatcher};
 
 /// Node identifier (dense index into the node table).
 pub type NodeId = usize;

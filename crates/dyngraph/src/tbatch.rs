@@ -71,6 +71,123 @@ impl TBatcher {
     }
 }
 
+/// One micro-batch produced by [`WindowBatcher::partition`]: a
+/// contiguous run of time-ordered items plus the instant the batch
+/// closed (became dispatchable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroBatch {
+    /// Index of the first member in the originating arrival slice.
+    pub start: usize,
+    /// Number of members.
+    pub len: usize,
+    /// Virtual time (ns) at which assembly closed: the anchor arrival
+    /// plus the window, or the arrival of the capacity-filling member,
+    /// whichever comes first.
+    pub ready_ns: u64,
+}
+
+impl MicroBatch {
+    /// Member indices as a range into the arrival slice.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Time-window micro-batching for dynamic admission queues.
+///
+/// Where [`TBatcher`] groups *interactions* by node-conflict freedom
+/// (JODIE's t-batch), `WindowBatcher` groups *requests* by arrival
+/// time: a batch is anchored at its first member's arrival and closes
+/// either when `window_ns` has elapsed since the anchor or when
+/// `max_batch` members have accumulated, whichever comes first. This is
+/// the dynamic micro-batching rule inference servers use to trade
+/// per-request latency for amortized per-invocation overhead, and the
+/// rule `dgnn-serve`'s admission queue applies per model.
+///
+/// With `window_ns == 0` every item forms its own batch — the
+/// degenerate configuration under which a serving layer must be
+/// indistinguishable from sequential execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowBatcher {
+    /// Maximum time (ns) a batch head may wait for companions.
+    pub window_ns: u64,
+    /// Maximum members per batch (capacity close).
+    pub max_batch: usize,
+}
+
+impl WindowBatcher {
+    /// Creates a batcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch` is zero.
+    pub fn new(window_ns: u64, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        WindowBatcher {
+            window_ns,
+            max_batch,
+        }
+    }
+
+    /// The instant a batch anchored at `anchor_ns` must close even if
+    /// under capacity.
+    pub fn deadline(&self, anchor_ns: u64) -> u64 {
+        anchor_ns + self.window_ns
+    }
+
+    /// Whether a queue of `len` members fills a batch.
+    pub fn is_full(&self, len: usize) -> bool {
+        len >= self.max_batch
+    }
+
+    /// Greedily partitions time-ordered `arrivals_ns` into micro-batches.
+    ///
+    /// Each batch is anchored at the first unassigned arrival; members
+    /// are the subsequent arrivals within the window, capped at
+    /// `max_batch`. The partition depends only on the arrival sequence —
+    /// it is the closed-form equivalent of feeding the arrivals through
+    /// the incremental [`WindowBatcher::deadline`] /
+    /// [`WindowBatcher::is_full`] admission rules with no admission
+    /// backlog, which `dgnn-serve` cross-validates in its tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arrivals_ns` is not sorted ascending.
+    pub fn partition(&self, arrivals_ns: &[u64]) -> Vec<MicroBatch> {
+        assert!(
+            arrivals_ns.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be time-ordered"
+        );
+        let mut batches = Vec::new();
+        let mut start = 0usize;
+        while start < arrivals_ns.len() {
+            let anchor = arrivals_ns[start];
+            let deadline = self.deadline(anchor);
+            let mut len = 1usize;
+            while start + len < arrivals_ns.len()
+                && len < self.max_batch
+                && arrivals_ns[start + len] <= deadline
+            {
+                len += 1;
+            }
+            let ready_ns = if len == self.max_batch {
+                // Capacity close: dispatchable the instant the last
+                // member arrived.
+                arrivals_ns[start + len - 1]
+            } else {
+                deadline
+            };
+            batches.push(MicroBatch {
+                start,
+                len,
+                ready_ns,
+            });
+            start += len;
+        }
+        batches
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,5 +273,64 @@ mod tests {
         let (batches, ops) = TBatcher::new().build(&[]);
         assert!(batches.is_empty());
         assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn zero_window_yields_singleton_batches() {
+        let b = WindowBatcher::new(0, 8);
+        let batches = b.partition(&[5, 10, 11, 40]);
+        assert_eq!(batches.len(), 4);
+        for (i, mb) in batches.iter().enumerate() {
+            assert_eq!(mb.len, 1);
+            assert_eq!(mb.start, i);
+            assert_eq!(mb.ready_ns, [5, 10, 11, 40][i]);
+        }
+    }
+
+    #[test]
+    fn window_close_waits_out_the_deadline() {
+        let b = WindowBatcher::new(100, 8);
+        let batches = b.partition(&[0, 30, 90, 150]);
+        // First three arrive within [0, 100]; the fourth anchors anew.
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].indices(), 0..3);
+        assert_eq!(batches[0].ready_ns, 100);
+        assert_eq!(batches[1].indices(), 3..4);
+        assert_eq!(batches[1].ready_ns, 250);
+    }
+
+    #[test]
+    fn capacity_close_fires_before_the_deadline() {
+        let b = WindowBatcher::new(1_000, 2);
+        let batches = b.partition(&[0, 10, 20, 30]);
+        assert_eq!(batches.len(), 2);
+        // Full batches become ready at their last member's arrival.
+        assert_eq!(batches[0].ready_ns, 10);
+        assert_eq!(batches[1].ready_ns, 30);
+    }
+
+    #[test]
+    fn partition_covers_every_item_once() {
+        let arrivals: Vec<u64> = (0..57)
+            .map(|i| i * 13 % 400)
+            .scan(0, |acc, x| {
+                *acc += x;
+                Some(*acc)
+            })
+            .collect();
+        let b = WindowBatcher::new(500, 5);
+        let batches = b.partition(&arrivals);
+        let total: usize = batches.iter().map(|m| m.len).sum();
+        assert_eq!(total, arrivals.len());
+        for w in batches.windows(2) {
+            assert_eq!(w[0].start + w[0].len, w[1].start, "contiguous coverage");
+            assert!(w[0].ready_ns <= w[1].ready_ns, "ready times are monotone");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unsorted_arrivals_are_rejected() {
+        WindowBatcher::new(10, 2).partition(&[5, 3]);
     }
 }

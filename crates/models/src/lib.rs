@@ -33,6 +33,7 @@ mod ldg;
 mod moldgnn;
 pub mod optim;
 mod registry;
+mod replica;
 mod tgat;
 mod tgn;
 
@@ -48,6 +49,7 @@ pub use jodie::{Jodie, JodieConfig};
 pub use ldg::{Ldg, LdgConfig, LdgEncoder};
 pub use moldgnn::{MolDgnn, MolDgnnConfig};
 pub use registry::{all_model_infos, EvolvingParts, ModelInfo, ModelKind};
+pub use replica::{ModelFactory, ReplicaHandle};
 pub use tgat::{Tgat, TgatConfig};
 pub use tgn::{Tgn, TgnConfig};
 

@@ -1,0 +1,236 @@
+//! Aggregated serving statistics: the serving analogue of the paper's
+//! Table 2, extended with tail latency.
+//!
+//! The profiled frameworks report a single end-to-end inference time;
+//! a serving layer must decompose each request's latency into the
+//! stations it waited at:
+//!
+//! ```text
+//! latency = assembly (arrival → batch close)
+//!         + queue wait (batch close → service start)
+//!         + service (warm-up + sampling + compute + transfer)
+//! ```
+//!
+//! and report *order statistics* over requests, because the §4.4
+//! warm-up cost shows up as cold-start spikes at the tail, not in the
+//! mean.
+
+use dgnn_device::DurationNs;
+use dgnn_models::RunSummary;
+use dgnn_profile::{LatencyStats, ServicePhases, TextTable};
+
+use crate::workload::Request;
+use crate::ServeConfig;
+
+/// Per-request serving record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedRequest {
+    /// Request id (arrival order).
+    pub id: usize,
+    /// Mix index of the requested model.
+    pub model: usize,
+    /// Arrival time.
+    pub arrival: DurationNs,
+    /// Index of the batch (in dispatch order) that carried the request.
+    pub batch: usize,
+    /// When the batch closed (window expiry or capacity).
+    pub assembled: DurationNs,
+    /// When the batch started on a replica.
+    pub started: DurationNs,
+    /// When the service completed.
+    pub completed: DurationNs,
+    /// Whether the service paid a cold-start model swap.
+    pub cold: bool,
+}
+
+impl ServedRequest {
+    /// End-to-end latency: arrival → completion.
+    pub fn latency(&self) -> DurationNs {
+        self.completed - self.arrival
+    }
+
+    /// Batch-assembly wait: arrival → batch close.
+    pub fn assembly_wait(&self) -> DurationNs {
+        self.assembled - self.arrival
+    }
+
+    /// Queue wait: batch close → service start.
+    pub fn queue_wait(&self) -> DurationNs {
+        self.started - self.assembled
+    }
+
+    /// Service time: start → completion.
+    pub fn service_time(&self) -> DurationNs {
+        self.completed - self.started
+    }
+}
+
+/// Per-batch serving record.
+#[derive(Debug, Clone)]
+pub struct ServedBatch {
+    /// Mix index of the batch's model.
+    pub model: usize,
+    /// Member request ids, in arrival order.
+    pub requests: Vec<usize>,
+    /// When the batch closed.
+    pub ready: DurationNs,
+    /// When it started on a replica.
+    pub started: DurationNs,
+    /// When it completed.
+    pub completed: DurationNs,
+    /// Whether the service paid a cold-start model swap.
+    pub cold: bool,
+    /// Replica slot that served it.
+    pub replica: usize,
+    /// Busy-time phase decomposition of the service span.
+    pub phases: ServicePhases,
+    /// The model-reported inference summary.
+    pub summary: RunSummary,
+}
+
+/// Aggregated statistics over one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests generated (offered load).
+    pub offered: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests rejected by backpressure.
+    pub shed: usize,
+    /// Batches dispatched.
+    pub batches: usize,
+    /// Services that paid a model swap (cold starts, post-provisioning).
+    pub cold_services: usize,
+    /// Services that hit a resident model (warm).
+    pub warm_services: usize,
+    /// Replica pool size.
+    pub pool_size: usize,
+    /// Warm-up paid once at provisioning time, across slots.
+    pub provision: ServicePhases,
+    /// Busy-time phases summed over all services.
+    pub service_phases: ServicePhases,
+    /// End-to-end latency statistics (served requests).
+    pub latency: LatencyStats,
+    /// Batch-assembly wait statistics.
+    pub assembly: LatencyStats,
+    /// Queue-wait statistics.
+    pub queue_wait: LatencyStats,
+    /// Service-time statistics.
+    pub service: LatencyStats,
+    /// Last completion time (provisioning included).
+    pub makespan: DurationNs,
+    /// Served requests per simulated second of makespan.
+    pub throughput_rps: f64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+}
+
+impl ServeReport {
+    /// Builds the report from the raw serving records.
+    pub fn build(
+        cfg: &ServeConfig,
+        offered: &[Request],
+        served: &[ServedRequest],
+        shed: &[Request],
+        batches: &[ServedBatch],
+        provision: &ServicePhases,
+        cold_services: usize,
+    ) -> Self {
+        let latencies: Vec<DurationNs> = served.iter().map(ServedRequest::latency).collect();
+        let assembly: Vec<DurationNs> = served.iter().map(ServedRequest::assembly_wait).collect();
+        let queueing: Vec<DurationNs> = served.iter().map(ServedRequest::queue_wait).collect();
+        let service: Vec<DurationNs> = served.iter().map(ServedRequest::service_time).collect();
+
+        let mut service_phases = ServicePhases::default();
+        for b in batches {
+            service_phases.accumulate(&b.phases);
+        }
+
+        let makespan = batches
+            .iter()
+            .map(|b| b.completed)
+            .max()
+            .unwrap_or(DurationNs::ZERO);
+        let throughput_rps = if makespan.as_nanos() == 0 {
+            0.0
+        } else {
+            served.len() as f64 / makespan.as_secs_f64()
+        };
+        let mean_batch_size = if batches.is_empty() {
+            0.0
+        } else {
+            served.len() as f64 / batches.len() as f64
+        };
+
+        ServeReport {
+            offered: offered.len(),
+            served: served.len(),
+            shed: shed.len(),
+            batches: batches.len(),
+            cold_services,
+            warm_services: batches.len() - cold_services,
+            pool_size: cfg.pool_size,
+            provision: *provision,
+            service_phases,
+            latency: LatencyStats::from_durations(&latencies),
+            assembly: LatencyStats::from_durations(&assembly),
+            queue_wait: LatencyStats::from_durations(&queueing),
+            service: LatencyStats::from_durations(&service),
+            makespan,
+            throughput_rps,
+            mean_batch_size,
+        }
+    }
+
+    /// Warm-up share of all busy time, provisioning included — the
+    /// amortized counterpart of the paper's Table 2 ratio.
+    pub fn warmup_share(&self) -> f64 {
+        let warm = self.provision.warmup + self.service_phases.warmup;
+        let total = self.provision.total() + self.service_phases.total();
+        if total.as_nanos() == 0 {
+            return 0.0;
+        }
+        warm.as_nanos() as f64 / total.as_nanos() as f64
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self, title: &str) -> String {
+        let ms = |d: DurationNs| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let mut t = TextTable::new(
+            title,
+            &["metric", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)"],
+        );
+        for (name, s) in [
+            ("latency", &self.latency),
+            ("assembly", &self.assembly),
+            ("queue wait", &self.queue_wait),
+            ("service", &self.service),
+        ] {
+            t.row(&[
+                name.to_string(),
+                ms(s.p50),
+                ms(s.p95),
+                ms(s.p99),
+                ms(s.mean),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "requests: {} offered, {} served, {} shed | batches: {} (mean size {:.2}) | \
+             services: {} cold / {} warm | pool: {} | warm-up share: {:.1}% | \
+             throughput: {:.1} rps | makespan: {:.1} ms\n",
+            self.offered,
+            self.served,
+            self.shed,
+            self.batches,
+            self.mean_batch_size,
+            self.cold_services,
+            self.warm_services,
+            self.pool_size,
+            self.warmup_share() * 100.0,
+            self.throughput_rps,
+            self.makespan.as_secs_f64() * 1e3,
+        ));
+        out
+    }
+}

@@ -1,0 +1,324 @@
+//! The serving event loop: a deterministic discrete-event simulation.
+//!
+//! Requests flow through four stations, every timestamp an integer
+//! virtual nanosecond:
+//!
+//! ```text
+//! arrival ──▶ per-model admission queue ──▶ ready FIFO ──▶ replica
+//!              (WindowBatcher close rule)   (dispatch)     (service)
+//! ```
+//!
+//! * **Admission**: an arriving request is shed if the number of
+//!   admitted-but-unstarted requests has reached the queue bound;
+//!   otherwise it joins its model's queue. A batch closes when the
+//!   window since its head's arrival expires or the batch fills
+//!   ([`WindowBatcher`]'s rule).
+//! * **Dispatch**: closed batches wait in one FIFO; whenever a replica
+//!   frees up, the earliest batch that *can* start is assigned with
+//!   model affinity ([`crate::WarmPool::pick`]): a free slot holding
+//!   its model (warm hit), waiting out a busy resident slot instead of
+//!   evicting a peer, or the least-recently-used free slot when the
+//!   model is resident nowhere (cold start).
+//! * **Service**: the batch runs on the slot's session executor
+//!   ([`crate::WarmPool::service`]); the slot is busy until the
+//!   simulated service duration elapses.
+//!
+//! Event ordering is total: keys are `(time, kind-priority, sequence)`
+//! with replica releases before arrivals before batch closes at equal
+//! times, so a freed slot is reusable by a same-instant arrival and a
+//! zero-window batch closes after its own arrival. No hash map
+//! participates in any decision — identical inputs replay identical
+//! schedules bit for bit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dgnn_device::DurationNs;
+use dgnn_graph::WindowBatcher;
+
+use crate::pool::WarmPool;
+use crate::report::{ServeReport, ServedBatch, ServedRequest};
+use crate::workload::{generate, Request};
+use crate::{ServeConfig, ServedModel};
+
+/// Event kinds, in tie-break priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A replica finished its service (or its provisioning).
+    ReplicaFree(usize),
+    /// A request arrives.
+    Arrival(usize),
+    /// A batch window expires for a model queue; the token guards
+    /// against firing on a queue that already closed by capacity.
+    BatchClose { model: usize, token: u64 },
+}
+
+impl Ev {
+    fn priority(&self) -> u8 {
+        match self {
+            Ev::ReplicaFree(_) => 0,
+            Ev::Arrival(_) => 1,
+            Ev::BatchClose { .. } => 2,
+        }
+    }
+}
+
+/// Everything a serving run produced: the report plus the raw records
+/// and the replica sessions for post-hoc auditing.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Aggregated statistics.
+    pub report: ServeReport,
+    /// Per-request records of served requests, in arrival order.
+    pub requests: Vec<ServedRequest>,
+    /// Requests rejected by backpressure, in arrival order.
+    pub shed: Vec<Request>,
+    /// Per-batch service records, in dispatch order.
+    pub batches: Vec<ServedBatch>,
+    /// One session executor per replica slot, in slot order. Audit
+    /// them with `dgnn_analysis::audit` when tracing was enabled.
+    pub sessions: Vec<dgnn_device::Executor>,
+}
+
+/// A closed batch waiting for a replica.
+#[derive(Debug)]
+struct PendingBatch {
+    model: usize,
+    members: Vec<usize>,
+    ready: DurationNs,
+}
+
+/// Runs the serving simulation to completion.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (empty mix, zero pool/rate) or
+/// when a model service fails.
+pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
+    assert!(!zoo.is_empty(), "model mix must not be empty");
+    let weights: Vec<f64> = zoo.iter().map(|m| m.weight).collect();
+    let requests = generate(cfg.seed, cfg.n_requests, cfg.arrival_rate_rps, &weights);
+    let batcher = WindowBatcher::new(cfg.batch_window.as_nanos(), cfg.max_batch);
+
+    let mut pool = WarmPool::new(cfg.pool_size, cfg.spec.clone(), cfg.mode, cfg.trace);
+
+    // Event queue: (time, priority, seq) → event. BTreeMap gives a
+    // deterministic total order.
+    let mut events: BTreeMap<(u64, u8, u64), Ev> = BTreeMap::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BTreeMap<(u64, u8, u64), Ev>, seq: &mut u64, t: DurationNs, ev: Ev| {
+        *seq += 1;
+        events.insert((t.as_nanos(), ev.priority(), *seq), ev);
+    };
+
+    // Provision the pool at t = 0; slots free when their init completes.
+    for (slot, done) in pool.provision(zoo).into_iter().enumerate() {
+        push(&mut events, &mut seq, done, Ev::ReplicaFree(slot));
+    }
+    let provision = pool.provision_phases();
+
+    for r in &requests {
+        push(&mut events, &mut seq, r.arrival, Ev::Arrival(r.id));
+    }
+
+    // Per-model admission queues + open-batch window tokens.
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); zoo.len()];
+    let mut open_token: Vec<Option<u64>> = vec![None; zoo.len()];
+    let mut ready: VecDeque<PendingBatch> = VecDeque::new();
+    let mut queued = 0usize; // admitted but not yet dispatched
+
+    let mut served: Vec<ServedRequest> = Vec::new();
+    let mut shed: Vec<Request> = Vec::new();
+    let mut batches: Vec<ServedBatch> = Vec::new();
+    let mut dispatch_seq = 0u64;
+
+    while let Some((&key, &ev)) = events.iter().next() {
+        events.remove(&key);
+        let now = DurationNs::from_nanos(key.0);
+        match ev {
+            Ev::Arrival(id) => {
+                let req = requests[id];
+                if queued >= cfg.queue_bound {
+                    shed.push(req);
+                    continue;
+                }
+                queued += 1;
+                let q = &mut queues[req.model];
+                q.push_back(id);
+                if batcher.is_full(q.len()) {
+                    // Capacity close: dispatchable immediately.
+                    open_token[req.model] = None;
+                    close_batch(req.model, now, &mut queues, &mut ready, &batcher);
+                    try_dispatch(
+                        now,
+                        cfg,
+                        zoo,
+                        &mut pool,
+                        &mut ready,
+                        &mut queued,
+                        &mut dispatch_seq,
+                        &requests,
+                        &mut served,
+                        &mut batches,
+                        &mut events,
+                        &mut seq,
+                    );
+                } else if q.len() == 1 {
+                    // New anchor: schedule the window close.
+                    seq += 1;
+                    let token = seq;
+                    open_token[req.model] = Some(token);
+                    let deadline = DurationNs::from_nanos(batcher.deadline(now.as_nanos()));
+                    let ev = Ev::BatchClose {
+                        model: req.model,
+                        token,
+                    };
+                    events.insert((deadline.as_nanos(), ev.priority(), token), ev);
+                }
+            }
+            Ev::BatchClose { model, token } => {
+                if open_token[model] != Some(token) {
+                    continue; // stale: the batch already closed by capacity
+                }
+                open_token[model] = None;
+                close_batch(model, now, &mut queues, &mut ready, &batcher);
+                try_dispatch(
+                    now,
+                    cfg,
+                    zoo,
+                    &mut pool,
+                    &mut ready,
+                    &mut queued,
+                    &mut dispatch_seq,
+                    &requests,
+                    &mut served,
+                    &mut batches,
+                    &mut events,
+                    &mut seq,
+                );
+            }
+            Ev::ReplicaFree(slot) => {
+                pool.mark_free(slot);
+                try_dispatch(
+                    now,
+                    cfg,
+                    zoo,
+                    &mut pool,
+                    &mut ready,
+                    &mut queued,
+                    &mut dispatch_seq,
+                    &requests,
+                    &mut served,
+                    &mut batches,
+                    &mut events,
+                    &mut seq,
+                );
+            }
+        }
+    }
+
+    assert!(
+        ready.is_empty() && queues.iter().all(VecDeque::is_empty),
+        "serving loop terminated with work still queued"
+    );
+
+    served.sort_by_key(|r| r.id);
+    let report = ServeReport::build(
+        cfg,
+        &requests,
+        &served,
+        &shed,
+        &batches,
+        &provision,
+        pool.cold_starts(),
+    );
+    ServeOutcome {
+        report,
+        requests: served,
+        shed,
+        batches,
+        sessions: pool.into_sessions(),
+    }
+}
+
+/// Drains up to one batch from a model queue into the ready FIFO.
+fn close_batch(
+    model: usize,
+    now: DurationNs,
+    queues: &mut [VecDeque<usize>],
+    ready: &mut VecDeque<PendingBatch>,
+    batcher: &WindowBatcher,
+) {
+    let q = &mut queues[model];
+    debug_assert!(!q.is_empty(), "closing an empty batch");
+    let take = q.len().min(batcher.max_batch);
+    let members: Vec<usize> = q.drain(..take).collect();
+    ready.push_back(PendingBatch {
+        model,
+        members,
+        ready: now,
+    });
+}
+
+/// Starts ready batches on free replicas (FIFO with affinity skip).
+#[allow(clippy::too_many_arguments)] // event-loop state is deliberately flat
+fn try_dispatch(
+    now: DurationNs,
+    cfg: &ServeConfig,
+    zoo: &[ServedModel],
+    pool: &mut WarmPool,
+    ready: &mut VecDeque<PendingBatch>,
+    queued: &mut usize,
+    dispatch_seq: &mut u64,
+    requests: &[Request],
+    served: &mut Vec<ServedRequest>,
+    batches: &mut Vec<ServedBatch>,
+    events: &mut BTreeMap<(u64, u8, u64), Ev>,
+    seq: &mut u64,
+) {
+    // Earliest-ready batch that can start now. Affinity can block the
+    // head (its model's slot is busy) without blocking later batches
+    // whose slots are free; within one model, ready order is FIFO so
+    // requests never overtake each other.
+    while let Some((pos, slot)) = ready
+        .iter()
+        .enumerate()
+        .find_map(|(i, b)| pool.pick(b.model).map(|(slot, _cold)| (i, slot)))
+    {
+        let batch = ready.remove(pos).expect("index from enumerate");
+        *dispatch_seq += 1;
+        let record = pool.service(slot, batch.model, zoo, batch.members.len(), *dispatch_seq);
+        let completed = now + record.duration;
+        *queued -= batch.members.len();
+
+        let batch_id = batches.len();
+        for &id in &batch.members {
+            served.push(ServedRequest {
+                id,
+                model: batch.model,
+                arrival: requests[id].arrival,
+                batch: batch_id,
+                assembled: batch.ready,
+                started: now,
+                completed,
+                cold: record.cold,
+            });
+        }
+        batches.push(ServedBatch {
+            model: batch.model,
+            requests: batch.members,
+            ready: batch.ready,
+            started: now,
+            completed,
+            cold: record.cold,
+            replica: record.replica,
+            phases: record.phases,
+            summary: record.summary,
+        });
+        *seq += 1;
+        events.insert(
+            (completed.as_nanos(), Ev::ReplicaFree(slot).priority(), *seq),
+            Ev::ReplicaFree(slot),
+        );
+        let _ = cfg;
+    }
+}

@@ -1,0 +1,125 @@
+//! Deterministic request-stream generation.
+//!
+//! Arrivals follow a Poisson process: inter-arrival gaps are drawn from
+//! an exponential distribution via inverse-transform sampling on a
+//! seeded [`TensorRng`], then rounded to integer (≥ 1) virtual
+//! nanoseconds so two requests never share an instant and every
+//! downstream computation stays bit-deterministic. Each request is
+//! independently assigned a model from a weighted mix.
+
+use dgnn_device::DurationNs;
+use dgnn_tensor::TensorRng;
+
+/// One inference request: a query for one unit of work (one mini-batch
+/// at the target model's configured batch size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Dense request id (arrival order).
+    pub id: usize,
+    /// Index into the served model mix.
+    pub model: usize,
+    /// Virtual arrival time.
+    pub arrival: DurationNs,
+}
+
+/// Generates `n` requests at `rate_rps` expected arrivals per simulated
+/// second, with models drawn from `weights` (need not be normalized).
+///
+/// # Panics
+///
+/// Panics when `rate_rps` is not positive, `weights` is empty, or the
+/// weights sum to zero.
+pub fn generate(seed: u64, n: usize, rate_rps: f64, weights: &[f64]) -> Vec<Request> {
+    assert!(
+        rate_rps > 0.0 && rate_rps.is_finite(),
+        "arrival rate must be positive"
+    );
+    assert!(!weights.is_empty(), "model mix must not be empty");
+    let total_weight: f64 = weights.iter().sum();
+    assert!(total_weight > 0.0, "model mix weights must sum > 0");
+
+    // Distinct RNG streams for gaps and mix assignment keep the two
+    // decisions independent of each other's draw counts.
+    let mut gap_rng = TensorRng::seed(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5e2e);
+    let mut mix_rng = TensorRng::seed(seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ 0x313a);
+
+    let mut t_ns = 0u64;
+    (0..n)
+        .map(|id| {
+            // Exponential gap: -ln(1 - u) / rate, u ∈ [0, 1).
+            let u = gap_rng.unit_f64();
+            let gap_s = -(1.0 - u).ln() / rate_rps;
+            #[allow(clippy::cast_possible_truncation)] // gaps are ≪ u64::MAX ns
+            #[allow(clippy::cast_sign_loss)] // gap_s ≥ 0 by construction
+            let gap_ns = ((gap_s * 1e9).round() as u64).max(1);
+            t_ns += gap_ns;
+
+            let mut pick = mix_rng.unit_f64() * total_weight;
+            let mut model = weights.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    model = i;
+                    break;
+                }
+                pick -= w;
+            }
+            Request {
+                id,
+                model,
+                arrival: DurationNs::from_nanos(t_ns),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let reqs = generate(7, 500, 1_000.0, &[1.0, 1.0]);
+        assert_eq!(reqs.len(), 500);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival < w[1].arrival);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 200, 50.0, &[3.0, 1.0]);
+        let b = generate(42, 200, 50.0, &[3.0, 1.0]);
+        assert_eq!(a, b);
+        let c = generate(43, 200, 50.0, &[3.0, 1.0]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_rate() {
+        let rate = 100.0; // 10 ms expected gap
+        let reqs = generate(1, 2_000, rate, &[1.0]);
+        let mean_gap_s = reqs.last().unwrap().arrival.as_secs_f64() / reqs.len() as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean_gap_s - expected).abs() < expected * 0.15,
+            "mean gap {mean_gap_s} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn mix_respects_weights() {
+        let reqs = generate(9, 4_000, 1_000.0, &[3.0, 1.0]);
+        let first = reqs.iter().filter(|r| r.model == 0).count();
+        let share = first as f64 / reqs.len() as f64;
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "model 0 share {share} should be ≈ 0.75"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_is_rejected() {
+        generate(1, 10, 0.0, &[1.0]);
+    }
+}

@@ -14,6 +14,8 @@
 //! * [`graph`] — dynamic-graph substrate (events, snapshots, sampling)
 //! * [`datasets`] — synthetic dataset generators
 //! * [`models`] — the eight profiled DGNNs and optimization ablations
+//! * [`serve`] — deterministic simulated inference serving (arrivals,
+//!   micro-batching, warm replica pool, tail-latency reports)
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -25,4 +27,5 @@ pub use dgnn_graph as graph;
 pub use dgnn_models as models;
 pub use dgnn_nn as nn;
 pub use dgnn_profile as profile;
+pub use dgnn_serve as serve;
 pub use dgnn_tensor as tensor;
