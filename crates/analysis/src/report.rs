@@ -4,7 +4,8 @@ use std::fmt;
 
 use dgnn_device::TensorId;
 
-/// The six hazard classes the sanitizer checks (see `DESIGN.md` §3e).
+/// The seven hazard classes the sanitizer checks (see `DESIGN.md` §3e
+/// for RULE1–RULE6 and §3g for RULE7).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HazardRule {
     /// A device-side read of a tensor whose defining H2D upload (or
@@ -29,20 +30,28 @@ pub enum HazardRule {
     /// reference computed from the timeline (per-event sums double-count
     /// overlapping kernels).
     BusyFraction,
+    /// A streaming-graph sample that reads a delta region not
+    /// happens-before-ordered after the append that wrote it: the
+    /// snapshot's visible prefix contains an append whose Host-lane
+    /// work completes after the read begins (or was never logged at
+    /// all), or the ingest watermark / visibility instants regressed
+    /// across appends.
+    SampleAfterAppend,
 }
 
 impl HazardRule {
     /// All rules, in report order.
-    pub const ALL: [HazardRule; 6] = [
+    pub const ALL: [HazardRule; 7] = [
         HazardRule::ReadBeforeTransfer,
         HazardRule::UseAfterRelease,
         HazardRule::MissingWait,
         HazardRule::ClockMonotonicity,
         HazardRule::ByteConservation,
         HazardRule::BusyFraction,
+        HazardRule::SampleAfterAppend,
     ];
 
-    /// Stable rule identifier (`RULE1`..`RULE6`).
+    /// Stable rule identifier (`RULE1`..`RULE7`).
     pub fn id(self) -> &'static str {
         match self {
             HazardRule::ReadBeforeTransfer => "RULE1",
@@ -51,6 +60,7 @@ impl HazardRule {
             HazardRule::ClockMonotonicity => "RULE4",
             HazardRule::ByteConservation => "RULE5",
             HazardRule::BusyFraction => "RULE6",
+            HazardRule::SampleAfterAppend => "RULE7",
         }
     }
 
@@ -63,6 +73,7 @@ impl HazardRule {
             HazardRule::ClockMonotonicity => "clock-monotonicity",
             HazardRule::ByteConservation => "byte-conservation",
             HazardRule::BusyFraction => "busy-fraction",
+            HazardRule::SampleAfterAppend => "sample-after-append",
         }
     }
 
@@ -97,6 +108,12 @@ impl HazardRule {
                 "compute busy fractions as an interval union over the \
                  window (gpu_busy_fraction), never as a per-event duration \
                  sum, which double-counts overlapping kernels"
+            }
+            HazardRule::SampleAfterAppend => {
+                "cap the sampled snapshot at the events whose append work \
+                 completed by the read's start (view_prefix over the \
+                 visibility watermark), append in ingest order, and never \
+                 let the watermark or visibility instants move backwards"
             }
         }
     }
@@ -161,6 +178,10 @@ pub struct SanitizeStats {
     pub crossings: usize,
     /// Priced PCIe bytes, indexed `[H2D, D2H]`.
     pub priced_bytes: [u64; 2],
+    /// Streaming-graph appends replayed (RULE7 coverage).
+    pub graph_appends: usize,
+    /// Streaming-graph sample reads replayed (RULE7 coverage).
+    pub graph_samples: usize,
 }
 
 /// The sanitizer's verdict over one recorded execution.
@@ -195,7 +216,8 @@ impl fmt::Display for SanitizerReport {
         writeln!(
             f,
             "sanitizer: {} hazard(s) over {} trace records, {} timeline \
-             events, {} tensors, {} fork(s), {} crossing(s), {} B H2D / {} B D2H priced",
+             events, {} tensors, {} fork(s), {} crossing(s), {} B H2D / {} B D2H priced, \
+             {} graph append(s) / {} sample(s)",
             self.hazards.len(),
             s.trace_records,
             s.timeline_events,
@@ -204,6 +226,8 @@ impl fmt::Display for SanitizerReport {
             s.crossings,
             s.priced_bytes[0],
             s.priced_bytes[1],
+            s.graph_appends,
+            s.graph_samples,
         )?;
         for h in &self.hazards {
             writeln!(f, "  {h}")?;
@@ -221,8 +245,11 @@ mod tests {
         let ids: Vec<&str> = HazardRule::ALL.iter().map(|r| r.id()).collect();
         assert_eq!(
             ids,
-            vec!["RULE1", "RULE2", "RULE3", "RULE4", "RULE5", "RULE6"]
+            vec!["RULE1", "RULE2", "RULE3", "RULE4", "RULE5", "RULE6", "RULE7"]
         );
+        let slugs: Vec<&str> = HazardRule::ALL.iter().map(|r| r.slug()).collect();
+        assert_eq!(slugs.len(), 7);
+        assert!(slugs.contains(&"sample-after-append"));
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!   matches its timeline event.
 //! * **RULE6 busy-fraction** — a claimed GPU busy fraction must match
 //!   the interval-union reference recomputed from the timeline.
+//! * **RULE7 sample-after-append** (`DESIGN.md` §3g) — a streaming-graph
+//!   sample must be happens-before-ordered after every append inside
+//!   its visible prefix (append logged earlier in program order *and*
+//!   its Host-lane work complete by the read's start), and the ingest
+//!   watermark / visibility instants must be monotone across appends.
 
 use std::collections::{HashMap, HashSet};
 
@@ -94,6 +99,27 @@ impl WriteKind {
     }
 }
 
+/// One observed streaming-graph append (RULE7 replay state).
+#[derive(Debug, Clone, Copy)]
+struct AppendSeen {
+    /// Running maximum of `visible_at` over the append prefix ending
+    /// here — the instant by which the whole prefix is readable.
+    visible_by: DurationNs,
+    /// Trace record index of the append.
+    record: usize,
+}
+
+/// Per-store replay state (RULE7).
+#[derive(Debug, Default)]
+struct StoreState {
+    /// Appends in program order, indexed by global event index.
+    appends: Vec<AppendSeen>,
+    /// Watermark bits of the latest append (timestamps are monotone).
+    last_time_bits: Option<u64>,
+    /// Visibility instant of the latest append.
+    last_visible_at: DurationNs,
+}
+
 /// Per-buffer replay state.
 #[derive(Debug, Default)]
 struct TensorState {
@@ -127,6 +153,12 @@ struct Sanitizer<'a> {
     fork_origin: DurationNs,
     /// Last `record_event` timestamp per lane within the active fork.
     last_record_at: [Option<DurationNs>; 3],
+    /// Streaming-graph stores observed so far (RULE7).
+    stores: HashMap<u64, StoreState>,
+    /// Dedup for store-attributed hazards: one report per (store, kind).
+    store_reported: HashSet<(u64, &'static str)>,
+    graph_appends: usize,
+    graph_samples: usize,
 }
 
 impl<'a> Sanitizer<'a> {
@@ -147,7 +179,35 @@ impl<'a> Sanitizer<'a> {
             last_serial_time: DurationNs::ZERO,
             fork_origin: DurationNs::ZERO,
             last_record_at: [None; 3],
+            stores: HashMap::new(),
+            store_reported: HashSet::new(),
+            graph_appends: 0,
+            graph_samples: 0,
         }
+    }
+
+    /// RULE7 hazard with per-(store, kind) dedup — one report per
+    /// failure kind per store, mirroring the tensor-attributed rules.
+    fn store_hazard(
+        &mut self,
+        store: u64,
+        kind: &'static str,
+        message: String,
+        lanes: Vec<&'static str>,
+        records: Vec<usize>,
+        events: Vec<usize>,
+    ) {
+        if !self.store_reported.insert((store, kind)) {
+            return;
+        }
+        self.hazard(
+            HazardRule::SampleAfterAppend,
+            message,
+            lanes,
+            records,
+            events,
+            None,
+        );
     }
 
     fn push(&mut self, hazard: Hazard) {
@@ -573,6 +633,135 @@ impl<'a> Sanitizer<'a> {
                         );
                     }
                 }
+                TraceRecord::GraphAppend {
+                    store,
+                    event,
+                    time_bits,
+                    visible_at,
+                    lane,
+                    at_event,
+                } => {
+                    let _node = self.engine.issue(*lane, i, *at_event);
+                    self.graph_appends += 1;
+                    let lane_name = component_name(component(*lane));
+                    let st = self.stores.entry(*store).or_default();
+                    let expected = st.appends.len();
+                    let last_time_bits = st.last_time_bits;
+                    let last_visible_at = st.last_visible_at;
+                    if *event != expected {
+                        let msg = format!(
+                            "store {store} append logged event index {event} but \
+                             {expected} event(s) were appended before it — appends \
+                             must arrive dense and in ingest order"
+                        );
+                        self.store_hazard(
+                            *store,
+                            "append-order",
+                            msg,
+                            vec![lane_name],
+                            vec![i],
+                            vec![*at_event],
+                        );
+                    }
+                    let time = f64::from_bits(*time_bits);
+                    if let Some(prev_bits) = last_time_bits {
+                        let prev = f64::from_bits(prev_bits);
+                        // `partial_cmp` so a NaN watermark (incomparable)
+                        // is also flagged as a regression.
+                        let ok = matches!(
+                            time.partial_cmp(&prev),
+                            Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                        );
+                        if !ok {
+                            let msg = format!(
+                                "store {store} ingest watermark regressed: event {event} \
+                                 carries timestamp {time} after an append at {prev}"
+                            );
+                            self.store_hazard(
+                                *store,
+                                "watermark",
+                                msg,
+                                vec![lane_name],
+                                vec![i],
+                                vec![*at_event],
+                            );
+                        }
+                    }
+                    if *visible_at < last_visible_at {
+                        let msg = format!(
+                            "store {store} visibility instant regressed: event {event} \
+                             becomes visible at {} ns after an append visible at {} ns",
+                            visible_at.as_nanos(),
+                            last_visible_at.as_nanos()
+                        );
+                        self.store_hazard(
+                            *store,
+                            "visibility-monotone",
+                            msg,
+                            vec![lane_name],
+                            vec![i],
+                            vec![*at_event],
+                        );
+                    }
+                    let st = self.stores.entry(*store).or_default();
+                    let visible_by = st.last_visible_at.max(*visible_at);
+                    st.appends.push(AppendSeen {
+                        visible_by,
+                        record: i,
+                    });
+                    st.last_time_bits = Some(*time_bits);
+                    st.last_visible_at = visible_by;
+                }
+                TraceRecord::GraphSample {
+                    store,
+                    visible,
+                    at,
+                    lane,
+                    at_event,
+                } => {
+                    let _node = self.engine.issue(*lane, i, *at_event);
+                    self.graph_samples += 1;
+                    let lane_name = component_name(component(*lane));
+                    let st = self.stores.entry(*store).or_default();
+                    let appended = st.appends.len();
+                    let newest = visible
+                        .checked_sub(1)
+                        .and_then(|last| st.appends.get(last))
+                        .copied();
+                    if *visible > appended {
+                        let msg = format!(
+                            "store {store} sample exposes {visible} event(s) but only \
+                             {appended} append(s) were ever logged — the snapshot reads \
+                             a delta region no append wrote"
+                        );
+                        self.store_hazard(
+                            *store,
+                            "sample-beyond-append",
+                            msg,
+                            vec![lane_name],
+                            vec![i],
+                            vec![*at_event],
+                        );
+                    } else if let Some(a) = newest {
+                        if a.visible_by > *at {
+                            let msg = format!(
+                                "store {store} sample at {} ns reads a {visible}-event \
+                                 prefix whose newest append only completes at {} ns — \
+                                 the read is not happens-before-ordered after the append",
+                                at.as_nanos(),
+                                a.visible_by.as_nanos()
+                            );
+                            self.store_hazard(
+                                *store,
+                                "sample-before-visible",
+                                msg,
+                                vec![lane_name],
+                                vec![i, a.record],
+                                vec![*at_event],
+                            );
+                        }
+                    }
+                }
             }
         }
         if self.engine.forked {
@@ -739,8 +928,9 @@ fn reference_busy_fraction(timeline: &Timeline, win_start: DurationNs, win_end: 
 /// A clean report means: every device read is ordered after its defining
 /// transfer, no buffer is used after download/release, all conflicting
 /// cross-lane accesses are event-ordered, clocks are monotone, staged
-/// bytes are conserved, and (when a claim is supplied) the busy fraction
-/// is consistent with the timeline.
+/// bytes are conserved, (when a claim is supplied) the busy fraction is
+/// consistent with the timeline, and every streaming-graph sample reads
+/// only append prefixes whose ingest work completed before the read.
 pub fn sanitize(timeline: &Timeline, trace: &ExecTrace, opts: &SanitizeOptions) -> SanitizerReport {
     let mut s = Sanitizer::new(timeline);
     s.replay(trace);
@@ -756,6 +946,8 @@ pub fn sanitize(timeline: &Timeline, trace: &ExecTrace, opts: &SanitizeOptions) 
         forks: s.forks,
         crossings: s.crossings,
         priced_bytes: s.priced,
+        graph_appends: s.graph_appends,
+        graph_samples: s.graph_samples,
     };
     SanitizerReport {
         hazards: s.hazards,

@@ -1,6 +1,6 @@
 //! Adversarial and known-good traces for the timeline sanitizer.
 //!
-//! Every one of the six hazard rules is exercised with at least one
+//! Every one of the seven hazard rules is exercised with at least one
 //! hand-built trace that MUST be flagged, and the clean twins (plus real
 //! executor sessions) MUST pass. This is the regression net that keeps
 //! the checker honest in both directions: no missed hazards, no false
@@ -587,4 +587,135 @@ fn audit_panics_without_tracing() {
     let ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
     let result = std::panic::catch_unwind(|| audit(&ex));
     assert!(result.is_err(), "audit must refuse an untraced executor");
+}
+
+// ---------------------------------------------------------------------
+// RULE7 sample-after-append
+// ---------------------------------------------------------------------
+
+fn graph_append(store: u64, event: usize, time: f64, visible_at: u64) -> TraceRecord {
+    TraceRecord::GraphAppend {
+        store,
+        event,
+        time_bits: time.to_bits(),
+        visible_at: ns(visible_at),
+        lane: None,
+        at_event: 0,
+    }
+}
+
+fn graph_sample(store: u64, visible: usize, at: u64) -> TraceRecord {
+    TraceRecord::GraphSample {
+        store,
+        visible,
+        at: ns(at),
+        lane: None,
+        at_event: 0,
+    }
+}
+
+#[test]
+fn rule7_sample_before_append_completes_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(7, 0, 1.0, 100));
+    trace.push(graph_append(7, 1, 2.0, 250));
+    // The snapshot exposes both events, but the second append's ingest
+    // work only completes at 250 ns — reading at 120 ns races it.
+    trace.push(graph_sample(7, 2, 120));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+    assert_eq!(report.stats.graph_appends, 2);
+    assert_eq!(report.stats.graph_samples, 1);
+}
+
+#[test]
+fn rule7_clean_twin_sample_after_visibility_passes() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(7, 0, 1.0, 100));
+    trace.push(graph_append(7, 1, 2.0, 250));
+    // Same schedule, but the read starts once the prefix is visible —
+    // and an earlier read that caps its prefix at the visible watermark.
+    trace.push(graph_sample(7, 1, 120));
+    trace.push(graph_sample(7, 2, 250));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.graph_samples, 2);
+}
+
+#[test]
+fn rule7_sample_beyond_appended_region_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(3, 0, 1.0, 10));
+    // Claims to read 2 events; only 1 was ever appended.
+    trace.push(graph_sample(3, 2, 500));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+#[test]
+fn rule7_watermark_regression_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(9, 0, 5.0, 10));
+    // Timestamp moves backwards: the ingest watermark regressed.
+    trace.push(graph_append(9, 1, 4.0, 20));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+#[test]
+fn rule7_visibility_regression_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(11, 0, 1.0, 300));
+    // A later append claims to become visible before an earlier one.
+    trace.push(graph_append(11, 1, 2.0, 200));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+#[test]
+fn rule7_out_of_order_append_index_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(13, 0, 1.0, 10));
+    // Event index 2 arrives while only 1 append was logged — a gap.
+    trace.push(graph_append(13, 2, 2.0, 20));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+#[test]
+fn rule7_stores_are_tracked_independently() {
+    let mut trace = ExecTrace::new();
+    trace.push(graph_append(1, 0, 1.0, 100));
+    trace.push(graph_append(2, 0, 1.0, 900));
+    // Store 1's event is visible at 100 ns; store 2's only at 900 ns.
+    trace.push(graph_sample(1, 1, 150));
+    trace.push(graph_sample(2, 1, 150));
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+#[test]
+fn rule7_real_executor_ingest_session_is_clean() {
+    use dgnn_device::HostWork;
+
+    let mut ex = Executor::new(PlatformSpec::paper_testbed(), ExecMode::Gpu);
+    ex.enable_tracing();
+    // Priced ingest loop: each append is Host-lane work; the event
+    // becomes visible when that work completes on the session clock.
+    for i in 0..4usize {
+        ex.host(HostWork {
+            label: "graph_append",
+            ops: 8,
+            seq_bytes: 64,
+            irregular_bytes: 128,
+            parallelism: 1,
+        });
+        ex.trace_graph_append(1, i, (i as f64).to_bits(), ex.now());
+    }
+    // A sample issued after all appends completed reads the full prefix.
+    ex.trace_graph_sample(1, 4, ex.now());
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.graph_appends, 4);
+    assert_eq!(report.stats.graph_samples, 1);
 }

@@ -207,6 +207,52 @@ impl Executor {
         }
     }
 
+    /// Logs one streaming-graph append: ingest event `event` of store
+    /// `store` (timestamp bits `time_bits`) became readable at
+    /// `visible_at` on this session's clock. Called by the serving
+    /// layer after pricing the append's Host-lane work; a no-op while
+    /// tracing is off. `dgnn-analysis` RULE7 checks that watermarks and
+    /// visibility are monotone and that samples over a prefix are
+    /// ordered after every append inside it.
+    pub fn trace_graph_append(
+        &mut self,
+        store: u64,
+        event: usize,
+        time_bits: u64,
+        visible_at: DurationNs,
+    ) {
+        let at_event = self.timeline.len();
+        let lane = self.current_stream;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::GraphAppend {
+                store,
+                event,
+                time_bits,
+                visible_at,
+                lane,
+                at_event,
+            });
+        }
+    }
+
+    /// Logs one streaming-graph sampling read: a snapshot exposing the
+    /// first `visible` events of store `store`, read starting at `at`
+    /// on this session's clock. Called by the serving layer when it
+    /// prices query sampling; a no-op while tracing is off.
+    pub fn trace_graph_sample(&mut self, store: u64, visible: usize, at: DurationNs) {
+        let at_event = self.timeline.len();
+        let lane = self.current_stream;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::GraphSample {
+                store,
+                visible,
+                at,
+                lane,
+                at_event,
+            });
+        }
+    }
+
     /// Current simulated time on the serial clock. Inside a stream fork
     /// this is the fork origin; lanes are queried with
     /// [`Executor::stream_now`] and folded back by

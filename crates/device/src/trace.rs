@@ -145,6 +145,41 @@ pub enum TraceRecord {
         /// Waiting lane.
         lane: StreamId,
     },
+    /// One event appended to a streaming graph store (delta-log CSR).
+    /// The appended region becomes readable once the Host-lane append
+    /// work completes at `visible_at`; a later sample over a prefix
+    /// containing `event` must be ordered at or after that instant.
+    GraphAppend {
+        /// Identity of the streaming store (its session-unique id).
+        store: u64,
+        /// Global index of the ingested event (dense, in-order).
+        event: usize,
+        /// Bit pattern of the event's `f64` timestamp — the ingest
+        /// watermark, which must be monotone across appends.
+        time_bits: u64,
+        /// Session-clock instant the append work completed (the event
+        /// becomes visible to samplers).
+        visible_at: DurationNs,
+        /// Issuing lane (`None` = serial clock).
+        lane: Option<StreamId>,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
+    /// A sampling read over the first `visible` events of a streaming
+    /// graph store, issued at session-clock instant `at`. Every append
+    /// inside the visible prefix must happen-before this read.
+    GraphSample {
+        /// Identity of the streaming store.
+        store: u64,
+        /// Events the sampled snapshot exposes (prefix length).
+        visible: usize,
+        /// Session-clock instant the read began.
+        at: DurationNs,
+        /// Issuing lane (`None` = serial clock).
+        lane: Option<StreamId>,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
 }
 
 /// The append-only causal log. Obtain one live from

@@ -13,6 +13,11 @@
 //!   neighbor history with bisection lookup, and [`NeighborSampler`]
 //!   implementing TGAT-style temporal neighbor sampling (most-recent and
 //!   uniform) with deterministic parallel batch APIs (see [`par`]);
+//! * [`StreamingAdjacency`] — the appendable two-tier variant (immutable
+//!   CSR base + delta log with deterministic threshold compaction) for
+//!   queries racing live ingestion; its borrowed [`StreamingView`]
+//!   snapshot and the frozen CSR both implement [`TemporalView`], the
+//!   read interface every sampler method is written against;
 //! * [`TBatcher`] — JODIE's t-batch parallelization algorithm, and
 //!   [`WindowBatcher`] — the arrival-time micro-batching rule the
 //!   `dgnn-serve` admission queue applies per model;
@@ -26,6 +31,7 @@
 
 #![forbid(unsafe_code)]
 
+mod delta;
 mod error;
 mod event;
 mod graph;
@@ -38,10 +44,13 @@ pub use dgnn_tensor::par;
 mod snapshot;
 mod tbatch;
 
+pub use delta::{AppendReceipt, IngestCost, StreamingAdjacency, StreamingView};
 pub use error::GraphError;
 pub use event::{EventStream, TemporalEvent};
 pub use graph::Graph;
-pub use sampler::{NeighborSampler, SampleStrategy, SampledNeighbor, TemporalAdjacency};
+pub use sampler::{
+    NeighborSampler, SampleCost, SampleStrategy, SampledNeighbor, TemporalAdjacency, TemporalView,
+};
 pub use snapshot::{snapshots_from_events, Snapshot, SnapshotSequence};
 pub use tbatch::{MicroBatch, TBatch, TBatcher, WindowBatcher};
 

@@ -15,6 +15,12 @@
 //! whole history is one contiguous slice and bisection/gathers walk
 //! contiguous memory instead of chasing `Vec<Vec<…>>` pointers.
 //!
+//! Sampling itself is written against the [`TemporalView`] trait — the
+//! minimal read interface (degree, entry gather, strict-lower-bound
+//! bisection) — so the same code serves the frozen CSR and the two-tier
+//! streaming store (`StreamingAdjacency`'s borrowed snapshot,
+//! [`crate::StreamingView`]) with byte-identical results and costs.
+//!
 //! # Determinism under parallelism
 //!
 //! Every sampling call derives its RNG stream from
@@ -176,6 +182,55 @@ impl TemporalAdjacency {
     }
 }
 
+/// The read interface sampling needs from a temporal adjacency: a row
+/// length, a random-access entry gather, and a strict-lower-bound
+/// bisection with its step count.
+///
+/// Implementors present each node's history as one logical time-sorted
+/// row `0..degree(node)`, whatever the physical layout — a contiguous
+/// frozen CSR row ([`TemporalAdjacency`]) or a base-prefix ++ delta-log
+/// composition ([`crate::StreamingView`]). Two views exposing the same
+/// logical rows produce byte-identical samples *and* byte-identical
+/// [`SampleCost`]s, because every cost term is derived from logical row
+/// lengths and counts, never from the physical layout.
+///
+/// `Sync` is required so the batch APIs can fan a borrowed view out
+/// across worker threads without cloning it.
+pub trait TemporalView: Sync {
+    /// Number of nodes indexed.
+    fn n_nodes(&self) -> usize;
+
+    /// Logical row length (total interactions) of `node`.
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// Entry `i` of `node`'s time-sorted row:
+    /// `(neighbor, time, edge-feature row)`.
+    fn entry(&self, node: NodeId, i: usize) -> (NodeId, f64, usize);
+
+    /// Number of interactions of `node` strictly before `t`, plus the
+    /// bisection comparison steps taken (zero for an empty row).
+    fn count_before(&self, node: NodeId, t: f64) -> (usize, u64);
+}
+
+impl TemporalView for TemporalAdjacency {
+    fn n_nodes(&self) -> usize {
+        TemporalAdjacency::n_nodes(self)
+    }
+
+    fn degree(&self, node: NodeId) -> usize {
+        TemporalAdjacency::degree(self, node)
+    }
+
+    fn entry(&self, node: NodeId, i: usize) -> (NodeId, f64, usize) {
+        let (neighbors, times, feature_idx) = self.row(node);
+        (neighbors[i], times[i], feature_idx[i])
+    }
+
+    fn count_before(&self, node: NodeId, t: f64) -> (usize, u64) {
+        TemporalAdjacency::count_before(self, node, t)
+    }
+}
+
 /// Draws temporal neighbor samples and accounts their CPU cost.
 ///
 /// All methods take `&self`: each call derives a private RNG stream from
@@ -216,14 +271,15 @@ impl NeighborSampler {
     }
 
     /// Samples up to `k` neighbors of `node` that interacted strictly
-    /// before `t`. Returns fewer than `k` (possibly zero) when the
+    /// before `t`, through any [`TemporalView`] (frozen CSR or streaming
+    /// snapshot). Returns fewer than `k` (possibly zero) when the
     /// eligible past is smaller — only for [`SampleStrategy::MostRecent`];
     /// uniform sampling draws with replacement and always returns `k`
     /// unless the past is empty. See [`SampleStrategy`] for the ordering
     /// contract.
-    pub fn sample(
+    pub fn sample<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         node: NodeId,
         t: f64,
         k: usize,
@@ -237,11 +293,13 @@ impl NeighborSampler {
         if eligible == 0 {
             return (Vec::new(), cost);
         }
-        let (neighbors, times, feature_idx) = adj.row(node);
-        let pick = |i: usize| SampledNeighbor {
-            node: neighbors[i],
-            time: times[i],
-            feature_idx: Some(feature_idx[i]),
+        let pick = |i: usize| {
+            let (node, time, feature_idx) = adj.entry(node, i);
+            SampledNeighbor {
+                node,
+                time,
+                feature_idx: Some(feature_idx),
+            }
         };
         let picked: Vec<SampledNeighbor> = match self.strategy {
             SampleStrategy::MostRecent => {
@@ -274,9 +332,9 @@ impl NeighborSampler {
     /// every node sampled at layer `l-1`. Returns the flattened frontier
     /// per layer (layer 0 = the roots, with `feature_idx: None`) and the
     /// accumulated cost.
-    pub fn sample_khop(
+    pub fn sample_khop<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         roots: &[(NodeId, f64)],
         ks: &[usize],
     ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
@@ -307,9 +365,11 @@ impl NeighborSampler {
     /// worker threads. Element `i` of the result is exactly what
     /// `self.sample(adj, roots[i].0, roots[i].1, k)` returns, and the
     /// cost is the sum over roots — byte-identical to the serial loop.
-    pub fn sample_batch(
+    /// The view is borrowed by the workers, never cloned — a streaming
+    /// snapshot fans out as cheaply as a frozen CSR.
+    pub fn sample_batch<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         roots: &[(NodeId, f64)],
         k: usize,
     ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
@@ -317,9 +377,9 @@ impl NeighborSampler {
     }
 
     /// [`NeighborSampler::sample_batch`] with an explicit thread cap.
-    pub fn sample_batch_threads(
+    pub fn sample_batch_threads<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         roots: &[(NodeId, f64)],
         k: usize,
         threads: usize,
@@ -343,9 +403,9 @@ impl NeighborSampler {
     /// serial pass also visits layer `l` root-subtree by root-subtree).
     /// Byte-identical samples and [`SampleCost`] to the serial call for
     /// any thread count.
-    pub fn sample_khop_batch(
+    pub fn sample_khop_batch<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         roots: &[(NodeId, f64)],
         ks: &[usize],
     ) -> (Vec<Vec<SampledNeighbor>>, SampleCost) {
@@ -353,9 +413,9 @@ impl NeighborSampler {
     }
 
     /// [`NeighborSampler::sample_khop_batch`] with an explicit thread cap.
-    pub fn sample_khop_batch_threads(
+    pub fn sample_khop_batch_threads<V: TemporalView + ?Sized>(
         &self,
-        adj: &TemporalAdjacency,
+        adj: &V,
         roots: &[(NodeId, f64)],
         ks: &[usize],
         threads: usize,

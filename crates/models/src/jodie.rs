@@ -8,6 +8,11 @@
 //! (Fig 5a). Because consecutive t-batches are data-dependent, the GPU
 //! runs many *small* kernels back to back — utilization stays at
 //! 1.5–2.5% despite t-batching.
+//!
+//! Under streaming serving the embedding state also advances at ingest
+//! time — see [`crate::IngestMemory`] with
+//! [`crate::MemoryRule::JodieRnn`], the serving-side twin of the RNN
+//! update applied per live event on the Host lane.
 
 use dgnn_datasets::TemporalDataset;
 use dgnn_device::{DeviceTensor, Dispatcher, Executor, HostWork};

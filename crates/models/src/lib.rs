@@ -30,6 +30,7 @@ mod error;
 mod evolvegcn;
 mod jodie;
 mod ldg;
+mod memory;
 mod moldgnn;
 pub mod optim;
 mod registry;
@@ -47,6 +48,7 @@ pub use error::ModelError;
 pub use evolvegcn::{EvolveGcn, EvolveGcnConfig, EvolveGcnVersion};
 pub use jodie::{Jodie, JodieConfig};
 pub use ldg::{Ldg, LdgConfig, LdgEncoder};
+pub use memory::{IngestMemory, MemoryRule};
 pub use moldgnn::{MolDgnn, MolDgnnConfig};
 pub use registry::{all_model_infos, EvolvingParts, ModelInfo, ModelKind};
 pub use replica::{ModelFactory, ReplicaHandle};

@@ -15,6 +15,12 @@
 //! batch size grows (Fig 6c). All kernels route through the
 //! [`Dispatcher`]; the memory exchange is expressed as staged
 //! [`DeviceTensor`]s whose residence crossings *are* the transfers.
+//!
+//! Under streaming serving the same per-node memory also advances on the
+//! ingest path — see [`crate::IngestMemory`] with
+//! [`crate::MemoryRule::TgnGru`], the serving-side twin of this model's
+//! GRU update, priced as Host-lane work so ingestion contends with
+//! query sampling.
 
 use dgnn_datasets::TemporalDataset;
 use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};

@@ -16,8 +16,12 @@
 //!   only per-run allocation, cold starts pay a model swap;
 //! * [`serve`] — the discrete-event loop tying it together, with
 //!   backpressure shedding at a queue bound;
+//! * [`serve_streaming`] — the same loop with queries racing live graph
+//!   ingestion: appends into a [`dgnn_graph::StreamingAdjacency`] delta
+//!   log, TGN/JODIE node-memory updates at ingest time, and per-request
+//!   **staleness** measurement against the visible snapshot;
 //! * [`ServeReport`] — p50/p95/p99 decomposition of request latency
-//!   into assembly, queue wait, and service phases.
+//!   into assembly, queue wait, service (and staleness) phases.
 //!
 //! Everything runs on the virtual clock: no wall-clock time, no thread
 //! scheduling, no hash-map iteration order anywhere in a decision path.
@@ -60,6 +64,7 @@
 mod pool;
 mod report;
 mod sim;
+mod streaming;
 pub mod workload;
 
 use dgnn_device::{DurationNs, ExecMode, PlatformSpec};
@@ -69,6 +74,10 @@ use dgnn_models::{InferenceConfig, ReplicaHandle};
 pub use pool::{Replica, ServiceRecord, WarmPool};
 pub use report::{ServeReport, ServedBatch, ServedRequest};
 pub use sim::{serve, ServeOutcome};
+pub use streaming::{
+    generate_ingest, mean_staleness_ms, serve_streaming, StreamingConfig, StreamingOutcome,
+    StreamingState,
+};
 pub use workload::Request;
 
 /// One entry in the served model mix: how to build the model, how to

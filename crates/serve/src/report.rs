@@ -41,6 +41,12 @@ pub struct ServedRequest {
     pub completed: DurationNs,
     /// Whether the service paid a cold-start model swap.
     pub cold: bool,
+    /// Freshness lag of the data the request was served with: virtual
+    /// time between the last ingest event visible to the sampled graph
+    /// snapshot and this request's arrival. Zero when the visibility
+    /// watermark had already passed the arrival instant — and always
+    /// zero for non-streaming runs and the frozen-graph baseline.
+    pub staleness: DurationNs,
 }
 
 impl ServedRequest {
@@ -117,6 +123,9 @@ pub struct ServeReport {
     pub queue_wait: LatencyStats,
     /// Service-time statistics.
     pub service: LatencyStats,
+    /// Staleness statistics (see [`ServedRequest::staleness`]); all
+    /// zeros outside streaming runs.
+    pub staleness: LatencyStats,
     /// Last completion time (provisioning included).
     pub makespan: DurationNs,
     /// Served requests per simulated second of makespan.
@@ -140,6 +149,7 @@ impl ServeReport {
         let assembly: Vec<DurationNs> = served.iter().map(ServedRequest::assembly_wait).collect();
         let queueing: Vec<DurationNs> = served.iter().map(ServedRequest::queue_wait).collect();
         let service: Vec<DurationNs> = served.iter().map(ServedRequest::service_time).collect();
+        let staleness: Vec<DurationNs> = served.iter().map(|r| r.staleness).collect();
 
         let mut service_phases = ServicePhases::default();
         for b in batches {
@@ -176,6 +186,7 @@ impl ServeReport {
             assembly: LatencyStats::from_durations(&assembly),
             queue_wait: LatencyStats::from_durations(&queueing),
             service: LatencyStats::from_durations(&service),
+            staleness: LatencyStats::from_durations(&staleness),
             makespan,
             throughput_rps,
             mean_batch_size,
@@ -205,6 +216,7 @@ impl ServeReport {
             ("assembly", &self.assembly),
             ("queue wait", &self.queue_wait),
             ("service", &self.service),
+            ("staleness", &self.staleness),
         ] {
             t.row(&[
                 name.to_string(),

@@ -24,11 +24,21 @@
 //!   simulated service duration elapses.
 //!
 //! Event ordering is total: keys are `(time, kind-priority, sequence)`
-//! with replica releases before arrivals before batch closes at equal
-//! times, so a freed slot is reusable by a same-instant arrival and a
-//! zero-window batch closes after its own arrival. No hash map
+//! with replica releases before arrivals before graph ingests before
+//! batch closes at equal times (`ReplicaFree < Arrival < Ingest <
+//! BatchClose`), so a freed slot is reusable by a same-instant arrival,
+//! a same-instant ingest is visible to the batch that closes then, and
+//! a zero-window batch closes after its own arrival. No hash map
 //! participates in any decision — identical inputs replay identical
 //! schedules bit for bit.
+//!
+//! In streaming mode ([`crate::serve_streaming`]) a fourth event class,
+//! [`Ev::Ingest`], feeds live edge events through the shared
+//! [`StreamingState`]: appends, memory updates and compactions are
+//! priced on the ingest clock, and every dispatched batch first pays a
+//! host-side sampling stage on that same clock before its replica
+//! service starts — the freshness-vs-latency contention the streaming
+//! benchmarks measure.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -37,6 +47,7 @@ use dgnn_graph::WindowBatcher;
 
 use crate::pool::WarmPool;
 use crate::report::{ServeReport, ServedBatch, ServedRequest};
+use crate::streaming::StreamingState;
 use crate::workload::{generate, Request};
 use crate::{ServeConfig, ServedModel};
 
@@ -47,6 +58,8 @@ enum Ev {
     ReplicaFree(usize),
     /// A request arrives.
     Arrival(usize),
+    /// A live graph event arrives for ingestion (streaming mode only).
+    Ingest(usize),
     /// A batch window expires for a model queue; the token guards
     /// against firing on a queue that already closed by capacity.
     BatchClose { model: usize, token: u64 },
@@ -57,7 +70,8 @@ impl Ev {
         match self {
             Ev::ReplicaFree(_) => 0,
             Ev::Arrival(_) => 1,
-            Ev::BatchClose { .. } => 2,
+            Ev::Ingest(_) => 2,
+            Ev::BatchClose { .. } => 3,
         }
     }
 }
@@ -94,6 +108,16 @@ struct PendingBatch {
 /// Panics on an invalid configuration (empty mix, zero pool/rate) or
 /// when a model service fails.
 pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
+    serve_with_streaming(cfg, zoo, None)
+}
+
+/// The full event loop, optionally threading live-ingestion state
+/// (entry point: [`crate::serve_streaming`]).
+pub(crate) fn serve_with_streaming(
+    cfg: &ServeConfig,
+    zoo: &[ServedModel],
+    mut streaming: Option<&mut StreamingState>,
+) -> ServeOutcome {
     assert!(!zoo.is_empty(), "model mix must not be empty");
     let weights: Vec<f64> = zoo.iter().map(|m| m.weight).collect();
     let requests = generate(cfg.seed, cfg.n_requests, cfg.arrival_rate_rps, &weights);
@@ -118,6 +142,11 @@ pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
 
     for r in &requests {
         push(&mut events, &mut seq, r.arrival, Ev::Arrival(r.id));
+    }
+    if let Some(state) = streaming.as_deref() {
+        for (i, &at) in state.ingest_arrivals().iter().enumerate() {
+            push(&mut events, &mut seq, at, Ev::Ingest(i));
+        }
     }
 
     // Per-model admission queues + open-batch window tokens.
@@ -161,6 +190,7 @@ pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
                         &mut batches,
                         &mut events,
                         &mut seq,
+                        &mut streaming,
                     );
                 } else if q.len() == 1 {
                     // New anchor: schedule the window close.
@@ -194,7 +224,14 @@ pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
                     &mut batches,
                     &mut events,
                     &mut seq,
+                    &mut streaming,
                 );
+            }
+            Ev::Ingest(i) => {
+                let state = streaming
+                    .as_deref_mut()
+                    .expect("ingest events are only scheduled in streaming mode");
+                state.ingest(i, now);
             }
             Ev::ReplicaFree(slot) => {
                 pool.mark_free(slot);
@@ -211,6 +248,7 @@ pub fn serve(cfg: &ServeConfig, zoo: &[ServedModel]) -> ServeOutcome {
                     &mut batches,
                     &mut events,
                     &mut seq,
+                    &mut streaming,
                 );
             }
         }
@@ -274,6 +312,7 @@ fn try_dispatch(
     batches: &mut Vec<ServedBatch>,
     events: &mut BTreeMap<(u64, u8, u64), Ev>,
     seq: &mut u64,
+    streaming: &mut Option<&mut StreamingState>,
 ) {
     // Earliest-ready batch that can start now. Affinity can block the
     // head (its model's slot is busy) without blocking later batches
@@ -286,12 +325,19 @@ fn try_dispatch(
     {
         let batch = ready.remove(pos).expect("index from enumerate");
         *dispatch_seq += 1;
+        // Streaming: the batch first pays host-side sampling on the
+        // shared ingest clock (contending with live appends), reading a
+        // snapshot capped at the events visible right now.
+        let (sampling, staleness) = match streaming.as_deref_mut() {
+            Some(state) => state.sample_batch(now, &batch.members, requests),
+            None => (DurationNs::ZERO, Vec::new()),
+        };
         let record = pool.service(slot, batch.model, zoo, batch.members.len(), *dispatch_seq);
-        let completed = now + record.duration;
+        let completed = now + sampling + record.duration;
         *queued -= batch.members.len();
 
         let batch_id = batches.len();
-        for &id in &batch.members {
+        for (pos_in_batch, &id) in batch.members.iter().enumerate() {
             served.push(ServedRequest {
                 id,
                 model: batch.model,
@@ -301,6 +347,10 @@ fn try_dispatch(
                 started: now,
                 completed,
                 cold: record.cold,
+                staleness: staleness
+                    .get(pos_in_batch)
+                    .copied()
+                    .unwrap_or(DurationNs::ZERO),
             });
         }
         batches.push(ServedBatch {
