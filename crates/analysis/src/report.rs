@@ -182,6 +182,11 @@ pub struct SanitizeStats {
     pub graph_appends: usize,
     /// Streaming-graph sample reads replayed (RULE7 coverage).
     pub graph_samples: usize,
+    /// Rows served from the device-resident feature cache (legitimately
+    /// unpriced — excluded from every byte-conservation ledger).
+    pub cache_hit_rows: u64,
+    /// Bytes those cache-served rows would otherwise have moved H2D.
+    pub cache_hit_bytes: u64,
 }
 
 /// The sanitizer's verdict over one recorded execution.
@@ -217,7 +222,7 @@ impl fmt::Display for SanitizerReport {
             f,
             "sanitizer: {} hazard(s) over {} trace records, {} timeline \
              events, {} tensors, {} fork(s), {} crossing(s), {} B H2D / {} B D2H priced, \
-             {} graph append(s) / {} sample(s)",
+             {} graph append(s) / {} sample(s), {} cache-hit row(s) ({} B unpriced)",
             self.hazards.len(),
             s.trace_records,
             s.timeline_events,
@@ -228,6 +233,8 @@ impl fmt::Display for SanitizerReport {
             s.priced_bytes[1],
             s.graph_appends,
             s.graph_samples,
+            s.cache_hit_rows,
+            s.cache_hit_bytes,
         )?;
         for h in &self.hazards {
             writeln!(f, "  {h}")?;

@@ -159,6 +159,8 @@ struct Sanitizer<'a> {
     store_reported: HashSet<(u64, &'static str)>,
     graph_appends: usize,
     graph_samples: usize,
+    cache_hit_rows: u64,
+    cache_hit_bytes: u64,
 }
 
 impl<'a> Sanitizer<'a> {
@@ -183,6 +185,8 @@ impl<'a> Sanitizer<'a> {
             store_reported: HashSet::new(),
             graph_appends: 0,
             graph_samples: 0,
+            cache_hit_rows: 0,
+            cache_hit_bytes: 0,
         }
     }
 
@@ -492,6 +496,24 @@ impl<'a> Sanitizer<'a> {
                             );
                         }
                     }
+                }
+                TraceRecord::CacheHit {
+                    rows,
+                    bytes,
+                    lane,
+                    at_event,
+                    ..
+                } => {
+                    // Cache-served rows are *legitimately unpriced*: the
+                    // whole point of the device-resident feature cache is
+                    // that these bytes never cross PCIe, so they enter no
+                    // staged/immediate/priced ledger and RULE5 must stay
+                    // silent about them. The record still participates in
+                    // the happens-before graph (it is a device read on
+                    // its issuing lane) and is tallied for reports.
+                    let _node = self.engine.issue(*lane, i, *at_event);
+                    self.cache_hit_rows += rows;
+                    self.cache_hit_bytes += bytes;
                 }
                 TraceRecord::Release {
                     tensor,
@@ -948,6 +970,8 @@ pub fn sanitize(timeline: &Timeline, trace: &ExecTrace, opts: &SanitizeOptions) 
         priced_bytes: s.priced,
         graph_appends: s.graph_appends,
         graph_samples: s.graph_samples,
+        cache_hit_rows: s.cache_hit_rows,
+        cache_hit_bytes: s.cache_hit_bytes,
     };
     SanitizerReport {
         hazards: s.hazards,
@@ -1013,6 +1037,54 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.stats.tensors, 1);
         assert_eq!(report.stats.priced_bytes, [64, 0]);
+    }
+
+    #[test]
+    fn cache_hits_are_legitimately_unpriced() {
+        use dgnn_device::TensorClass;
+        // A fetch that half-hits: two rows served from the cache (no
+        // crossing, no priced event) and one row priced over PCIe. RULE5
+        // byte conservation must only account for the priced row.
+        let mut trace = ExecTrace::new();
+        trace.push(TraceRecord::CacheHit {
+            class: TensorClass::NodeFeature,
+            rows: 2,
+            bytes: 256,
+            lane: None,
+            at_event: 0,
+        });
+        trace.push(TraceRecord::Crossing {
+            tensor: None,
+            dir: TransferDir::H2D,
+            bytes: 128,
+            lane: None,
+            staged: false,
+            at_event: 0,
+        });
+        let mut tl = Timeline::new();
+        tl.push(dgnn_device::TimelineEvent {
+            label: "memcpy_h2d",
+            scope: String::new(),
+            category: EventCategory::Transfer(TransferDir::H2D),
+            place: Place::Pcie,
+            start: DurationNs::ZERO,
+            end: DurationNs::from_nanos(10),
+            occupancy: 1.0,
+            flops: 0,
+            bytes: 128,
+            stream: None,
+        });
+        trace.push(TraceRecord::Priced {
+            dir: TransferDir::H2D,
+            bytes: 128,
+            lane: None,
+            event: 0,
+        });
+        let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.cache_hit_rows, 2);
+        assert_eq!(report.stats.cache_hit_bytes, 256);
+        assert_eq!(report.stats.priced_bytes, [128, 0]);
     }
 
     #[test]

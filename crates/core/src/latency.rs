@@ -51,10 +51,13 @@ impl LatencyStats {
         let sum: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
         #[allow(clippy::cast_possible_truncation)] // mean ≤ max, which fits u64
         let mean = (sum / n as u128) as u64;
-        let rank = |q: f64| -> u64 {
-            #[allow(clippy::cast_possible_truncation)] // ceil of index fits usize
-            #[allow(clippy::cast_sign_loss)] // q and n are non-negative
-            let idx = ((q * n as f64).ceil() as usize).clamp(1, n);
+        // Nearest rank ⌈q·n⌉ in exact integer arithmetic. The obvious
+        // float version — `(q * n as f64).ceil()` — is wrong whenever
+        // q·n is integral but not representable: 0.95 × 20 evaluates to
+        // 19.000000000000004, whose ceiling is rank 20, silently turning
+        // p95 into the max for every n that is a multiple of 20.
+        let rank = |q_num: usize, q_den: usize| -> u64 {
+            let idx = (q_num * n).div_ceil(q_den).clamp(1, n);
             sorted[idx - 1]
         };
         LatencyStats {
@@ -62,9 +65,9 @@ impl LatencyStats {
             min: DurationNs::from_nanos(sorted[0]),
             max: DurationNs::from_nanos(sorted[n - 1]),
             mean: DurationNs::from_nanos(mean),
-            p50: DurationNs::from_nanos(rank(0.50)),
-            p95: DurationNs::from_nanos(rank(0.95)),
-            p99: DurationNs::from_nanos(rank(0.99)),
+            p50: DurationNs::from_nanos(rank(1, 2)),
+            p95: DurationNs::from_nanos(rank(19, 20)),
+            p99: DurationNs::from_nanos(rank(99, 100)),
         }
     }
 }
@@ -153,6 +156,36 @@ mod tests {
         assert_eq!(s.p95.as_nanos(), 95);
         assert_eq!(s.p99.as_nanos(), 99);
         assert_eq!(s.mean.as_nanos(), 50); // 5050/100 rounded down
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_when_q_times_n_is_integral() {
+        // Regression for the float off-by-one: 0.95 × 20 is
+        // 19.000000000000004 in f64, so a float ceil picked rank 20
+        // (the max) instead of rank 19. Integer arithmetic must pick
+        // exactly ⌈q·n⌉ at n = 20, 100 and 200.
+        let n20: Vec<DurationNs> = (1..=20).map(DurationNs::from_nanos).collect();
+        let s = LatencyStats::from_durations(&n20);
+        assert_eq!(s.p50.as_nanos(), 10);
+        assert_eq!(
+            s.p95.as_nanos(),
+            19,
+            "p95 of 20 samples is rank 19, not the max"
+        );
+        assert_eq!(s.p99.as_nanos(), 20); // ⌈19.8⌉ = 20
+
+        let n100: Vec<DurationNs> = (1..=100).map(DurationNs::from_nanos).collect();
+        let s = LatencyStats::from_durations(&n100);
+        assert_eq!(
+            (s.p50.as_nanos(), s.p95.as_nanos(), s.p99.as_nanos()),
+            (50, 95, 99)
+        );
+
+        let n200: Vec<DurationNs> = (1..=200).map(DurationNs::from_nanos).collect();
+        let s = LatencyStats::from_durations(&n200);
+        assert_eq!(s.p50.as_nanos(), 100);
+        assert_eq!(s.p95.as_nanos(), 190, "p95 of 200 samples is rank 190");
+        assert_eq!(s.p99.as_nanos(), 198);
     }
 
     #[test]

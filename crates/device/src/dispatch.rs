@@ -47,6 +47,7 @@ use dgnn_tensor::cost::OpDescriptor;
 use dgnn_tensor::ops::{activation, elementwise, manip, matmul, reduce};
 use dgnn_tensor::{cost, Result, Tensor};
 
+use crate::cache::TensorClass;
 use crate::event::{Place, TransferDir};
 use crate::executor::{ExecMode, Executor};
 use crate::kernel::{HostWork, KernelDesc};
@@ -207,6 +208,33 @@ impl Operand for DeviceTensor {
     }
 }
 
+/// Result of one [`Dispatcher::fetch_rows`] call: how much of the
+/// requested payload was served device-resident vs fetched over PCIe.
+/// Rows are physical (representative) counts; bytes are logical
+/// (scale-multiplied), matching what the timeline priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheFetch {
+    /// Rows found resident (H2D skipped).
+    pub hit_rows: u64,
+    /// Rows fetched over PCIe (and inserted).
+    pub miss_rows: u64,
+    /// Logical bytes that skipped the crossing.
+    pub hit_bytes: u64,
+    /// Logical bytes priced as one H2D fetch.
+    pub miss_bytes: u64,
+}
+
+impl CacheFetch {
+    /// Hit fraction of this fetch (0 when no rows were requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hit_rows + self.miss_rows;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hit_rows as f64 / total as f64
+    }
+}
+
 /// Executes tensor math while charging the owning [`Executor`] for every
 /// kernel and residence crossing. Create one per inference pass (or per
 /// scope) with [`Dispatcher::new`].
@@ -297,6 +325,65 @@ impl<'a> Dispatcher<'a> {
             }
             self.ex.transfer(dir, bytes);
         }
+    }
+
+    /// Fetches `keys.len()` rows of `row_bytes` bytes each through the
+    /// executor's device-resident feature cache: rows already resident
+    /// skip their H2D crossing entirely, missing rows are priced as
+    /// *one* merged fetch (which composes with coalescing — staged when
+    /// coalescing is on, immediate otherwise) and inserted. Per-fetch
+    /// pricing only; the functional tensors still flow through
+    /// [`Dispatcher::adopt`], so numerics are identical either way.
+    ///
+    /// `keys` are physical (representative) row identities; `scale` is
+    /// the logical/physical ratio applied to the priced byte counts,
+    /// exactly like [`DeviceTensor::host_scaled`]. With the cache
+    /// disabled every key misses, so the call prices the full payload —
+    /// but as one merged transfer, which is why drivers route through
+    /// it only when `feature_cache` is configured (keeping cache-off
+    /// runs bit-identical to the historical per-piece pricing).
+    ///
+    /// In CPU-only mode no crossing exists and nothing is priced or
+    /// cached, mirroring [`Dispatcher::ensure_resident`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `scale` is not finite and positive.
+    pub fn fetch_rows(
+        &mut self,
+        class: TensorClass,
+        keys: &[u64],
+        row_bytes: u64,
+        scale: f64,
+    ) -> CacheFetch {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "scale must be finite and positive"
+        );
+        if self.ex.mode() != ExecMode::Gpu {
+            return CacheFetch::default();
+        }
+        #[allow(clippy::cast_possible_truncation)] // rounded byte counts fit u64
+        #[allow(clippy::cast_sign_loss)] // row_bytes and scale are non-negative
+        let scaled_row = (row_bytes as f64 * scale).round() as u64;
+        let mut fetch = CacheFetch::default();
+        for &key in keys {
+            if self.ex.cache_probe_insert(class, key, scaled_row) {
+                fetch.hit_rows += 1;
+            } else {
+                fetch.miss_rows += 1;
+            }
+        }
+        fetch.hit_bytes = fetch.hit_rows * scaled_row;
+        fetch.miss_bytes = fetch.miss_rows * scaled_row;
+        if fetch.hit_rows > 0 {
+            self.ex
+                .trace_cache_hit(class, fetch.hit_rows, fetch.hit_bytes);
+        }
+        if fetch.miss_bytes > 0 {
+            self.charge_transfer(TransferDir::H2D, fetch.miss_bytes, None);
+        }
+        fetch
     }
 
     /// Prices all staged bytes as one merged transfer per direction
@@ -934,6 +1021,102 @@ mod tests {
         assert_eq!(dx.pending_transfer_bytes(TransferDir::H2D), 0);
         assert_eq!(dx.flush_transfers(), DurationNs::ZERO);
         assert_eq!(ex.timeline().transfer_count(None), 0);
+    }
+
+    #[test]
+    fn fetch_rows_prices_misses_once_and_skips_hits() {
+        let mut ex = gpu();
+        ex.ensure_context();
+        ex.enable_feature_cache(16);
+        let mut dx = Dispatcher::new(&mut ex);
+        let keys: Vec<u64> = (0..8).collect();
+        let cold = dx.fetch_rows(TensorClass::NodeFeature, &keys, 128, 1.0);
+        assert_eq!((cold.hit_rows, cold.miss_rows), (0, 8));
+        assert_eq!(cold.miss_bytes, 8 * 128);
+        let warm = dx.fetch_rows(TensorClass::NodeFeature, &keys, 128, 1.0);
+        assert_eq!((warm.hit_rows, warm.miss_rows), (8, 0));
+        assert_eq!(warm.hit_bytes, 8 * 128);
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-12);
+        // One priced transfer (the cold fetch); the warm fetch priced none.
+        assert_eq!(ex.timeline().transfer_count(Some(TransferDir::H2D)), 1);
+        assert_eq!(
+            ex.timeline().transfer_bytes(Some(TransferDir::H2D)),
+            8 * 128
+        );
+    }
+
+    #[test]
+    fn fetch_rows_scale_multiplies_priced_bytes() {
+        let mut ex = gpu();
+        ex.ensure_context();
+        ex.enable_feature_cache(4);
+        let mut dx = Dispatcher::new(&mut ex);
+        let f = dx.fetch_rows(TensorClass::EdgeFeature, &[1, 2], 100, 16.0);
+        assert_eq!(f.miss_bytes, 2 * 1600);
+        assert_eq!(ex.timeline().transfer_bytes(Some(TransferDir::H2D)), 3200);
+    }
+
+    #[test]
+    fn fetch_rows_composes_with_coalescing() {
+        let mut ex = gpu();
+        ex.ensure_context();
+        ex.enable_feature_cache(16);
+        let mut dx = Dispatcher::with_coalescing(&mut ex, true);
+        dx.fetch_rows(TensorClass::NodeFeature, &[1, 2, 3], 64, 1.0);
+        assert_eq!(dx.pending_transfer_bytes(TransferDir::H2D), 3 * 64);
+        dx.flush_transfers();
+        assert_eq!(ex.timeline().transfer_count(Some(TransferDir::H2D)), 1);
+    }
+
+    #[test]
+    fn fetch_rows_without_cache_misses_everything() {
+        let mut ex = gpu();
+        ex.ensure_context();
+        let mut dx = Dispatcher::new(&mut ex);
+        let a = dx.fetch_rows(TensorClass::NodeFeature, &[7], 64, 1.0);
+        let b = dx.fetch_rows(TensorClass::NodeFeature, &[7], 64, 1.0);
+        assert_eq!(a.miss_rows, 1);
+        assert_eq!(b.miss_rows, 1, "no cache: repeats still pay");
+        assert_eq!(ex.timeline().transfer_count(Some(TransferDir::H2D)), 2);
+    }
+
+    #[test]
+    fn fetch_rows_is_inert_in_cpu_only_mode() {
+        let mut ex = cpu();
+        ex.enable_feature_cache(16);
+        let mut dx = Dispatcher::new(&mut ex);
+        let f = dx.fetch_rows(TensorClass::NodeFeature, &[1, 2], 64, 1.0);
+        assert_eq!(f, CacheFetch::default());
+        assert_eq!(ex.timeline().transfer_count(None), 0);
+        assert_eq!(ex.cache_stats().lookups(), 0);
+    }
+
+    #[test]
+    fn fetch_rows_hits_are_traced() {
+        use crate::trace::TraceRecord;
+        let mut ex = gpu();
+        ex.ensure_context();
+        ex.enable_tracing();
+        ex.enable_feature_cache(8);
+        let mut dx = Dispatcher::new(&mut ex);
+        dx.fetch_rows(TensorClass::NodeMemory, &[1, 2], 32, 1.0);
+        dx.fetch_rows(TensorClass::NodeMemory, &[1, 2, 3], 32, 1.0);
+        let records = ex.trace().unwrap().records();
+        // One aggregated record for the two warm rows, not one per row.
+        let hits: Vec<_> = records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::CacheHit { .. }))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert!(matches!(
+            hits[0],
+            TraceRecord::CacheHit {
+                class: TensorClass::NodeMemory,
+                rows: 2,
+                bytes: 64,
+                ..
+            }
+        ));
     }
 
     #[test]

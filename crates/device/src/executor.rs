@@ -16,10 +16,11 @@
 //! is active the engine is bit-identical to the historical sequential
 //! implementation — every existing timeline invariant holds unchanged.
 
+use crate::cache::{CacheStats, FeatureCache, TensorClass};
 use crate::event::{EventCategory, Place, TimelineEvent, TransferDir};
 use crate::kernel::{HostWork, KernelDesc, KernelKind};
 use crate::memory::MemoryTracker;
-use crate::spec::PlatformSpec;
+use crate::spec::{PlatformSpec, TransferMode};
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::time::DurationNs;
 use crate::timeline::Timeline;
@@ -107,6 +108,12 @@ pub struct Executor {
     /// Causal provenance log for the timeline sanitizer; `None` (the
     /// default) records nothing and costs one branch per action.
     trace: Option<ExecTrace>,
+    /// Host-memory regime PCIe transfers are priced under. `Pinned`
+    /// (the default) is bit-identical to the historical pricing.
+    transfer_mode: TransferMode,
+    /// Device-resident feature cache; `None` (the default) means every
+    /// fetch prices its H2D crossing, exactly as before.
+    feature_cache: Option<FeatureCache>,
 }
 
 impl Executor {
@@ -126,7 +133,72 @@ impl Executor {
             streams: None,
             current_stream: None,
             trace: None,
+            transfer_mode: TransferMode::default(),
+            feature_cache: None,
         }
+    }
+
+    /// Selects the host-memory regime PCIe transfers are priced under
+    /// (see [`TransferMode`]). `Pinned` — the default — reproduces the
+    /// historical pricing bit-for-bit; `Pageable` adds the staging-
+    /// buffer copy, degraded DMA bandwidth and per-transfer host
+    /// metadata overhead of unpinned host buffers.
+    pub fn set_transfer_mode(&mut self, mode: TransferMode) {
+        self.transfer_mode = mode;
+    }
+
+    /// The host-memory regime transfers are currently priced under.
+    pub fn transfer_mode(&self) -> TransferMode {
+        self.transfer_mode
+    }
+
+    /// Switches on the device-resident feature cache with room for
+    /// `capacity_rows` rows (see [`FeatureCache`]). Idempotent: calling
+    /// it again with the same capacity preserves the warm cache — a
+    /// serving replica that enables it per request keeps its hot rows
+    /// across requests. A different capacity rebuilds the cache empty.
+    pub fn enable_feature_cache(&mut self, capacity_rows: usize) {
+        match &self.feature_cache {
+            Some(c) if c.capacity() == capacity_rows => {}
+            _ => self.feature_cache = Some(FeatureCache::new(capacity_rows)),
+        }
+    }
+
+    /// The feature cache (`None` while disabled).
+    pub fn feature_cache(&self) -> Option<&FeatureCache> {
+        self.feature_cache.as_ref()
+    }
+
+    /// Hit/miss/eviction counters of the feature cache (all zero while
+    /// disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.feature_cache
+            .as_ref()
+            .map(FeatureCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Probes the feature cache for `(class, key)`, inserting the row
+    /// on a miss and balancing GPU memory (insert allocates
+    /// `row_bytes`, an eviction frees the victim's bytes). Returns
+    /// whether the probe hit — `false` (a priced fetch) whenever the
+    /// cache is disabled. Dispatcher hook; pricing of miss traffic is
+    /// the caller's job.
+    pub(crate) fn cache_probe_insert(
+        &mut self,
+        class: TensorClass,
+        key: u64,
+        row_bytes: u64,
+    ) -> bool {
+        let Some(cache) = self.feature_cache.as_mut() else {
+            return false;
+        };
+        let (hit, evicted_bytes) = cache.probe_insert(class, key, row_bytes);
+        if !hit {
+            self.gpu_mem.alloc(row_bytes);
+            self.gpu_mem.free(evicted_bytes);
+        }
+        hit
     }
 
     /// Switches on provenance tracing: from here on, every tensor
@@ -192,6 +264,23 @@ impl Executor {
                 bytes,
                 lane: self.current_stream,
                 at_event: self.timeline.len(),
+            });
+        }
+    }
+
+    /// Logs one aggregated feature-cache fetch result: `rows` rows
+    /// (`bytes` bytes) of `class` served device-resident, skipping
+    /// their H2D crossing (dispatcher hook).
+    pub(crate) fn trace_cache_hit(&mut self, class: TensorClass, rows: u64, bytes: u64) {
+        let at_event = self.timeline.len();
+        let lane = self.current_stream;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::CacheHit {
+                class,
+                rows,
+                bytes,
+                lane,
+                at_event,
             });
         }
     }
@@ -770,8 +859,26 @@ impl Executor {
         }
         self.ensure_context();
         let p = &self.spec.pcie;
-        let d = DurationNs::from_nanos(p.latency_ns)
-            + DurationNs::from_secs_f64(bytes as f64 / p.bandwidth);
+        let d = match self.transfer_mode {
+            // Direct DMA from page-locked memory — the historical
+            // formula, reproduced exactly so pinned-mode runs are
+            // bit-identical to pre-cache builds.
+            TransferMode::Pinned => {
+                DurationNs::from_nanos(p.latency_ns)
+                    + DurationNs::from_secs_f64(bytes as f64 / p.bandwidth)
+            }
+            // Pageable: host memcpy into the driver's staging buffer,
+            // then DMA at the degraded bandwidth, plus per-transfer
+            // host metadata bookkeeping. Folded into one timeline
+            // event (same label/category) — the staging copy is part
+            // of the driver's cudaMemcpy, not a separate user action.
+            TransferMode::Pageable => {
+                DurationNs::from_nanos(p.latency_ns + p.host_meta_ns)
+                    + DurationNs::from_secs_f64(
+                        bytes as f64 / p.staging_bandwidth + bytes as f64 / p.pageable_bandwidth,
+                    )
+            }
+        };
         self.push_event(
             dir.name(),
             EventCategory::Transfer(dir),
@@ -1175,6 +1282,71 @@ mod tests {
         let end = ex.join_streams();
         assert_eq!(end, before);
         assert_eq!(ex.now(), before);
+    }
+
+    #[test]
+    fn pinned_transfer_pricing_matches_the_historical_formula() {
+        let mut ex = gpu_executor();
+        ex.ensure_context();
+        assert_eq!(ex.transfer_mode(), TransferMode::Pinned);
+        let bytes = 1u64 << 20;
+        let d = ex.transfer(TransferDir::H2D, bytes);
+        let p = PlatformSpec::default().pcie;
+        let expected = DurationNs::from_nanos(p.latency_ns)
+            + DurationNs::from_secs_f64(bytes as f64 / p.bandwidth);
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn pageable_transfers_pay_staging_and_metadata() {
+        let price = |mode: TransferMode, bytes: u64| {
+            let mut ex = gpu_executor();
+            ex.set_transfer_mode(mode);
+            ex.ensure_context();
+            ex.transfer(TransferDir::H2D, bytes)
+        };
+        let spec = PlatformSpec::default().pcie;
+        // Any payload is strictly slower pageable than pinned…
+        assert!(price(TransferMode::Pageable, 1 << 20) > price(TransferMode::Pinned, 1 << 20));
+        // …and even a zero-byte transfer pays the host metadata term.
+        assert_eq!(
+            price(TransferMode::Pageable, 0).as_nanos(),
+            spec.latency_ns + spec.host_meta_ns
+        );
+        assert_eq!(price(TransferMode::Pinned, 0).as_nanos(), spec.latency_ns);
+    }
+
+    #[test]
+    fn feature_cache_balances_gpu_memory() {
+        let mut ex = gpu_executor();
+        ex.enable_feature_cache(2);
+        assert!(!ex.cache_probe_insert(TensorClass::NodeFeature, 1, 100));
+        assert!(!ex.cache_probe_insert(TensorClass::NodeFeature, 2, 200));
+        assert_eq!(ex.gpu_memory().live_bytes(), 300);
+        // A hit allocates nothing…
+        assert!(ex.cache_probe_insert(TensorClass::NodeFeature, 1, 100));
+        assert_eq!(ex.gpu_memory().live_bytes(), 300);
+        // …and an evicting miss frees the victim's bytes.
+        assert!(!ex.cache_probe_insert(TensorClass::NodeFeature, 3, 50));
+        assert_eq!(ex.gpu_memory().live_bytes(), 150); // 100 + 50, id 2 gone
+        let s = ex.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+    }
+
+    #[test]
+    fn enable_feature_cache_is_idempotent_and_keeps_warm_rows() {
+        let mut ex = gpu_executor();
+        assert!(ex.feature_cache().is_none());
+        assert!(!ex.cache_probe_insert(TensorClass::NodeMemory, 9, 64));
+        assert_eq!(ex.cache_stats(), CacheStats::default());
+        ex.enable_feature_cache(4);
+        ex.cache_probe_insert(TensorClass::NodeMemory, 9, 64);
+        // Re-enabling at the same capacity keeps the warm row…
+        ex.enable_feature_cache(4);
+        assert!(ex.cache_probe_insert(TensorClass::NodeMemory, 9, 64));
+        // …while a different capacity rebuilds it cold.
+        ex.enable_feature_cache(8);
+        assert!(!ex.cache_probe_insert(TensorClass::NodeMemory, 9, 64));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+mod cache;
 pub mod dispatch;
 mod event;
 mod executor;
@@ -48,12 +49,13 @@ pub mod timeline;
 pub mod trace;
 mod warmup;
 
-pub use dispatch::{DeviceTensor, Dispatcher, Operand};
+pub use cache::{CacheStats, FeatureCache, TensorClass};
+pub use dispatch::{CacheFetch, DeviceTensor, Dispatcher, Operand};
 pub use event::{EventCategory, Place, TimelineEvent, TransferDir};
 pub use executor::{ExecMode, Executor, ScopeRecord};
 pub use kernel::{HostWork, KernelDesc, KernelKind};
 pub use memory::MemoryTracker;
-pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec};
+pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec, TransferMode};
 pub use stream::{EventId, StreamId};
 pub use time::DurationNs;
 pub use timeline::Timeline;

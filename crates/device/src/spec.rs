@@ -109,12 +109,38 @@ impl Default for GpuSpec {
 }
 
 /// PCIe link between the simulated CPU and GPU.
+///
+/// The link is modeled in two regimes, selected per executor with
+/// [`TransferMode`]:
+///
+/// * **Pinned** (page-locked host memory): DMA streams directly from
+///   the host buffer at `bandwidth` after `latency_ns` of setup — the
+///   historical (and default) pricing.
+/// * **Pageable**: the driver must first copy the payload into an
+///   internal pinned staging buffer (`staging_bandwidth`, a host
+///   memcpy), then DMA it at the degraded `pageable_bandwidth`, and
+///   every transfer additionally pays `host_meta_ns` of host-side
+///   metadata bookkeeping (page pinning, address translation, command
+///   submission) per "Understanding and Reducing Metadata-Driven Host
+///   Overheads" — the term that dominates small-transfer workloads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PcieSpec {
-    /// Effective bandwidth in bytes/s.
+    /// Effective bandwidth from pinned (page-locked) host memory, in
+    /// bytes/s.
     pub bandwidth: f64,
     /// Fixed per-transfer latency (driver + DMA setup) in nanoseconds.
     pub latency_ns: u64,
+    /// Effective DMA bandwidth from pageable host memory, in bytes/s
+    /// (roughly half of pinned on the paper's testbed class).
+    pub pageable_bandwidth: f64,
+    /// Host-memcpy bandwidth into the driver's pinned staging buffer,
+    /// in bytes/s (bounded by host memory bandwidth, paid only in
+    /// pageable mode).
+    pub staging_bandwidth: f64,
+    /// Per-transfer host metadata overhead (page pinning, address
+    /// translation, submission bookkeeping) in nanoseconds, paid only
+    /// in pageable mode.
+    pub host_meta_ns: u64,
 }
 
 impl Default for PcieSpec {
@@ -122,6 +148,31 @@ impl Default for PcieSpec {
         PcieSpec {
             bandwidth: 12e9,
             latency_ns: 12_000,
+            pageable_bandwidth: 6.6e9,
+            staging_bandwidth: 20e9,
+            host_meta_ns: 5_000,
+        }
+    }
+}
+
+/// Which host-memory regime CPU↔GPU transfers are priced under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransferMode {
+    /// Page-locked host buffers: direct DMA at [`PcieSpec::bandwidth`].
+    /// The default, bit-identical to the historical pricing.
+    #[default]
+    Pinned,
+    /// Pageable host buffers: a staging-buffer copy, degraded DMA
+    /// bandwidth, and per-transfer host metadata overhead.
+    Pageable,
+}
+
+impl TransferMode {
+    /// Stable lowercase name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferMode::Pinned => "pinned",
+            TransferMode::Pageable => "pageable",
         }
     }
 }
@@ -156,6 +207,20 @@ mod tests {
         assert!(p.gpu.mem_bw > p.cpu.mem_bw);
         assert!(p.pcie.bandwidth < p.cpu.mem_bw);
         assert!(p.cpu.irregular_efficiency < 0.5);
+        // Pageable DMA is slower than pinned; the staging memcpy is
+        // faster than the link (it is a host-memory copy) but bounded
+        // by host memory bandwidth.
+        assert!(p.pcie.pageable_bandwidth < p.pcie.bandwidth);
+        assert!(p.pcie.staging_bandwidth > p.pcie.bandwidth);
+        assert!(p.pcie.staging_bandwidth < p.cpu.mem_bw);
+        assert!(p.pcie.host_meta_ns < p.pcie.latency_ns);
+    }
+
+    #[test]
+    fn transfer_mode_defaults_to_pinned() {
+        assert_eq!(TransferMode::default(), TransferMode::Pinned);
+        assert_eq!(TransferMode::Pinned.name(), "pinned");
+        assert_eq!(TransferMode::Pageable.name(), "pageable");
     }
 
     #[test]

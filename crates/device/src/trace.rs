@@ -21,6 +21,7 @@
 //! ([`crate::Executor::enable_tracing`] switches it on); no existing
 //! timeline, pricing, or scope behavior changes either way.
 
+use crate::cache::TensorClass;
 use crate::event::{Place, TransferDir};
 use crate::stream::StreamId;
 use crate::time::DurationNs;
@@ -104,6 +105,23 @@ pub enum TraceRecord {
         lane: Option<StreamId>,
         /// Timeline index of the priced event.
         event: usize,
+    },
+    /// Rows served from the device-resident feature cache instead of
+    /// crossing PCIe. One aggregated record per fetch batch (not per
+    /// row) to bound trace size. These bytes are *legitimately
+    /// unpriced*: they deliberately appear in no crossing, flush or
+    /// priced ledger, and RULE5 byte conservation must not flag them.
+    CacheHit {
+        /// Class of the cached rows.
+        class: TensorClass,
+        /// Rows served from the cache in this fetch.
+        rows: u64,
+        /// Bytes that skipped the H2D crossing.
+        bytes: u64,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline length at log time.
+        at_event: usize,
     },
     /// A device buffer explicitly released; later device accesses
     /// without a re-upload are use-after-release hazards.

@@ -1,6 +1,6 @@
 //! Shared model-execution machinery.
 
-use dgnn_device::{Dispatcher, DurationNs, EventId, Executor, StreamId};
+use dgnn_device::{Dispatcher, DurationNs, EventId, Executor, StreamId, TransferMode};
 
 use crate::registry::ModelInfo;
 use crate::Result;
@@ -64,6 +64,19 @@ pub struct InferenceConfig {
     pub pipeline_overlap: bool,
     /// Transfer pricing granularity (see [`TransferGranularity`]).
     pub transfer_granularity: TransferGranularity,
+    /// Capacity (in rows) of the device-resident feature cache, or
+    /// `None` (the default) for no cache. With a cache, drivers route
+    /// their recurrent feature/memory-row uploads through
+    /// [`dgnn_device::Dispatcher::fetch_rows`]: rows already resident on
+    /// the device skip the H2D crossing entirely and only misses are
+    /// priced. Model numerics are bit-identical either way — the cache
+    /// changes *pricing*, never values.
+    pub feature_cache: Option<usize>,
+    /// Host-memory regime for PCIe pricing (see
+    /// [`dgnn_device::TransferMode`]). The default `Pinned` is
+    /// bit-identical to the historical engine; `Pageable` adds the
+    /// staging-buffer copy and per-transfer host metadata overhead.
+    pub transfer_mode: TransferMode,
 }
 
 impl Default for InferenceConfig {
@@ -76,6 +89,8 @@ impl Default for InferenceConfig {
             parallel_sampling: false,
             pipeline_overlap: false,
             transfer_granularity: TransferGranularity::Staged,
+            feature_cache: None,
+            transfer_mode: TransferMode::Pinned,
         }
     }
 }
@@ -118,6 +133,32 @@ impl InferenceConfig {
     pub fn with_transfer_granularity(mut self, granularity: TransferGranularity) -> Self {
         self.transfer_granularity = granularity;
         self
+    }
+
+    /// Builder-style feature-cache capacity override (see
+    /// [`InferenceConfig::feature_cache`]).
+    pub fn with_feature_cache(mut self, capacity_rows: usize) -> Self {
+        self.feature_cache = Some(capacity_rows);
+        self
+    }
+
+    /// Builder-style transfer-mode override (see
+    /// [`dgnn_device::TransferMode`]).
+    pub fn with_transfer_mode(mut self, mode: TransferMode) -> Self {
+        self.transfer_mode = mode;
+        self
+    }
+
+    /// Applies the config's executor-level knobs (transfer mode, feature
+    /// cache) to `ex`. Drivers call this at the top of `infer` so serving
+    /// replicas that reuse one executor across requests keep a warm
+    /// cache (enabling an already-enabled cache at the same capacity
+    /// preserves its contents).
+    pub fn apply_device_options(&self, ex: &mut Executor) {
+        ex.set_transfer_mode(self.transfer_mode);
+        if let Some(cap) = self.feature_cache {
+            ex.enable_feature_cache(cap);
+        }
     }
 
     /// Whether drivers should merge per-tensor crossings per batch.

@@ -17,7 +17,9 @@
 //! `transfer()` call.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
+use dgnn_device::{
+    DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TensorClass, TransferDir,
+};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{BochnerTimeEncoder, Linear, Module, MultiHeadAttention};
 use dgnn_tensor::{Tensor, TensorRng};
@@ -182,6 +184,8 @@ impl DgnnModel for Tgat {
         let gpu = ex.mode() == ExecMode::Gpu;
         let overlap = cfg.pipeline_overlap && gpu;
         let granular = cfg.granular_transfers() && gpu;
+        let cached = cfg.feature_cache.is_some() && gpu;
+        cfg.apply_device_options(ex);
 
         let time = ex.scope("inference", |ex| -> Result<()> {
             let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
@@ -236,7 +240,26 @@ impl DgnnModel for Tgat {
                 // individually, summing to exactly the same bytes.
                 on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
                     dx.scope("memcpy_h2d", |dx| {
-                        if granular {
+                        if cached {
+                            // Cache-routed fetch: one row per sampled
+                            // neighbor (features + delta + index), keyed by
+                            // node id. Hot nodes of the power-law graph stay
+                            // device-resident; only cold rows are priced, as
+                            // one merged H2D copy. The sampled ids are the
+                            // representative subset, so each key's row
+                            // carries the logical batch scale.
+                            let mut keys: Vec<u64> = rep_layers
+                                .iter()
+                                .flat_map(|l| l.iter().map(|s| s.node as u64))
+                                .collect();
+                            if keys.is_empty() {
+                                keys = batch.iter().take(rep).map(|e| e.src as u64).collect();
+                            }
+                            let row_bytes = ((self.data.edge_dim() + 2) * 4) as u64;
+                            let scale = edge_rows as f64 / keys.len() as f64;
+                            dx.fetch_rows(TensorClass::NodeFeature, &keys, row_bytes, scale);
+                            dx.flush_transfers();
+                        } else if granular {
                             let feat_bytes = (edge_rows * self.data.edge_dim() * 4) as u64;
                             let delta_bytes = (edge_rows * 4) as u64;
                             let index_bytes = (edge_rows * 4) as u64;

@@ -23,7 +23,9 @@
 //! query sampling.
 
 use dgnn_datasets::TemporalDataset;
-use dgnn_device::{DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TransferDir};
+use dgnn_device::{
+    DeviceTensor, Dispatcher, ExecMode, Executor, HostWork, StreamId, TensorClass, TransferDir,
+};
 use dgnn_graph::{NeighborSampler, SampleStrategy, TemporalAdjacency};
 use dgnn_nn::{EmbeddingTable, GruCell, Linear, Module, MultiHeadAttention, Time2Vec};
 use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
@@ -159,6 +161,8 @@ impl DgnnModel for Tgn {
         let gpu = ex.mode() == ExecMode::Gpu;
         let overlap = cfg.pipeline_overlap && gpu;
         let granular = cfg.granular_transfers() && gpu;
+        let cached = cfg.feature_cache.is_some() && gpu;
+        cfg.apply_device_options(ex);
 
         let run: Result<()> = ex.scope("inference", |ex| {
             let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced() && gpu);
@@ -229,21 +233,51 @@ impl DgnnModel for Tgn {
                     })
                 });
 
-                if granular {
+                if granular || cached {
                     // Per-tensor granularity: once sampling has named the
                     // touched memory rows, every upload of the batch is
                     // issued back-to-back — individually priced copies, or
-                    // one merged transaction when coalescing.
+                    // one merged transaction when coalescing. With the
+                    // feature cache the memory-row blocks instead route
+                    // through the device-resident cache: endpoint rows are
+                    // keyed exactly (every batch event's src and dst) and
+                    // the neighbor block by the sampled ids at batch scale,
+                    // so recurrent nodes skip the Fig 5(b) exchange.
                     lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Copy);
                     on_lane(&mut dx, overlap, StreamId::Copy, |dx| {
                         dx.scope("memcpy_h2d", |dx| {
-                            for bytes in h2d_pieces {
-                                dx.transfer(TransferDir::H2D, bytes);
+                            if cached {
+                                if granular {
+                                    // Edge features + timestamps were not
+                                    // shipped by the staged early upload.
+                                    dx.transfer(TransferDir::H2D, h2d_pieces[0]);
+                                    dx.transfer(TransferDir::H2D, h2d_pieces[1]);
+                                }
+                                let row = (2 * d * 4) as u64;
+                                let mut keys: Vec<u64> = Vec::with_capacity(2 * bsz);
+                                keys.extend(batch.iter().map(|e| e.src as u64));
+                                keys.extend(batch.iter().map(|e| e.dst as u64));
+                                dx.fetch_rows(TensorClass::NodeMemory, &keys, row, 1.0);
+                                let nbr: Vec<u64> = rep_neighbors
+                                    .iter()
+                                    .flat_map(|l| l.iter().map(|n| n.node as u64))
+                                    .collect();
+                                if !nbr.is_empty() {
+                                    let nscale = (bsz * k) as f64 / nbr.len() as f64;
+                                    dx.fetch_rows(TensorClass::NodeMemory, &nbr, row, nscale);
+                                }
+                                dx.flush_transfers();
+                            } else {
+                                for bytes in h2d_pieces {
+                                    dx.transfer(TransferDir::H2D, bytes);
+                                }
+                                dx.flush_transfers();
                             }
-                            dx.flush_transfers();
                         })
                     });
-                    staging.uploaded(&mut dx, overlap);
+                    if granular {
+                        staging.uploaded(&mut dx, overlap);
+                    }
                 }
                 lane_handoff(&mut dx, overlap, StreamId::Host, StreamId::Compute);
                 lane_handoff(&mut dx, overlap, StreamId::Copy, StreamId::Compute);
@@ -264,11 +298,17 @@ impl DgnnModel for Tgn {
                                 dx.transfer(TransferDir::D2H, bytes);
                             }
                         } else {
-                            let mem_in = DeviceTensor::host_scaled(
-                                Tensor::zeros(&[rep, 2 * d]),
-                                touched as f64 / rep as f64,
-                            );
-                            dx.ensure_resident(&mem_in);
+                            if !cached {
+                                // With the cache on, the inbound rows were
+                                // already fetched (hits) or priced (misses)
+                                // in memcpy_h2d; only the outbound staged
+                                // messages still cross.
+                                let mem_in = DeviceTensor::host_scaled(
+                                    Tensor::zeros(&[rep, 2 * d]),
+                                    touched as f64 / rep as f64,
+                                );
+                                dx.ensure_resident(&mem_in);
+                            }
                             let staged_out =
                                 dx.adopt(Tensor::zeros(&[rep, d]), touched as f64 / rep as f64);
                             dx.download(&staged_out);

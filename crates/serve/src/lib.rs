@@ -78,7 +78,7 @@ pub use streaming::{
     generate_ingest, mean_staleness_ms, serve_streaming, StreamingConfig, StreamingOutcome,
     StreamingState,
 };
-pub use workload::Request;
+pub use workload::{validate_rate, RateError, Request, MIN_RATE};
 
 /// One entry in the served model mix: how to build the model, how to
 /// run one request unit of it, and its share of the request stream.
@@ -154,5 +154,18 @@ impl ServeConfig {
     /// Panics when `max_batch` is zero.
     pub fn batcher(&self) -> WindowBatcher {
         WindowBatcher::new(self.batch_window.as_nanos(), self.max_batch)
+    }
+
+    /// Validates the arrival rate before the generator turns it into a
+    /// schedule. A NaN, infinite, non-positive or sub-[`MIN_RATE`] rate
+    /// would previously saturate the `gap_s * 1e9 → u64` conversion and
+    /// produce a silently nonsensical arrival schedule; now it is a
+    /// typed error here and a panic in [`workload::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RateError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), RateError> {
+        workload::validate_rate("arrival rate", self.arrival_rate_rps)
     }
 }

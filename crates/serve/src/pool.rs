@@ -25,7 +25,7 @@
 //! session reuse amortizes priced warm-up without carrying mutable
 //! model state between requests.
 
-use dgnn_device::{DurationNs, ExecMode, Executor, PlatformSpec};
+use dgnn_device::{CacheStats, DurationNs, ExecMode, Executor, PlatformSpec};
 use dgnn_models::RunSummary;
 use dgnn_profile::ServicePhases;
 
@@ -279,6 +279,19 @@ impl WarmPool {
     /// Total cold starts across slots (excludes provisioning).
     pub fn cold_starts(&self) -> usize {
         self.replicas.iter().map(|r| r.cold_starts).sum()
+    }
+
+    /// Feature-cache counters summed over every slot's session. A slot's
+    /// cache stays warm between services — the whole point of the pool —
+    /// so hits here measure cross-request reuse, not just intra-batch
+    /// locality. All zeros when the served configs never enable the
+    /// cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for r in &self.replicas {
+            total.accumulate(&r.session.cache_stats());
+        }
+        total
     }
 
     /// Consumes the pool, returning each slot's session executor in

@@ -15,7 +15,7 @@
 //! warm-up cost shows up as cold-start spikes at the tail, not in the
 //! mean.
 
-use dgnn_device::DurationNs;
+use dgnn_device::{CacheStats, DurationNs};
 use dgnn_models::RunSummary;
 use dgnn_profile::{LatencyStats, ServicePhases, TextTable};
 
@@ -126,6 +126,11 @@ pub struct ServeReport {
     /// Staleness statistics (see [`ServedRequest::staleness`]); all
     /// zeros outside streaming runs.
     pub staleness: LatencyStats,
+    /// Device feature-cache counters summed over every replica session.
+    /// Replica caches survive between services, so hits here include
+    /// cross-request reuse on warm slots; all zeros when the served
+    /// configs never set [`dgnn_models::InferenceConfig::feature_cache`].
+    pub cache: CacheStats,
     /// Last completion time (provisioning included).
     pub makespan: DurationNs,
     /// Served requests per simulated second of makespan.
@@ -136,6 +141,7 @@ pub struct ServeReport {
 
 impl ServeReport {
     /// Builds the report from the raw serving records.
+    #[allow(clippy::too_many_arguments)] // one arg per raw record stream
     pub fn build(
         cfg: &ServeConfig,
         offered: &[Request],
@@ -144,6 +150,7 @@ impl ServeReport {
         batches: &[ServedBatch],
         provision: &ServicePhases,
         cold_services: usize,
+        cache: CacheStats,
     ) -> Self {
         let latencies: Vec<DurationNs> = served.iter().map(ServedRequest::latency).collect();
         let assembly: Vec<DurationNs> = served.iter().map(ServedRequest::assembly_wait).collect();
@@ -187,6 +194,7 @@ impl ServeReport {
             queue_wait: LatencyStats::from_durations(&queueing),
             service: LatencyStats::from_durations(&service),
             staleness: LatencyStats::from_durations(&staleness),
+            cache,
             makespan,
             throughput_rps,
             mean_batch_size,
@@ -243,6 +251,17 @@ impl ServeReport {
             self.throughput_rps,
             self.makespan.as_secs_f64() * 1e3,
         ));
+        if self.cache.lookups() > 0 {
+            out.push_str(&format!(
+                "feature cache: {} hit / {} miss ({:.1}% hit rate), {} B served on-device, \
+                 {} eviction(s)\n",
+                self.cache.hits,
+                self.cache.misses,
+                self.cache.hit_rate() * 100.0,
+                self.cache.hit_bytes,
+                self.cache.evictions,
+            ));
+        }
         out
     }
 }

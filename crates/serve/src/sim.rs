@@ -268,6 +268,7 @@ pub(crate) fn serve_with_streaming(
         &batches,
         &provision,
         pool.cold_starts(),
+        pool.cache_stats(),
     );
     ServeOutcome {
         report,

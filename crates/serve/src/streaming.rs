@@ -39,7 +39,7 @@ use dgnn_tensor::TensorRng;
 
 use crate::report::ServedRequest;
 use crate::sim::{serve_with_streaming, ServeOutcome};
-use crate::workload::Request;
+use crate::workload::{validate_rate, RateError, Request};
 use crate::{ServeConfig, ServedModel};
 
 /// Identity of the shared streaming store in provenance traces.
@@ -83,6 +83,21 @@ impl StreamingConfig {
             frozen: false,
         }
     }
+
+    /// Checks the ingest rate before it reaches the panicking
+    /// generators (frozen runs never generate arrivals, so any rate is
+    /// acceptable there).
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`RateError`] for a zero, negative, non-finite
+    /// or degenerately small `ingest_rate_eps`.
+    pub fn validate(&self) -> Result<(), RateError> {
+        if self.frozen {
+            return Ok(());
+        }
+        validate_rate("ingest rate", self.ingest_rate_eps)
+    }
 }
 
 /// Assigns a strictly increasing virtual arrival instant to each of `n`
@@ -96,12 +111,13 @@ impl StreamingConfig {
 ///
 /// # Panics
 ///
-/// Panics when `rate_eps` is not positive.
+/// Panics when `rate_eps` fails [`crate::workload::validate_rate`];
+/// call [`StreamingConfig::validate`] first to get the typed
+/// [`crate::workload::RateError`] instead.
 pub fn generate_ingest(seed: u64, n: usize, rate_eps: f64) -> Vec<DurationNs> {
-    assert!(
-        rate_eps > 0.0 && rate_eps.is_finite(),
-        "ingest rate must be positive"
-    );
+    if let Err(e) = validate_rate("ingest rate", rate_eps) {
+        panic!("{e}");
+    }
     let mut rng = TensorRng::seed(seed.wrapping_mul(0x94d0_49bb_1331_11eb) ^ 0x1963);
     let mut t_ns = 0u64;
     (0..n)
@@ -250,12 +266,18 @@ impl StreamingState {
         let n_nodes = self.store.n_nodes();
         let fanout = vec![self.n_neighbors; self.hops];
         let mut cost = SampleCost::default();
-        for &id in members {
-            let root = (id.wrapping_mul(0x9e37) ^ 0x79b9) % n_nodes;
-            let (_layers, c) = self
-                .sampler
-                .sample_khop(&view, &[(root, f64::INFINITY)], &fanout);
-            cost.add(c);
+        // An empty store (a query dispatched before the first ingest, or
+        // a degenerate zero-node stream) has nothing to sample: the
+        // request is served over the empty snapshot at zero sampling
+        // cost instead of dividing by zero below.
+        if n_nodes > 0 {
+            for &id in members {
+                let root = (id.wrapping_mul(0x9e37) ^ 0x79b9) % n_nodes;
+                let (_layers, c) =
+                    self.sampler
+                        .sample_khop(&view, &[(root, f64::INFINITY)], &fanout);
+                cost.add(c);
+            }
         }
         self.ingest.scope("stream_sample", |ex| {
             ex.host(HostWork {

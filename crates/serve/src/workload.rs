@@ -7,8 +7,69 @@
 //! downstream computation stays bit-deterministic. Each request is
 //! independently assigned a model from a weighted mix.
 
+use std::fmt;
+
 use dgnn_device::DurationNs;
 use dgnn_tensor::TensorRng;
+
+/// Smallest accepted rate, in events per simulated second. Below this
+/// the expected inter-arrival gap exceeds ~31 simulated years and
+/// `gap_s * 1e9` can overflow to infinity (for subnormal rates it
+/// always does), which `as u64` then silently saturates — turning a
+/// configuration mistake into a nonsense schedule instead of an error.
+pub const MIN_RATE: f64 = 1e-9;
+
+/// A rejected rate parameter: the typed error behind
+/// [`validate_rate`], [`crate::ServeConfig::validate`] and
+/// [`crate::StreamingConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateError {
+    /// Which rate was rejected (e.g. `"arrival rate"`).
+    pub what: &'static str,
+    /// The offending value.
+    pub value: f64,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for RateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} is invalid: {} (rate must be a finite value >= {MIN_RATE:e} per second)",
+            self.what, self.value, self.reason
+        )
+    }
+}
+
+impl std::error::Error for RateError {}
+
+/// Validates an events-per-simulated-second rate. Rejects NaN and
+/// infinities, zero and negatives, and positive values below
+/// [`MIN_RATE`] (including every subnormal), whose exponential gaps
+/// would overflow the integer-nanosecond clock.
+///
+/// # Errors
+///
+/// Returns a [`RateError`] naming the parameter and the reason.
+pub fn validate_rate(what: &'static str, rate: f64) -> Result<(), RateError> {
+    let reason = if rate.is_nan() {
+        "not a number"
+    } else if rate.is_infinite() {
+        "not finite"
+    } else if rate <= 0.0 {
+        "not positive"
+    } else if rate < MIN_RATE {
+        "too small — the expected gap overflows the virtual clock"
+    } else {
+        return Ok(());
+    };
+    Err(RateError {
+        what,
+        value: rate,
+        reason,
+    })
+}
 
 /// One inference request: a query for one unit of work (one mini-batch
 /// at the target model's configured batch size).
@@ -27,13 +88,14 @@ pub struct Request {
 ///
 /// # Panics
 ///
-/// Panics when `rate_rps` is not positive, `weights` is empty, or the
-/// weights sum to zero.
+/// Panics when `rate_rps` fails [`validate_rate`], `weights` is empty,
+/// or the weights sum to zero. Call [`validate_rate`] (or
+/// [`crate::ServeConfig::validate`]) first to get the typed
+/// [`RateError`] instead of a panic.
 pub fn generate(seed: u64, n: usize, rate_rps: f64, weights: &[f64]) -> Vec<Request> {
-    assert!(
-        rate_rps > 0.0 && rate_rps.is_finite(),
-        "arrival rate must be positive"
-    );
+    if let Err(e) = validate_rate("arrival rate", rate_rps) {
+        panic!("{e}");
+    }
     assert!(!weights.is_empty(), "model mix must not be empty");
     let total_weight: f64 = weights.iter().sum();
     assert!(total_weight > 0.0, "model mix weights must sum > 0");
@@ -118,8 +180,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "rate must be positive")]
+    #[should_panic(expected = "not positive")]
     fn zero_rate_is_rejected() {
         generate(1, 10, 0.0, &[1.0]);
+    }
+
+    #[test]
+    fn validate_rate_returns_typed_errors() {
+        assert!(validate_rate("r", 100.0).is_ok());
+        assert!(validate_rate("r", MIN_RATE).is_ok());
+        let zero = validate_rate("arrival rate", 0.0).unwrap_err();
+        assert_eq!(zero.reason, "not positive");
+        assert!(zero.to_string().contains("arrival rate"));
+        assert_eq!(validate_rate("r", -5.0).unwrap_err().reason, "not positive");
+        assert_eq!(
+            validate_rate("r", f64::NAN).unwrap_err().reason,
+            "not a number"
+        );
+        assert_eq!(
+            validate_rate("r", f64::INFINITY).unwrap_err().reason,
+            "not finite"
+        );
+        // Subnormal and tiny-normal rates: the exponential gap would
+        // round through infinity and silently saturate `as u64`.
+        assert!(validate_rate("r", f64::MIN_POSITIVE / 2.0).is_err());
+        assert!(validate_rate("r", 1e-300).is_err());
     }
 }

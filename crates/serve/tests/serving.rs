@@ -208,4 +208,59 @@ fn report_renders_every_station() {
     ] {
         assert!(text.contains(needle), "report missing {needle}:\n{text}");
     }
+    // No served config enabled the feature cache: the cache line is
+    // omitted rather than rendered as all zeros.
+    assert_eq!(outcome.report.cache.lookups(), 0);
+    assert!(!text.contains("feature cache"), "{text}");
+}
+
+#[test]
+fn warm_replicas_keep_feature_caches_across_requests() {
+    // One TGAT model with the device feature cache on: the first
+    // service cold-misses, later services on the same warm slot re-probe
+    // the same sampled rows and hit. The report aggregates the counters
+    // across replica sessions.
+    let mut cfg = base_cfg();
+    cfg.trace = true;
+    let entry = || {
+        let mut e = tgat_entry(1.0);
+        e.cfg = e.cfg.clone().with_feature_cache(1 << 16);
+        e
+    };
+    let outcome = serve(&cfg, &[entry()]);
+    let stats = outcome.report.cache;
+    assert!(stats.misses > 0, "a cold cache must miss first");
+    assert!(
+        stats.hits > 0,
+        "warm replicas must re-serve cached rows across requests: {stats:?}"
+    );
+    assert!(outcome
+        .report
+        .render("cached serve")
+        .contains("feature cache"));
+    // Cache hits are legitimately unpriced: the sanitizer stays clean
+    // and tallies them instead of flagging RULE5.
+    let mut audited_hits = 0;
+    for session in &outcome.sessions {
+        let report = dgnn_analysis::audit(session);
+        assert!(report.is_clean(), "cached replica has hazards: {report:?}");
+        audited_hits += report.stats.cache_hit_rows;
+    }
+    assert_eq!(audited_hits, stats.hits, "trace and counters must agree");
+
+    // And the whole thing replays bit-identically.
+    let again = serve(&cfg, &[entry()]);
+    assert_eq!(again.report.cache, stats);
+}
+
+#[test]
+fn serve_config_validates_its_arrival_rate() {
+    let mut cfg = base_cfg();
+    assert!(cfg.validate().is_ok());
+    cfg.arrival_rate_rps = f64::INFINITY;
+    let err = cfg.validate().unwrap_err();
+    assert_eq!(err.reason, "not finite");
+    assert!(err.to_string().contains("arrival rate"));
+    cfg.arrival_rate_rps = -1.0;
+    assert_eq!(cfg.validate().unwrap_err().reason, "not positive");
 }

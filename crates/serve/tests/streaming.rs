@@ -3,6 +3,7 @@
 
 use dgnn_datasets::{wikipedia, Scale};
 use dgnn_device::{DurationNs, ExecMode, PlatformSpec};
+use dgnn_graph::EventStream;
 use dgnn_models::{InferenceConfig, MemoryRule, ReplicaHandle, Tgn, TgnConfig};
 use dgnn_serve::{
     generate_ingest, serve_streaming, ServeConfig, ServedModel, StreamingConfig, StreamingOutcome,
@@ -130,6 +131,41 @@ fn ingest_arrivals_are_strictly_increasing_and_deterministic() {
     assert!(a.windows(2).all(|w| w[0] < w[1]));
     let c = generate_ingest(4, 500, 10_000.0);
     assert_ne!(a, c);
+}
+
+#[test]
+fn zero_node_stream_serves_without_panicking() {
+    // Regression: a query dispatched against an empty store used to hit
+    // `% n_nodes` with n_nodes == 0 in the sampling walk and panic.
+    // An empty stream has nothing to sample, so queries must simply pay
+    // zero sampling cost and serve normally.
+    let empty = EventStream::new(0, Vec::new()).expect("empty stream is valid");
+    let mut scfg = StreamingConfig::new(empty);
+    scfg.ingest_rate_eps = 20.0;
+    let mut cfg = base_cfg();
+    cfg.n_requests = 6;
+    let out = serve_streaming(&cfg, &scfg, &[tgn_entry(1.0)]);
+    assert_eq!(out.ingested, 0, "no events, nothing ingested");
+    assert_eq!(out.serve.report.served, 6, "every request still served");
+    // With nothing ever ingested the visibility watermark stays at t=0,
+    // so each request's measured staleness is simply its age.
+    assert!(out.serve.requests.iter().all(|r| r.staleness == r.arrival));
+}
+
+#[test]
+fn streaming_config_validates_its_ingest_rate() {
+    let mk = |rate: f64, frozen: bool| {
+        let mut scfg = stream_cfg(frozen);
+        scfg.ingest_rate_eps = rate;
+        scfg
+    };
+    assert!(mk(20.0, false).validate().is_ok());
+    let err = mk(0.0, false).validate().unwrap_err();
+    assert_eq!(err.reason, "not positive");
+    assert!(err.to_string().contains("ingest rate"));
+    assert!(mk(f64::NAN, false).validate().is_err());
+    // Frozen runs never generate arrivals: any rate is acceptable.
+    assert!(mk(0.0, true).validate().is_ok());
 }
 
 #[test]
