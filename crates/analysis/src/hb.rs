@@ -1,14 +1,21 @@
 //! Vector-clock happens-before reconstruction over a recorded
 //! [`dgnn_device::ExecTrace`].
 //!
-//! The stream machine has four logical time components:
+//! The stream machine has one logical time component per lane per
+//! forked device, plus the serial clock:
 //!
 //! | component | meaning |
 //! |---|---|
-//! | 0 `host`    | the Host lane of an active fork |
-//! | 1 `copy`    | the Copy lane of an active fork |
-//! | 2 `compute` | the Compute lane of an active fork |
+//! | 0 `host`    | device 0's Host lane of an active fork |
+//! | 1 `copy`    | device 0's Copy lane of an active fork |
+//! | 2 `compute` | device 0's Compute lane of an active fork |
 //! | 3 `serial`  | the serial clock — and, inside a fork, the *issuing thread* |
+//! | `4 + 3·(d−1) + lane` | device `d ≥ 1`'s lane |
+//!
+//! Single-device traces only ever touch components 0–3, so their
+//! happens-before graph is bit-identical to the historical four-component
+//! engine. Components for extra devices are grown lazily as the trace
+//! references them.
 //!
 //! Every causally relevant trace record becomes a [`Node`] stamped with
 //! its component's vector clock; `hb(a, b)` then answers whether `a` is
@@ -20,14 +27,16 @@
 //!
 //! * **Program order per component** — a component's own counter only
 //!   grows.
-//! * **Fork** — every lane inherits the serial clock (work before the
-//!   fork is visible to all lanes).
+//! * **Fork** — every lane on every device inherits the serial clock
+//!   (work before the fork is visible to all lanes).
 //! * **Join** — the serial clock absorbs every lane (work in the fork is
 //!   visible after it).
 //! * **Event record/wait** — `record_event` snapshots the recording
 //!   lane's clock under the event index; `wait_event` joins the snapshot
-//!   into the waiting lane. Snapshots are scoped to the active fork,
-//!   matching the runtime's fork-ownership check on [`dgnn_device::EventId`].
+//!   into the waiting lane — including across devices, which is how
+//!   sharded execution orders cross-shard reads after peer transfers.
+//!   Snapshots are scoped to the active fork, matching the runtime's
+//!   fork-ownership check on [`dgnn_device::EventId`].
 //! * **Issue order** — inside a fork, a lane node absorbs the *serial*
 //!   component at issue time: lane commands are created by the single
 //!   program thread in program order, so host-side bookkeeping (e.g.
@@ -40,42 +49,53 @@ use std::collections::HashMap;
 
 use dgnn_device::StreamId;
 
-/// Number of time components (three lanes + serial).
-pub(crate) const N_COMPONENTS: usize = 4;
+/// Components of a single-device trace (three lanes + serial); the
+/// engine grows past this when extra devices appear.
+pub(crate) const BASE_COMPONENTS: usize = 4;
 /// Component index of the serial clock / issuing thread.
 pub(crate) const SERIAL: usize = 3;
 
-/// Maps an issuing lane to its component index.
-pub(crate) fn component(lane: Option<StreamId>) -> usize {
+/// Maps an issuing (device, lane) pair to its component index.
+pub(crate) fn component(device: usize, lane: Option<StreamId>) -> usize {
     match lane {
-        Some(StreamId::Host) => 0,
-        Some(StreamId::Copy) => 1,
-        Some(StreamId::Compute) => 2,
         None => SERIAL,
+        Some(l) if device == 0 => l.index(),
+        Some(l) => BASE_COMPONENTS + 3 * (device - 1) + l.index(),
     }
 }
 
-/// Display name of a component.
+/// Display name of a component (lane role; device identity is carried
+/// separately in diagnostics).
 pub(crate) fn component_name(c: usize) -> &'static str {
-    match c {
+    if c == SERIAL {
+        return "serial";
+    }
+    let lane = if c < SERIAL {
+        c
+    } else {
+        (c - BASE_COMPONENTS) % 3
+    };
+    match lane {
         0 => "host",
         1 => "copy",
-        2 => "compute",
-        _ => "serial",
+        _ => "compute",
     }
 }
 
-/// A four-component vector clock.
-pub(crate) type VClock = [u64; N_COMPONENTS];
+/// A growable vector clock, one counter per component.
+pub(crate) type VClock = Vec<u64>;
 
 fn join_into(a: &mut VClock, b: &VClock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
     for (x, y) in a.iter_mut().zip(b) {
         *x = (*x).max(*y);
     }
 }
 
 /// One causally relevant trace record, stamped at issue.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct Node {
     /// Issuing component.
     pub comp: usize,
@@ -90,16 +110,22 @@ pub(crate) struct Node {
 }
 
 /// Whether `a` happens-before `b` (or `a` and `b` are the same node).
+/// Components `b` never heard of implicitly sit at 0.
 pub(crate) fn hb(a: &Node, b: &Node) -> bool {
-    b.vc[a.comp] >= a.own
+    b.vc.get(a.comp).copied().unwrap_or(0) >= a.own
 }
 
 /// Incremental vector-clock engine, advanced in trace program order.
+/// Components are grown on first touch; a trace that never switches
+/// devices behaves exactly like the historical fixed-size engine.
 #[derive(Debug)]
 pub(crate) struct HbEngine {
-    vc: [VClock; N_COMPONENTS],
+    vc: Vec<VClock>,
     /// Event index → recording lane's clock, scoped to the active fork.
     snapshots: HashMap<usize, VClock>,
+    /// Serial clock snapshot at the active fork's origin; lanes grown
+    /// mid-fork inherit it (the fork edge reaches every device's lanes).
+    fork_snapshot: Option<VClock>,
     /// Whether a fork is active.
     pub forked: bool,
 }
@@ -107,21 +133,41 @@ pub(crate) struct HbEngine {
 impl HbEngine {
     pub(crate) fn new() -> Self {
         HbEngine {
-            vc: [[0; N_COMPONENTS]; N_COMPONENTS],
+            vc: vec![vec![0; BASE_COMPONENTS]; BASE_COMPONENTS],
             snapshots: HashMap::new(),
+            fork_snapshot: None,
             forked: false,
         }
     }
 
-    /// Stamps a new node on `lane`'s component.
-    pub(crate) fn issue(&mut self, lane: Option<StreamId>, rec: usize, at_event: usize) -> Node {
-        let c = component(lane);
+    /// Ensures component `c` exists, inheriting the active fork's serial
+    /// snapshot when grown mid-fork.
+    fn ensure_component(&mut self, c: usize) {
+        while self.vc.len() <= c {
+            let clock = self.fork_snapshot.clone().unwrap_or_default();
+            self.vc.push(clock);
+        }
+    }
+
+    /// Stamps a new node on `device`/`lane`'s component.
+    pub(crate) fn issue(
+        &mut self,
+        device: usize,
+        lane: Option<StreamId>,
+        rec: usize,
+        at_event: usize,
+    ) -> Node {
+        let c = component(device, lane);
+        self.ensure_component(c);
         self.absorb_issue_order(c);
+        if self.vc[c].len() <= c {
+            self.vc[c].resize(c + 1, 0);
+        }
         self.vc[c][c] += 1;
         Node {
             comp: c,
             own: self.vc[c][c],
-            vc: self.vc[c],
+            vc: self.vc[c].clone(),
             rec,
             at_event,
         }
@@ -130,48 +176,56 @@ impl HbEngine {
     /// Inside a fork, lane commands absorb the issuing thread's progress.
     fn absorb_issue_order(&mut self, c: usize) {
         if self.forked && c != SERIAL {
-            let serial = self.vc[SERIAL];
+            let serial = self.vc[SERIAL].clone();
             join_into(&mut self.vc[c], &serial);
         }
     }
 
-    /// `fork_streams`: every lane inherits the serial clock; event
-    /// snapshots from earlier forks become unreachable (the runtime
-    /// panics on cross-fork waits).
+    /// `fork_streams`: every lane (on every device seen so far) inherits
+    /// the serial clock; event snapshots from earlier forks become
+    /// unreachable (the runtime panics on cross-fork waits).
     pub(crate) fn fork(&mut self) {
-        let serial = self.vc[SERIAL];
-        for lane in 0..SERIAL {
-            self.vc[lane] = serial;
+        let serial = self.vc[SERIAL].clone();
+        for (c, clock) in self.vc.iter_mut().enumerate() {
+            if c != SERIAL {
+                *clock = serial.clone();
+            }
         }
         self.snapshots.clear();
+        self.fork_snapshot = Some(serial);
         self.forked = true;
     }
 
     /// `join_streams`: the serial clock absorbs every lane.
     pub(crate) fn join(&mut self) {
-        let mut merged = self.vc[SERIAL];
-        for lane in 0..SERIAL {
-            join_into(&mut merged, &self.vc[lane]);
+        let mut merged = self.vc[SERIAL].clone();
+        for (c, clock) in self.vc.iter().enumerate() {
+            if c != SERIAL {
+                join_into(&mut merged, clock);
+            }
         }
         self.vc[SERIAL] = merged;
+        self.fork_snapshot = None;
         self.forked = false;
     }
 
     /// `record_event`: snapshot the recording lane's clock.
-    pub(crate) fn record(&mut self, event: usize, lane: StreamId) {
-        let c = component(Some(lane));
+    pub(crate) fn record(&mut self, event: usize, device: usize, lane: StreamId) {
+        let c = component(device, Some(lane));
+        self.ensure_component(c);
         self.absorb_issue_order(c);
-        self.snapshots.insert(event, self.vc[c]);
+        self.snapshots.insert(event, self.vc[c].clone());
     }
 
     /// `wait_event`: join the snapshot into the waiting lane. Returns
     /// `false` when the event was never recorded in the active fork.
-    pub(crate) fn wait(&mut self, event: usize, lane: StreamId) -> bool {
-        let c = component(Some(lane));
+    pub(crate) fn wait(&mut self, event: usize, device: usize, lane: StreamId) -> bool {
+        let c = component(device, Some(lane));
+        self.ensure_component(c);
         self.absorb_issue_order(c);
         match self.snapshots.get(&event) {
             Some(snapshot) => {
-                let snapshot = *snapshot;
+                let snapshot = snapshot.clone();
                 join_into(&mut self.vc[c], &snapshot);
                 true
             }
@@ -187,8 +241,8 @@ mod tests {
     #[test]
     fn serial_program_order_is_total() {
         let mut e = HbEngine::new();
-        let a = e.issue(None, 0, 0);
-        let b = e.issue(None, 1, 0);
+        let a = e.issue(0, None, 0, 0);
+        let b = e.issue(0, None, 1, 0);
         assert!(hb(&a, &b));
         assert!(!hb(&b, &a));
     }
@@ -197,8 +251,8 @@ mod tests {
     fn unsynchronized_lanes_are_concurrent() {
         let mut e = HbEngine::new();
         e.fork();
-        let a = e.issue(Some(StreamId::Copy), 0, 0);
-        let b = e.issue(Some(StreamId::Compute), 1, 0);
+        let a = e.issue(0, Some(StreamId::Copy), 0, 0);
+        let b = e.issue(0, Some(StreamId::Compute), 1, 0);
         assert!(!hb(&a, &b));
         assert!(!hb(&b, &a));
     }
@@ -207,10 +261,10 @@ mod tests {
     fn record_wait_orders_across_lanes() {
         let mut e = HbEngine::new();
         e.fork();
-        let a = e.issue(Some(StreamId::Copy), 0, 0);
-        e.record(0, StreamId::Copy);
-        assert!(e.wait(0, StreamId::Compute));
-        let b = e.issue(Some(StreamId::Compute), 1, 0);
+        let a = e.issue(0, Some(StreamId::Copy), 0, 0);
+        e.record(0, 0, StreamId::Copy);
+        assert!(e.wait(0, 0, StreamId::Compute));
+        let b = e.issue(0, Some(StreamId::Compute), 1, 0);
         assert!(hb(&a, &b));
     }
 
@@ -218,25 +272,25 @@ mod tests {
     fn hb_is_transitive_through_two_handoffs() {
         let mut e = HbEngine::new();
         e.fork();
-        let a = e.issue(Some(StreamId::Host), 0, 0);
-        e.record(0, StreamId::Host);
-        assert!(e.wait(0, StreamId::Copy));
-        let _mid = e.issue(Some(StreamId::Copy), 1, 0);
-        e.record(1, StreamId::Copy);
-        assert!(e.wait(1, StreamId::Compute));
-        let c = e.issue(Some(StreamId::Compute), 2, 0);
+        let a = e.issue(0, Some(StreamId::Host), 0, 0);
+        e.record(0, 0, StreamId::Host);
+        assert!(e.wait(0, 0, StreamId::Copy));
+        let _mid = e.issue(0, Some(StreamId::Copy), 1, 0);
+        e.record(1, 0, StreamId::Copy);
+        assert!(e.wait(1, 0, StreamId::Compute));
+        let c = e.issue(0, Some(StreamId::Compute), 2, 0);
         assert!(hb(&a, &c));
     }
 
     #[test]
     fn fork_and_join_order_serial_work() {
         let mut e = HbEngine::new();
-        let before = e.issue(None, 0, 0);
+        let before = e.issue(0, None, 0, 0);
         e.fork();
-        let lane = e.issue(Some(StreamId::Compute), 1, 0);
+        let lane = e.issue(0, Some(StreamId::Compute), 1, 0);
         assert!(hb(&before, &lane), "pre-fork work is visible to lanes");
         e.join();
-        let after = e.issue(None, 2, 0);
+        let after = e.issue(0, None, 2, 0);
         assert!(hb(&lane, &after), "post-join serial sees lane work");
     }
 
@@ -244,9 +298,9 @@ mod tests {
     fn issue_order_flows_serial_to_lane_but_not_back() {
         let mut e = HbEngine::new();
         e.fork();
-        let lane = e.issue(Some(StreamId::Compute), 0, 0);
-        let bookkeeping = e.issue(None, 1, 0);
-        let later_lane = e.issue(Some(StreamId::Copy), 2, 0);
+        let lane = e.issue(0, Some(StreamId::Compute), 0, 0);
+        let bookkeeping = e.issue(0, None, 1, 0);
+        let later_lane = e.issue(0, Some(StreamId::Copy), 2, 0);
         assert!(hb(&bookkeeping, &later_lane), "issue order is an edge");
         assert!(!hb(&lane, &bookkeeping), "lane work is asynchronous");
     }
@@ -255,9 +309,45 @@ mod tests {
     fn snapshots_do_not_survive_a_new_fork() {
         let mut e = HbEngine::new();
         e.fork();
-        e.record(0, StreamId::Copy);
+        e.record(0, 0, StreamId::Copy);
         e.join();
         e.fork();
-        assert!(!e.wait(0, StreamId::Compute), "stale event index");
+        assert!(!e.wait(0, 0, StreamId::Compute), "stale event index");
+    }
+
+    #[test]
+    fn same_lane_on_different_devices_is_concurrent() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let a = e.issue(0, Some(StreamId::Compute), 0, 0);
+        let b = e.issue(1, Some(StreamId::Compute), 1, 0);
+        assert_ne!(a.comp, b.comp, "devices own distinct components");
+        assert!(!hb(&a, &b));
+        assert!(!hb(&b, &a));
+    }
+
+    #[test]
+    fn record_wait_orders_across_devices() {
+        let mut e = HbEngine::new();
+        e.fork();
+        let producer = e.issue(0, Some(StreamId::Compute), 0, 0);
+        e.record(0, 0, StreamId::Compute);
+        assert!(e.wait(0, 2, StreamId::Copy));
+        let consumer = e.issue(2, Some(StreamId::Copy), 1, 0);
+        assert!(hb(&producer, &consumer));
+    }
+
+    #[test]
+    fn pre_fork_work_is_visible_to_lanes_grown_mid_fork() {
+        let mut e = HbEngine::new();
+        let before = e.issue(0, None, 0, 0);
+        e.fork();
+        // Device 3's lanes did not exist at fork time; the fork edge
+        // must still reach them.
+        let lane = e.issue(3, Some(StreamId::Host), 1, 0);
+        assert!(hb(&before, &lane));
+        e.join();
+        let after = e.issue(0, None, 2, 0);
+        assert!(hb(&lane, &after), "join absorbs late-grown lanes");
     }
 }

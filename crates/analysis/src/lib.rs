@@ -14,10 +14,12 @@
 //! ([`ExecTrace`](dgnn_device::ExecTrace), recorded by
 //! [`Executor::enable_tracing`](dgnn_device::Executor::enable_tracing))
 //! together with the [`Timeline`](dgnn_device::Timeline) through a
-//! vector-clock happens-before engine and checks seven hazard
+//! vector-clock happens-before engine and checks eight hazard
 //! rules (see [`HazardRule`]) — including RULE7, which guards the
 //! streaming delta-log graph: a sample must never read an appended
-//! region whose ingest work had not completed by the read's start. It is entirely post-hoc: run the model,
+//! region whose ingest work had not completed by the read's start,
+//! and RULE8, which balances cross-device peer traffic per device
+//! pair. It is entirely post-hoc: run the model,
 //! then [`audit`] the executor. Tracing off means zero cost and nothing
 //! to analyze.
 //!

@@ -4,8 +4,8 @@ use std::fmt;
 
 use dgnn_device::TensorId;
 
-/// The seven hazard classes the sanitizer checks (see `DESIGN.md` §3e
-/// for RULE1–RULE6 and §3g for RULE7).
+/// The eight hazard classes the sanitizer checks (see `DESIGN.md` §3e
+/// for RULE1–RULE6, §3g for RULE7 and §3i for RULE8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HazardRule {
     /// A device-side read of a tensor whose defining H2D upload (or
@@ -37,11 +37,17 @@ pub enum HazardRule {
     /// all), or the ingest watermark / visibility instants regressed
     /// across appends.
     SampleAfterAppend,
+    /// Cross-device peer bytes not conserved: a dispatcher-logged peer
+    /// crossing was never priced on an interconnect edge, a priced peer
+    /// record doesn't match its timeline event (category, bytes, route,
+    /// destination device), or a transfer was priced between a device
+    /// and itself.
+    PeerConservation,
 }
 
 impl HazardRule {
     /// All rules, in report order.
-    pub const ALL: [HazardRule; 7] = [
+    pub const ALL: [HazardRule; 8] = [
         HazardRule::ReadBeforeTransfer,
         HazardRule::UseAfterRelease,
         HazardRule::MissingWait,
@@ -49,9 +55,10 @@ impl HazardRule {
         HazardRule::ByteConservation,
         HazardRule::BusyFraction,
         HazardRule::SampleAfterAppend,
+        HazardRule::PeerConservation,
     ];
 
-    /// Stable rule identifier (`RULE1`..`RULE7`).
+    /// Stable rule identifier (`RULE1`..`RULE8`).
     pub fn id(self) -> &'static str {
         match self {
             HazardRule::ReadBeforeTransfer => "RULE1",
@@ -61,6 +68,7 @@ impl HazardRule {
             HazardRule::ByteConservation => "RULE5",
             HazardRule::BusyFraction => "RULE6",
             HazardRule::SampleAfterAppend => "RULE7",
+            HazardRule::PeerConservation => "RULE8",
         }
     }
 
@@ -74,6 +82,7 @@ impl HazardRule {
             HazardRule::ByteConservation => "byte-conservation",
             HazardRule::BusyFraction => "busy-fraction",
             HazardRule::SampleAfterAppend => "sample-after-append",
+            HazardRule::PeerConservation => "peer-conservation",
         }
     }
 
@@ -114,6 +123,12 @@ impl HazardRule {
                  completed by the read's start (view_prefix over the \
                  visibility watermark), append in ingest order, and never \
                  let the watermark or visibility instants move backwards"
+            }
+            HazardRule::PeerConservation => {
+                "price every cross-device fetch through Dispatcher::\
+                 peer_transfer on the destination device so the crossing \
+                 and its interconnect pricing stay paired, and never fetch \
+                 from the device the work already runs on"
             }
         }
     }
@@ -187,6 +202,10 @@ pub struct SanitizeStats {
     pub cache_hit_rows: u64,
     /// Bytes those cache-served rows would otherwise have moved H2D.
     pub cache_hit_bytes: u64,
+    /// Cross-device peer crossings replayed (RULE8 coverage).
+    pub peer_crossings: usize,
+    /// Bytes priced on interconnect edges (direct peer + host-staged).
+    pub peer_bytes: u64,
 }
 
 /// The sanitizer's verdict over one recorded execution.
@@ -222,7 +241,8 @@ impl fmt::Display for SanitizerReport {
             f,
             "sanitizer: {} hazard(s) over {} trace records, {} timeline \
              events, {} tensors, {} fork(s), {} crossing(s), {} B H2D / {} B D2H priced, \
-             {} graph append(s) / {} sample(s), {} cache-hit row(s) ({} B unpriced)",
+             {} graph append(s) / {} sample(s), {} cache-hit row(s) ({} B unpriced), \
+             {} peer crossing(s) ({} B on interconnect)",
             self.hazards.len(),
             s.trace_records,
             s.timeline_events,
@@ -235,6 +255,8 @@ impl fmt::Display for SanitizerReport {
             s.graph_samples,
             s.cache_hit_rows,
             s.cache_hit_bytes,
+            s.peer_crossings,
+            s.peer_bytes,
         )?;
         for h in &self.hazards {
             writeln!(f, "  {h}")?;
@@ -252,11 +274,12 @@ mod tests {
         let ids: Vec<&str> = HazardRule::ALL.iter().map(|r| r.id()).collect();
         assert_eq!(
             ids,
-            vec!["RULE1", "RULE2", "RULE3", "RULE4", "RULE5", "RULE6", "RULE7"]
+            vec!["RULE1", "RULE2", "RULE3", "RULE4", "RULE5", "RULE6", "RULE7", "RULE8"]
         );
         let slugs: Vec<&str> = HazardRule::ALL.iter().map(|r| r.slug()).collect();
-        assert_eq!(slugs.len(), 7);
+        assert_eq!(slugs.len(), 8);
         assert!(slugs.contains(&"sample-after-append"));
+        assert!(slugs.contains(&"peer-conservation"));
     }
 
     #[test]

@@ -23,15 +23,19 @@
 //!   its visible prefix (append logged earlier in program order *and*
 //!   its Host-lane work complete by the read's start), and the ingest
 //!   watermark / visibility instants must be monotone across appends.
+//! * **RULE8 peer-conservation** (`DESIGN.md` §3i) — every cross-device
+//!   fetch intent is priced on exactly one interconnect edge, every
+//!   priced peer record matches its timeline event (category, bytes,
+//!   route, destination device), and no device "fetches" from itself.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use dgnn_device::{
     AccessKind, DurationNs, EventCategory, ExecTrace, Place, TensorId, Timeline, TraceRecord,
     TransferDir,
 };
 
-use crate::hb::{component, component_name, hb, HbEngine, Node, N_COMPONENTS};
+use crate::hb::{component, component_name, hb, HbEngine, Node};
 use crate::report::{Hazard, HazardRule, SanitizeStats, SanitizerReport};
 
 /// A busy-fraction claim to verify under RULE6 (e.g. what a profile
@@ -130,7 +134,7 @@ struct TensorState {
     /// Latest invalidation while the copy is invalid.
     invalidated: Option<(Node, &'static str)>,
     /// Latest device read per component (for write/read race checks).
-    last_read: [Option<Node>; N_COMPONENTS],
+    last_read: HashMap<usize, Node>,
 }
 
 struct Sanitizer<'a> {
@@ -151,8 +155,17 @@ struct Sanitizer<'a> {
     /// Serial clock after the last join (RULE4 fork-origin check).
     last_serial_time: DurationNs,
     fork_origin: DurationNs,
-    /// Last `record_event` timestamp per lane within the active fork.
-    last_record_at: [Option<DurationNs>; 3],
+    /// Last `record_event` timestamp per (device, lane) component within
+    /// the active fork.
+    last_record_at: HashMap<usize, DurationNs>,
+    /// Device the executor currently targets (DeviceSwitch replay).
+    current_device: usize,
+    /// RULE8 crossing-intent bytes per (src, dst) device pair.
+    peer_crossed: BTreeMap<(usize, usize), u64>,
+    /// RULE8 priced bytes per (src, dst) device pair.
+    peer_priced: BTreeMap<(usize, usize), u64>,
+    peer_crossings: usize,
+    peer_bytes: u64,
     /// Streaming-graph stores observed so far (RULE7).
     stores: HashMap<u64, StoreState>,
     /// Dedup for store-attributed hazards: one report per (store, kind).
@@ -180,7 +193,12 @@ impl<'a> Sanitizer<'a> {
             forks: 0,
             last_serial_time: DurationNs::ZERO,
             fork_origin: DurationNs::ZERO,
-            last_record_at: [None; 3],
+            last_record_at: HashMap::new(),
+            current_device: 0,
+            peer_crossed: BTreeMap::new(),
+            peer_priced: BTreeMap::new(),
+            peer_crossings: 0,
+            peer_bytes: 0,
             stores: HashMap::new(),
             store_reported: HashSet::new(),
             graph_appends: 0,
@@ -251,7 +269,7 @@ impl<'a> Sanitizer<'a> {
         }
         let state = self.tensors.entry(tensor).or_default();
         if !state.device_valid {
-            if let Some((inv, how)) = state.invalidated {
+            if let Some((inv, how)) = state.invalidated.clone() {
                 let lanes = vec![component_name(inv.comp), component_name(node.comp)];
                 let recs = vec![inv.rec, node.rec];
                 let evs = vec![inv.at_event, node.at_event];
@@ -274,7 +292,7 @@ impl<'a> Sanitizer<'a> {
                     Some(tensor),
                 );
             }
-        } else if let Some(define) = state.define {
+        } else if let Some(define) = state.define.clone() {
             if !hb(&define, &node) {
                 let lanes = vec![component_name(define.comp), component_name(node.comp)];
                 let recs = vec![define.rec, node.rec];
@@ -293,7 +311,7 @@ impl<'a> Sanitizer<'a> {
             }
         }
         if let Some(state) = self.tensors.get_mut(&tensor) {
-            state.last_read[node.comp] = Some(node);
+            state.last_read.insert(node.comp, node);
         }
     }
 
@@ -303,17 +321,18 @@ impl<'a> Sanitizer<'a> {
         let mut races: Vec<(Node, &'static str)> = Vec::new();
         {
             let state = self.tensors.entry(tensor).or_default();
-            for comp in 0..N_COMPONENTS {
+            for (&comp, read) in &state.last_read {
                 if comp == node.comp {
                     continue;
                 }
-                if let Some(read) = state.last_read[comp] {
-                    if !hb(&read, &node) {
-                        races.push((read, "device read"));
-                    }
+                if !hb(read, &node) {
+                    races.push((read.clone(), "device read"));
                 }
             }
-            if let Some(define) = state.define {
+            // Race reports in deterministic component order regardless of
+            // map iteration order.
+            races.sort_by_key(|(n, _)| (n.comp, n.rec));
+            if let Some(define) = state.define.clone() {
                 if define.comp != node.comp && !hb(&define, &node) {
                     races.push((define, "defining upload/adopt"));
                 }
@@ -340,7 +359,7 @@ impl<'a> Sanitizer<'a> {
         let prior_invalidation = {
             let state = self.tensors.entry(tensor).or_default();
             match kind {
-                WriteKind::Invalidate(_) if !state.device_valid => state.invalidated,
+                WriteKind::Invalidate(_) if !state.device_valid => state.invalidated.clone(),
                 _ => None,
             }
         };
@@ -379,7 +398,7 @@ impl<'a> Sanitizer<'a> {
                     place,
                     at_event,
                 } => {
-                    let node = self.engine.issue(*lane, i, *at_event);
+                    let node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     match kind {
                         AccessKind::Arg => {
                             self.device_read(*tensor, node, *place, "kernel-argument read");
@@ -400,7 +419,7 @@ impl<'a> Sanitizer<'a> {
                     staged,
                     at_event,
                 } => {
-                    let node = self.engine.issue(*lane, i, *at_event);
+                    let node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     self.crossings += 1;
                     let di = dir_index(*dir);
                     if *staged {
@@ -423,7 +442,7 @@ impl<'a> Sanitizer<'a> {
                     lane,
                     at_event,
                 } => {
-                    let _node = self.engine.issue(*lane, i, *at_event);
+                    let _node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     let di = dir_index(*dir);
                     self.flushed[di] += bytes;
                     if self.flushed[di] > self.staged[di] && !self.over_flush_reported[di] {
@@ -437,7 +456,7 @@ impl<'a> Sanitizer<'a> {
                         self.hazard(
                             HazardRule::ByteConservation,
                             msg,
-                            vec![component_name(component(*lane))],
+                            vec![component_name(component(self.current_device, *lane))],
                             vec![i],
                             vec![*at_event],
                             None,
@@ -450,7 +469,7 @@ impl<'a> Sanitizer<'a> {
                     lane,
                     event,
                 } => {
-                    let _node = self.engine.issue(*lane, i, *event);
+                    let _node = self.engine.issue(self.current_device, *lane, i, *event);
                     self.priced[dir_index(*dir)] += bytes;
                     match self.timeline.events().get(*event) {
                         Some(e)
@@ -471,7 +490,7 @@ impl<'a> Sanitizer<'a> {
                             self.hazard(
                                 HazardRule::ByteConservation,
                                 msg,
-                                vec![component_name(component(*lane))],
+                                vec![component_name(component(self.current_device, *lane))],
                                 vec![i],
                                 vec![*event],
                                 None,
@@ -489,7 +508,7 @@ impl<'a> Sanitizer<'a> {
                             self.hazard(
                                 HazardRule::ByteConservation,
                                 msg,
-                                vec![component_name(component(*lane))],
+                                vec![component_name(component(self.current_device, *lane))],
                                 vec![i],
                                 vec![],
                                 None,
@@ -511,7 +530,7 @@ impl<'a> Sanitizer<'a> {
                     // silent about them. The record still participates in
                     // the happens-before graph (it is a device read on
                     // its issuing lane) and is tallied for reports.
-                    let _node = self.engine.issue(*lane, i, *at_event);
+                    let _node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     self.cache_hit_rows += rows;
                     self.cache_hit_bytes += bytes;
                 }
@@ -520,7 +539,7 @@ impl<'a> Sanitizer<'a> {
                     lane,
                     at_event,
                 } => {
-                    let node = self.engine.issue(*lane, i, *at_event);
+                    let node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     self.device_write(*tensor, node, WriteKind::Invalidate("release"));
                 }
                 TraceRecord::Fork { at } => {
@@ -553,7 +572,7 @@ impl<'a> Sanitizer<'a> {
                     }
                     self.engine.fork();
                     self.fork_origin = *at;
-                    self.last_record_at = [None; 3];
+                    self.last_record_at.clear();
                 }
                 TraceRecord::Join { at, lane_clocks } => {
                     if !self.engine.forked {
@@ -599,7 +618,7 @@ impl<'a> Sanitizer<'a> {
                             None,
                         );
                     } else {
-                        let li = component(Some(*lane));
+                        let li = component(self.current_device, Some(*lane));
                         if *at < self.fork_origin {
                             let msg = format!(
                                 "event {} recorded at {} ns before the fork origin {} ns",
@@ -616,7 +635,7 @@ impl<'a> Sanitizer<'a> {
                                 None,
                             );
                         }
-                        if let Some(prev) = self.last_record_at[li] {
+                        if let Some(&prev) = self.last_record_at.get(&li) {
                             if *at < prev {
                                 let msg = format!(
                                     "lane clock rewound: event {} recorded at {} ns after \
@@ -635,12 +654,12 @@ impl<'a> Sanitizer<'a> {
                                 );
                             }
                         }
-                        self.last_record_at[li] = Some(*at);
+                        self.last_record_at.insert(li, *at);
                     }
-                    self.engine.record(*event, *lane);
+                    self.engine.record(*event, self.current_device, *lane);
                 }
                 TraceRecord::EventWait { event, lane } => {
-                    if !self.engine.wait(*event, *lane) {
+                    if !self.engine.wait(*event, self.current_device, *lane) {
                         let msg = format!(
                             "wait_event on index {event} which the active fork never \
                              recorded (stale or foreign handle)"
@@ -663,9 +682,9 @@ impl<'a> Sanitizer<'a> {
                     lane,
                     at_event,
                 } => {
-                    let _node = self.engine.issue(*lane, i, *at_event);
+                    let _node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     self.graph_appends += 1;
-                    let lane_name = component_name(component(*lane));
+                    let lane_name = component_name(component(self.current_device, *lane));
                     let st = self.stores.entry(*store).or_default();
                     let expected = st.appends.len();
                     let last_time_bits = st.last_time_bits;
@@ -741,9 +760,9 @@ impl<'a> Sanitizer<'a> {
                     lane,
                     at_event,
                 } => {
-                    let _node = self.engine.issue(*lane, i, *at_event);
+                    let _node = self.engine.issue(self.current_device, *lane, i, *at_event);
                     self.graph_samples += 1;
-                    let lane_name = component_name(component(*lane));
+                    let lane_name = component_name(component(self.current_device, *lane));
                     let st = self.stores.entry(*store).or_default();
                     let appended = st.appends.len();
                     let newest = visible
@@ -780,6 +799,102 @@ impl<'a> Sanitizer<'a> {
                                 vec![lane_name],
                                 vec![i, a.record],
                                 vec![*at_event],
+                            );
+                        }
+                    }
+                }
+                TraceRecord::DeviceSwitch { device } => {
+                    self.current_device = *device;
+                }
+                TraceRecord::PeerCrossing {
+                    src,
+                    dst,
+                    bytes,
+                    lane,
+                    at_event,
+                } => {
+                    let _node = self.engine.issue(*dst, *lane, i, *at_event);
+                    self.peer_crossings += 1;
+                    *self.peer_crossed.entry((*src, *dst)).or_default() += bytes;
+                }
+                TraceRecord::PeerPriced {
+                    src,
+                    dst,
+                    bytes,
+                    via_host,
+                    lane,
+                    event,
+                } => {
+                    let _node = self.engine.issue(*dst, *lane, i, *event);
+                    *self.peer_priced.entry((*src, *dst)).or_default() += bytes;
+                    self.peer_bytes += bytes;
+                    let lane_name = component_name(component(*dst, *lane));
+                    if src == dst {
+                        let msg = format!(
+                            "device {dst} priced a {bytes} B peer transfer from itself — \
+                             shard-local reads must never touch the interconnect"
+                        );
+                        self.hazard(
+                            HazardRule::PeerConservation,
+                            msg,
+                            vec![lane_name],
+                            vec![i],
+                            vec![*event],
+                            None,
+                        );
+                    }
+                    let expected_label = if *via_host {
+                        "peer_copy_staged"
+                    } else {
+                        "peer_copy"
+                    };
+                    match self.timeline.events().get(*event) {
+                        Some(e)
+                            if e.category == EventCategory::PeerTransfer
+                                && e.bytes == *bytes
+                                && e.device == *dst
+                                && e.stream == *lane
+                                && e.label == expected_label => {}
+                        Some(e) => {
+                            let msg = format!(
+                                "priced {} B peer transfer {}→{} does not match timeline \
+                                 event {} ({:?} \"{}\", {} B, device {}, lane {:?})",
+                                bytes,
+                                src,
+                                dst,
+                                event,
+                                e.category,
+                                e.label,
+                                e.bytes,
+                                e.device,
+                                e.stream
+                            );
+                            self.hazard(
+                                HazardRule::PeerConservation,
+                                msg,
+                                vec![lane_name],
+                                vec![i],
+                                vec![*event],
+                                None,
+                            );
+                        }
+                        None => {
+                            let msg = format!(
+                                "priced {} B peer transfer {}→{} points at timeline event \
+                                 {} past the recorded timeline (len {})",
+                                bytes,
+                                src,
+                                dst,
+                                event,
+                                self.timeline.len()
+                            );
+                            self.hazard(
+                                HazardRule::PeerConservation,
+                                msg,
+                                vec![lane_name],
+                                vec![i],
+                                vec![],
+                                None,
                             );
                         }
                     }
@@ -834,13 +949,54 @@ impl<'a> Sanitizer<'a> {
                 );
             }
         }
+        // End-of-trace RULE8 peer conservation: per (src, dst) device
+        // pair, crossing intents and interconnect pricing must balance.
+        let pairs: BTreeSet<(usize, usize)> = self
+            .peer_crossed
+            .keys()
+            .chain(self.peer_priced.keys())
+            .copied()
+            .collect();
+        for pair in pairs {
+            let crossed = self.peer_crossed.get(&pair).copied().unwrap_or(0);
+            let priced = self.peer_priced.get(&pair).copied().unwrap_or(0);
+            if priced < crossed {
+                let msg = format!(
+                    "peer crossings {}→{} logged {} B but only {} B were priced on an \
+                     interconnect edge — some cross-device fetch was never priced",
+                    pair.0, pair.1, crossed, priced
+                );
+                self.hazard(
+                    HazardRule::PeerConservation,
+                    msg,
+                    vec![],
+                    vec![],
+                    vec![],
+                    None,
+                );
+            } else if priced > crossed {
+                let msg = format!(
+                    "peer pricing {}→{} covered {} B but only {} B of crossings were \
+                     logged — phantom interconnect traffic with no fetch intent",
+                    pair.0, pair.1, priced, crossed
+                );
+                self.hazard(
+                    HazardRule::PeerConservation,
+                    msg,
+                    vec![],
+                    vec![],
+                    vec![],
+                    None,
+                );
+            }
+        }
     }
 
     /// RULE4 over the timeline: per execution lane (and the serial
-    /// clock), events must be well-formed and non-overlapping in
-    /// emission order.
+    /// clock) of every device, events must be well-formed and
+    /// non-overlapping in emission order.
     fn check_timeline(&mut self) {
-        let mut last_end: [Option<(usize, DurationNs)>; N_COMPONENTS] = [None; N_COMPONENTS];
+        let mut last_end: HashMap<usize, (usize, DurationNs)> = HashMap::new();
         for (idx, e) in self.timeline.events().iter().enumerate() {
             if e.end < e.start {
                 let msg = format!(
@@ -853,15 +1009,15 @@ impl<'a> Sanitizer<'a> {
                 self.hazard(
                     HazardRule::ClockMonotonicity,
                     msg,
-                    vec![component_name(component(e.stream))],
+                    vec![component_name(component(e.device, e.stream))],
                     vec![],
                     vec![idx],
                     None,
                 );
                 continue;
             }
-            let c = component(e.stream);
-            if let Some((prev_idx, prev_end)) = last_end[c] {
+            let c = component(e.device, e.stream);
+            if let Some(&(prev_idx, prev_end)) = last_end.get(&c) {
                 if e.start < prev_end {
                     let msg = format!(
                         "events {} and {} overlap on the {} clock ({} starts at {} ns \
@@ -884,7 +1040,7 @@ impl<'a> Sanitizer<'a> {
                     );
                 }
             }
-            last_end[c] = Some((idx, e.end));
+            last_end.insert(c, (idx, e.end));
         }
     }
 
@@ -921,7 +1077,9 @@ fn reference_busy_fraction(timeline: &Timeline, win_start: DurationNs, win_end: 
     }
     let mut bounds: Vec<(u64, i64)> = Vec::new();
     for e in timeline.events() {
-        if !e.category.is_gpu_compute() {
+        // The claim under test is `gpu_busy_fraction`, which is device
+        // 0's kernel residency; other devices' kernels are out of scope.
+        if !e.category.is_gpu_compute() || e.device != 0 {
             continue;
         }
         let s = e.start.max(win_start).as_nanos();
@@ -951,8 +1109,10 @@ fn reference_busy_fraction(timeline: &Timeline, win_start: DurationNs, win_end: 
 /// transfer, no buffer is used after download/release, all conflicting
 /// cross-lane accesses are event-ordered, clocks are monotone, staged
 /// bytes are conserved, (when a claim is supplied) the busy fraction is
-/// consistent with the timeline, and every streaming-graph sample reads
-/// only append prefixes whose ingest work completed before the read.
+/// consistent with the timeline, every streaming-graph sample reads
+/// only append prefixes whose ingest work completed before the read,
+/// and every cross-device fetch is priced on exactly one interconnect
+/// edge (RULE8).
 pub fn sanitize(timeline: &Timeline, trace: &ExecTrace, opts: &SanitizeOptions) -> SanitizerReport {
     let mut s = Sanitizer::new(timeline);
     s.replay(trace);
@@ -972,6 +1132,8 @@ pub fn sanitize(timeline: &Timeline, trace: &ExecTrace, opts: &SanitizeOptions) 
         graph_samples: s.graph_samples,
         cache_hit_rows: s.cache_hit_rows,
         cache_hit_bytes: s.cache_hit_bytes,
+        peer_crossings: s.peer_crossings,
+        peer_bytes: s.peer_bytes,
     };
     SanitizerReport {
         hazards: s.hazards,
@@ -1026,6 +1188,7 @@ mod tests {
             flops: 0,
             bytes: 64,
             stream: None,
+            device: 0,
         });
         trace.push(TraceRecord::Priced {
             dir: TransferDir::H2D,
@@ -1073,6 +1236,7 @@ mod tests {
             flops: 0,
             bytes: 128,
             stream: None,
+            device: 0,
         });
         trace.push(TraceRecord::Priced {
             dir: TransferDir::H2D,
@@ -1110,7 +1274,7 @@ mod tests {
         });
         trace.push(TraceRecord::Join {
             at: DurationNs::from_nanos(10),
-            lane_clocks: [DurationNs::ZERO; 3],
+            lane_clocks: vec![DurationNs::ZERO; 3],
         });
         let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
         assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 1, "{report}");
@@ -1148,10 +1312,119 @@ mod tests {
         });
         trace.push(TraceRecord::Join {
             at: DurationNs::from_nanos(10),
-            lane_clocks: [DurationNs::ZERO; 3],
+            lane_clocks: vec![DurationNs::ZERO; 3],
         });
         let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
         assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 0, "{report}");
         assert_eq!(report.count(HazardRule::MissingWait), 0, "{report}");
+    }
+
+    fn peer_event(label: &'static str, device: usize, bytes: u64) -> dgnn_device::TimelineEvent {
+        dgnn_device::TimelineEvent {
+            label,
+            scope: String::new(),
+            category: EventCategory::PeerTransfer,
+            place: Place::Pcie,
+            start: DurationNs::ZERO,
+            end: DurationNs::from_nanos(10),
+            occupancy: 1.0,
+            flops: 0,
+            bytes,
+            stream: None,
+            device,
+        }
+    }
+
+    #[test]
+    fn balanced_peer_crossing_is_clean() {
+        let mut trace = ExecTrace::new();
+        trace.push(TraceRecord::DeviceSwitch { device: 1 });
+        trace.push(TraceRecord::PeerCrossing {
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            lane: None,
+            at_event: 0,
+        });
+        trace.push(TraceRecord::PeerPriced {
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            via_host: false,
+            lane: None,
+            event: 0,
+        });
+        let mut tl = Timeline::new();
+        tl.push(peer_event("peer_copy", 1, 4096));
+        let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.stats.peer_crossings, 1);
+        assert_eq!(report.stats.peer_bytes, 4096);
+    }
+
+    #[test]
+    fn unpriced_peer_crossing_is_rule8() {
+        let mut trace = ExecTrace::new();
+        trace.push(TraceRecord::DeviceSwitch { device: 1 });
+        trace.push(TraceRecord::PeerCrossing {
+            src: 0,
+            dst: 1,
+            bytes: 4096,
+            lane: None,
+            at_event: 0,
+        });
+        let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+        assert_eq!(report.count(HazardRule::PeerConservation), 1, "{report}");
+    }
+
+    #[test]
+    fn self_peer_pricing_is_rule8() {
+        let mut trace = ExecTrace::new();
+        trace.push(TraceRecord::PeerCrossing {
+            src: 1,
+            dst: 1,
+            bytes: 64,
+            lane: None,
+            at_event: 0,
+        });
+        trace.push(TraceRecord::PeerPriced {
+            src: 1,
+            dst: 1,
+            bytes: 64,
+            via_host: false,
+            lane: None,
+            event: 0,
+        });
+        let mut tl = Timeline::new();
+        tl.push(peer_event("peer_copy", 1, 64));
+        let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+        assert_eq!(report.count(HazardRule::PeerConservation), 1, "{report}");
+    }
+
+    #[test]
+    fn mislabeled_peer_route_is_rule8() {
+        // Priced record says the payload bounced through the host, but
+        // the timeline event is a direct peer copy.
+        let mut trace = ExecTrace::new();
+        trace.push(TraceRecord::DeviceSwitch { device: 2 });
+        trace.push(TraceRecord::PeerCrossing {
+            src: 0,
+            dst: 2,
+            bytes: 512,
+            lane: None,
+            at_event: 0,
+        });
+        trace.push(TraceRecord::PeerPriced {
+            src: 0,
+            dst: 2,
+            bytes: 512,
+            via_host: true,
+            lane: None,
+            event: 0,
+        });
+        let mut tl = Timeline::new();
+        tl.push(peer_event("peer_copy", 2, 512));
+        let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+        assert_eq!(report.count(HazardRule::PeerConservation), 1, "{report}");
     }
 }

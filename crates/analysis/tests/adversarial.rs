@@ -1,6 +1,6 @@
 //! Adversarial and known-good traces for the timeline sanitizer.
 //!
-//! Every one of the seven hazard rules is exercised with at least one
+//! Every one of the eight hazard rules is exercised with at least one
 //! hand-built trace that MUST be flagged, and the clean twins (plus real
 //! executor sessions) MUST pass. This is the regression net that keeps
 //! the checker honest in both directions: no missed hazards, no false
@@ -29,6 +29,7 @@ fn kernel_event(start: u64, end: u64, stream: Option<StreamId>) -> TimelineEvent
         flops: 1,
         bytes: 0,
         stream,
+        device: 0,
     }
 }
 
@@ -44,6 +45,7 @@ fn transfer_event(dir: TransferDir, bytes: u64, stream: Option<StreamId>) -> Tim
         flops: 0,
         bytes,
         stream,
+        device: 0,
     }
 }
 
@@ -73,7 +75,7 @@ fn rule1_cross_lane_upload_without_wait_is_flagged() {
     });
     trace.push(TraceRecord::Join {
         at: ns(20),
-        lane_clocks: [ns(10), ns(10), ns(10)],
+        lane_clocks: vec![ns(10), ns(10), ns(10)],
     });
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 1, "{report}");
@@ -123,7 +125,7 @@ fn rule1_clean_twin_with_handoff_passes() {
     });
     trace.push(TraceRecord::Join {
         at: ns(20),
-        lane_clocks: [ns(10), ns(10), ns(15)],
+        lane_clocks: vec![ns(10), ns(10), ns(15)],
     });
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::ReadBeforeTransfer), 0, "{report}");
@@ -257,7 +259,7 @@ fn rule3_cross_lane_write_racing_a_read_is_flagged() {
     });
     trace.push(TraceRecord::Join {
         at: ns(20),
-        lane_clocks: [ns(0), ns(10), ns(10)],
+        lane_clocks: vec![ns(0), ns(10), ns(10)],
     });
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::MissingWait), 1, "{report}");
@@ -273,7 +275,7 @@ fn rule3_wait_on_unrecorded_event_is_flagged() {
     });
     trace.push(TraceRecord::Join {
         at: ns(1),
-        lane_clocks: [ns(0), ns(0), ns(0)],
+        lane_clocks: vec![ns(0), ns(0), ns(0)],
     });
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::MissingWait), 1, "{report}");
@@ -289,7 +291,7 @@ fn rule4_join_below_lane_clock_is_flagged() {
     trace.push(TraceRecord::Fork { at: ns(0) });
     trace.push(TraceRecord::Join {
         at: ns(5),
-        lane_clocks: [ns(10), ns(0), ns(0)],
+        lane_clocks: vec![ns(10), ns(0), ns(0)],
     });
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::ClockMonotonicity), 1, "{report}");
@@ -692,6 +694,97 @@ fn rule7_stores_are_tracked_independently() {
     trace.push(graph_sample(2, 1, 150));
     let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
     assert_eq!(report.count(HazardRule::SampleAfterAppend), 1, "{report}");
+}
+
+// ---------------------------------------------------------------------
+// RULE8 peer conservation
+// ---------------------------------------------------------------------
+
+#[test]
+fn rule8_unpriced_peer_crossing_is_flagged() {
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::DeviceSwitch { device: 1 });
+    trace.push(TraceRecord::PeerCrossing {
+        src: 0,
+        dst: 1,
+        bytes: 2048,
+        lane: None,
+        at_event: 0,
+    });
+    // No PeerPriced twin: the fetch intent escaped interconnect pricing.
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::PeerConservation), 1, "{report}");
+}
+
+#[test]
+fn rule8_phantom_peer_pricing_is_flagged() {
+    let mut tl = Timeline::new();
+    tl.push(TimelineEvent {
+        label: "peer_copy",
+        scope: String::new(),
+        category: EventCategory::PeerTransfer,
+        place: Place::Pcie,
+        start: ns(0),
+        end: ns(10),
+        occupancy: 1.0,
+        flops: 0,
+        bytes: 2048,
+        stream: None,
+        device: 1,
+    });
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::DeviceSwitch { device: 1 });
+    // Interconnect traffic priced with no crossing intent behind it.
+    trace.push(TraceRecord::PeerPriced {
+        src: 0,
+        dst: 1,
+        bytes: 2048,
+        via_host: false,
+        lane: None,
+        event: 0,
+    });
+    let report = sanitize(&tl, &trace, &SanitizeOptions::default());
+    assert_eq!(report.count(HazardRule::PeerConservation), 1, "{report}");
+}
+
+#[test]
+fn rule8_real_multi_gpu_session_is_clean() {
+    let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+    ex.enable_tracing();
+    ex.ensure_context();
+    {
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::ones(&[8, 8]), 1.0);
+        dx.fork_streams_multi(2);
+        dx.on_device(1, |dx| {
+            // Shard 1 fetches remote rows from shard 0, then computes.
+            dx.peer_transfer(0, 1 << 16);
+            dx.on_stream(StreamId::Compute, |dx| {
+                dx.matmul("mm", &x, &Tensor::eye(8)).unwrap();
+            });
+        });
+        dx.join_streams();
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.peer_crossings, 1);
+    assert_eq!(report.stats.peer_bytes, 1 << 16);
+}
+
+#[test]
+fn rule8_host_staged_bounce_on_pcie_topology_is_clean() {
+    let mut ex = Executor::new(PlatformSpec::multi_gpu_pcie(2), ExecMode::Gpu);
+    ex.enable_tracing();
+    ex.ensure_context();
+    {
+        let mut dx = Dispatcher::new(&mut ex);
+        dx.on_device(1, |dx| {
+            dx.peer_transfer(0, 4096);
+        });
+    }
+    let report = audit(&ex);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.stats.peer_bytes, 4096);
 }
 
 #[test]

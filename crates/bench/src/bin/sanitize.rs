@@ -1,7 +1,7 @@
 //! `sanitize` — run the timeline sanitizer over the model zoo.
 //!
 //! Replays every model (or `--model NAME`) with provenance tracing on
-//! and audits the recorded schedule against the six hazard rules.
+//! and audits the recorded schedule against the eight hazard rules.
 //! Exits non-zero if any hazard is found, so CI can gate on it.
 //!
 //! ```text

@@ -104,7 +104,8 @@ impl ServicePhases {
                 | EventCategory::WarmupAlloc => p.warmup += d,
                 EventCategory::Host => p.host += d,
                 EventCategory::Kernel(_) => p.compute += d,
-                EventCategory::Transfer(_) => p.transfer += d,
+                // Cross-device peer traffic is data movement like PCIe.
+                EventCategory::Transfer(_) | EventCategory::PeerTransfer => p.transfer += d,
             }
         }
         p

@@ -15,18 +15,32 @@ pub struct UtilizationReport {
     /// Occupancy-weighted average utilization over the window, `[0, 1]`.
     pub average: f64,
     /// Fraction of the window during which *any* kernel was resident
-    /// (ignoring occupancy) — the "GPU busy" bar in Nsight.
+    /// (ignoring occupancy) — the "GPU busy" bar in Nsight. Scoped to
+    /// device 0; see [`UtilizationReport::per_device`] for the rest.
     pub busy_fraction: f64,
+    /// Kernel-resident fraction per device: `per_device[d]` is GPU `d`.
+    /// Single-device timelines have exactly one entry equal to
+    /// `busy_fraction`.
+    pub per_device: Vec<f64>,
+    /// Mean of the per-device busy fractions — the platform-wide
+    /// utilization a fleet scheduler would report. Equal to
+    /// `busy_fraction` on a single-device timeline.
+    pub platform_busy_fraction: f64,
 }
 
 impl UtilizationReport {
     /// Measures utilization over `[start, end)` of a timeline.
     pub fn over_window(timeline: &Timeline, start: DurationNs, end: DurationNs) -> Self {
+        let per_device: Vec<f64> = (0..timeline.n_devices())
+            .map(|d| timeline.device_busy_fraction(d, start, end))
+            .collect();
         UtilizationReport {
             window_start: start,
             window_end: end,
             average: timeline.gpu_utilization(start, end),
             busy_fraction: timeline.gpu_busy_fraction(start, end),
+            per_device,
+            platform_busy_fraction: timeline.platform_busy_fraction(start, end),
         }
     }
 
@@ -123,6 +137,49 @@ mod tests {
         let s = UtilizationReport::render_series(&series, "fig9");
         assert!(s.contains("fig9"));
         assert!(s.contains("#########"));
+    }
+
+    #[test]
+    fn single_device_per_device_matches_busy_fraction() {
+        let ex = run_kernels(5, 128);
+        let r = UtilizationReport::over_window(ex.timeline(), DurationNs::ZERO, ex.now());
+        assert_eq!(r.per_device, vec![r.busy_fraction]);
+        assert!((r.platform_busy_fraction - r.busy_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_device_fork_reports_per_device_and_platform_fractions() {
+        use dgnn_device::StreamId;
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        ex.fork_streams_multi(2);
+        // Device 0 does twice the kernel work of device 1.
+        ex.on_device(0, |ex| {
+            ex.on_stream(StreamId::Compute, |ex| {
+                for _ in 0..8 {
+                    ex.launch(KernelDesc::gemm("k0", 256, 256, 256));
+                }
+            });
+        });
+        ex.on_device(1, |ex| {
+            ex.on_stream(StreamId::Compute, |ex| {
+                for _ in 0..4 {
+                    ex.launch(KernelDesc::gemm("k1", 256, 256, 256));
+                }
+            });
+        });
+        ex.join_streams();
+        let r = UtilizationReport::over_window(ex.timeline(), DurationNs::ZERO, ex.now());
+        assert_eq!(r.per_device.len(), 2, "both devices must be reported");
+        assert!(r.per_device.iter().all(|&f| f > 0.0 && f <= 1.0));
+        assert!(
+            r.per_device[0] > r.per_device[1],
+            "device 0 ran 2x the kernels: {:?}",
+            r.per_device
+        );
+        assert_eq!(r.per_device[0], r.busy_fraction);
+        let mean = (r.per_device[0] + r.per_device[1]) / 2.0;
+        assert!((r.platform_busy_fraction - mean).abs() < 1e-12);
     }
 
     #[test]

@@ -42,12 +42,29 @@ pub enum TensorClass {
 }
 
 impl TensorClass {
+    /// All classes, in a fixed order (the index order of
+    /// [`TensorClass::index`]).
+    pub const ALL: [TensorClass; 3] = [
+        TensorClass::NodeFeature,
+        TensorClass::EdgeFeature,
+        TensorClass::NodeMemory,
+    ];
+
     /// Stable lowercase name for reports and JSON.
     pub fn name(self) -> &'static str {
         match self {
             TensorClass::NodeFeature => "node_feature",
             TensorClass::EdgeFeature => "edge_feature",
             TensorClass::NodeMemory => "node_memory",
+        }
+    }
+
+    /// Index into per-class tables ([`TensorClass::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            TensorClass::NodeFeature => 0,
+            TensorClass::EdgeFeature => 1,
+            TensorClass::NodeMemory => 2,
         }
     }
 }
@@ -93,6 +110,18 @@ impl CacheStats {
     }
 }
 
+/// Per-[`TensorClass`] [`CacheStats`], indexed by [`TensorClass::index`].
+/// The per-class split is what exposes, e.g., MolDGNN's edge-feature
+/// misses that a summed total hides.
+pub type ClassCacheStats = [CacheStats; 3];
+
+/// Sums two per-class stat tables element-wise (fleet aggregation).
+pub fn accumulate_class_stats(into: &mut ClassCacheStats, other: &ClassCacheStats) {
+    for (dst, src) in into.iter_mut().zip(other.iter()) {
+        dst.accumulate(src);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     /// Recency tick of the most recent touch (key into the LRU order).
@@ -134,6 +163,8 @@ pub struct FeatureCache {
     lru: BTreeMap<u64, (TensorClass, u64)>,
     tick: u64,
     stats: CacheStats,
+    /// Per-class breakdown of `stats` ([`TensorClass::index`] order).
+    class_stats: ClassCacheStats,
 }
 
 impl FeatureCache {
@@ -151,6 +182,7 @@ impl FeatureCache {
             lru: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            class_stats: ClassCacheStats::default(),
         }
     }
 
@@ -172,6 +204,14 @@ impl FeatureCache {
     /// Lifetime hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Lifetime counters broken down per row class
+    /// ([`TensorClass::index`] order). Evictions are attributed to the
+    /// class of the *victim* row, so the per-class eviction counts also
+    /// sum to the aggregate.
+    pub fn class_stats(&self) -> &ClassCacheStats {
+        &self.class_stats
     }
 
     /// Whether a row is resident (does not touch recency or stats).
@@ -207,10 +247,14 @@ impl FeatureCache {
             e.hotness += 1;
             self.stats.hits += 1;
             self.stats.hit_bytes += e.bytes;
+            self.class_stats[class.index()].hits += 1;
+            self.class_stats[class.index()].hit_bytes += e.bytes;
             return (true, 0);
         }
         self.stats.misses += 1;
         self.stats.miss_bytes += row_bytes;
+        self.class_stats[class.index()].misses += 1;
+        self.class_stats[class.index()].miss_bytes += row_bytes;
         let mut evicted = 0u64;
         if self.map.len() >= self.capacity {
             // The smallest tick is the least recently used row.
@@ -219,6 +263,7 @@ impl FeatureCache {
             let gone = self.map.remove(&victim).expect("lru entry is mapped");
             evicted = gone.bytes;
             self.stats.evictions += 1;
+            self.class_stats[victim.0.index()].evictions += 1;
         }
         self.map.insert(
             (class, key),
@@ -307,5 +352,36 @@ mod tests {
     #[should_panic(expected = "capacity must be >= 1")]
     fn zero_capacity_is_rejected() {
         let _ = FeatureCache::new(0);
+    }
+
+    #[test]
+    fn class_stats_partition_the_aggregate() {
+        let mut c = FeatureCache::new(2);
+        c.probe_insert(TensorClass::NodeFeature, 1, 10);
+        c.probe_insert(TensorClass::NodeFeature, 1, 10); // hit
+        c.probe_insert(TensorClass::EdgeFeature, 1, 20);
+        // Evicts the NodeFeature row (coldest): the eviction is charged
+        // to the victim's class.
+        c.probe_insert(TensorClass::NodeMemory, 1, 30);
+        let per = c.class_stats();
+        let nf = per[TensorClass::NodeFeature.index()];
+        let ef = per[TensorClass::EdgeFeature.index()];
+        let nm = per[TensorClass::NodeMemory.index()];
+        assert_eq!((nf.hits, nf.misses, nf.evictions), (1, 1, 1));
+        assert_eq!((ef.hits, ef.misses, ef.evictions), (0, 1, 0));
+        assert_eq!((nm.hits, nm.misses, nm.evictions), (0, 1, 0));
+        // Per-class rows sum to the aggregate, every field.
+        let mut summed = CacheStats::default();
+        for s in per {
+            summed.accumulate(s);
+        }
+        assert_eq!(summed, c.stats());
+    }
+
+    #[test]
+    fn class_indices_are_stable() {
+        for (i, class) in TensorClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
     }
 }

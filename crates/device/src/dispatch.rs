@@ -51,6 +51,7 @@ use crate::cache::TensorClass;
 use crate::event::{Place, TransferDir};
 use crate::executor::{ExecMode, Executor};
 use crate::kernel::{HostWork, KernelDesc};
+use crate::spec::DeviceId;
 use crate::stream::{EventId, StreamId};
 use crate::time::DurationNs;
 use crate::trace::{AccessKind, TensorId};
@@ -506,6 +507,12 @@ impl<'a> Dispatcher<'a> {
         self.ex.fork_streams();
     }
 
+    /// Forks the owning executor's timeline into `devices × 3` lanes
+    /// (see [`Executor::fork_streams_multi`]).
+    pub fn fork_streams_multi(&mut self, devices: usize) {
+        self.ex.fork_streams_multi(devices);
+    }
+
     /// Joins the lanes back into the serial clock (see
     /// [`Executor::join_streams`]).
     pub fn join_streams(&mut self) -> DurationNs {
@@ -519,6 +526,35 @@ impl<'a> Dispatcher<'a> {
         let result = f(self);
         self.ex.swap_current_stream(prev);
         result
+    }
+
+    /// Runs `f` with every priced action targeting `device` (see
+    /// [`Executor::on_device`]). Pending coalesced bytes are flushed
+    /// first so staged transfers are priced on the device that staged
+    /// them, not wherever the dispatcher wanders next.
+    pub fn on_device<R>(&mut self, device: DeviceId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.flush_transfers();
+        let prev = self.ex.swap_current_device(device);
+        let result = f(self);
+        self.flush_transfers();
+        self.ex.swap_current_device(prev);
+        result
+    }
+
+    /// The GPU subsequent work targets.
+    pub fn current_device(&self) -> DeviceId {
+        self.ex.current_device()
+    }
+
+    /// Fetches `bytes` owned by device `src` onto the current device,
+    /// logging the crossing intent and pricing it on the platform's
+    /// interconnect (see [`Executor::peer_transfer`]). Returns the
+    /// modeled wall time; free when `src` is the current device.
+    pub fn peer_transfer(&mut self, src: DeviceId, bytes: u64) -> DurationNs {
+        if self.ex.mode() == ExecMode::Gpu && bytes > 0 && src != self.ex.current_device() {
+            self.ex.trace_peer_crossing(src, bytes);
+        }
+        self.ex.peer_transfer(src, bytes)
     }
 
     /// Records `lane`'s current clock as a waitable event.
@@ -1013,6 +1049,63 @@ mod tests {
     }
 
     #[test]
+    fn pageable_tax_is_paid_once_per_coalesced_flush() {
+        // Property: under `TransferMode::Pageable` the fixed per-transfer
+        // tax (PCIe latency + host metadata) is charged once per *flushed*
+        // merged transfer, never once per staged piece — so coalescing's
+        // advantage over eager pageable copies is exactly the (n-1) taxes
+        // it avoids, across any piece count and size mix. Swept over a
+        // deterministic pseudo-random workload in lieu of a quickcheck
+        // dependency.
+        use crate::spec::TransferMode;
+        let spec = PlatformSpec::default().pcie;
+        let tax = DurationNs::from_nanos(spec.latency_ns + spec.host_meta_ns);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next_bytes = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 33) % 8_192 + 1
+        };
+        let run = |coalesce: bool, pieces: &[u64]| -> (DurationNs, usize) {
+            let mut ex = gpu();
+            ex.set_transfer_mode(TransferMode::Pageable);
+            ex.ensure_context();
+            let t0 = ex.now();
+            let mut dx = Dispatcher::with_coalescing(&mut ex, coalesce);
+            for &b in pieces {
+                dx.transfer(TransferDir::H2D, b);
+            }
+            dx.flush_transfers();
+            let n = ex.timeline().transfer_count(Some(TransferDir::H2D));
+            (ex.now() - t0, n)
+        };
+        for n_pieces in [1usize, 2, 3, 5, 8, 13, 16] {
+            let pieces: Vec<u64> = (0..n_pieces).map(|_| next_bytes()).collect();
+            let total: u64 = pieces.iter().sum();
+            let (merged_time, merged_n) = run(true, &pieces);
+            let (eager_time, eager_n) = run(false, &pieces);
+            assert_eq!(merged_n, 1, "coalescing must flush one merged copy");
+            assert_eq!(eager_n, n_pieces, "eager mode prices every piece");
+            // The merged flush is priced exactly like a single pageable
+            // transfer of the summed payload: one tax, summed bandwidth.
+            let expected = tax
+                + DurationNs::from_secs_f64(
+                    total as f64 / spec.staging_bandwidth + total as f64 / spec.pageable_bandwidth,
+                );
+            assert_eq!(merged_time, expected, "n_pieces={n_pieces}");
+            // Eager pays the same bandwidth terms but one tax per piece;
+            // the gap is (n-1) taxes up to per-piece rounding (< 1 ns each).
+            let gap = eager_time.saturating_sub(merged_time).as_nanos();
+            let want = tax.as_nanos() * (n_pieces as u64 - 1);
+            assert!(
+                gap.abs_diff(want) <= n_pieces as u64,
+                "n_pieces={n_pieces}: gap {gap} vs (n-1) taxes {want}"
+            );
+        }
+    }
+
+    #[test]
     fn coalescing_is_inert_in_cpu_only_mode() {
         let mut ex = cpu();
         let mut dx = Dispatcher::with_coalescing(&mut ex, true);
@@ -1241,6 +1334,84 @@ mod tests {
             .find(|e| e.label == "mm")
             .unwrap();
         assert_eq!(e.stream, Some(StreamId::Compute));
+    }
+
+    #[test]
+    fn peer_transfer_logs_a_crossing_and_its_pricing_twin() {
+        use crate::trace::TraceRecord;
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.enable_tracing();
+        ex.ensure_context();
+        let mut dx = Dispatcher::new(&mut ex);
+        let d = dx.on_device(1, |dx| dx.peer_transfer(0, 1 << 20));
+        assert!(d > DurationNs::ZERO);
+        let trace = ex.trace().unwrap();
+        assert!(trace.records().iter().any(|r| matches!(
+            r,
+            TraceRecord::PeerCrossing { src: 0, dst: 1, bytes, .. } if *bytes == 1 << 20
+        )));
+        assert!(trace.records().iter().any(|r| matches!(
+            r,
+            TraceRecord::PeerPriced {
+                src: 0,
+                dst: 1,
+                bytes,
+                via_host: false,
+                ..
+            } if *bytes == 1 << 20
+        )));
+    }
+
+    #[test]
+    fn same_device_peer_fetches_log_nothing() {
+        use crate::trace::TraceRecord;
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.enable_tracing();
+        ex.ensure_context();
+        let mut dx = Dispatcher::new(&mut ex);
+        assert_eq!(dx.peer_transfer(0, 1 << 20), DurationNs::ZERO);
+        assert!(!ex.trace().unwrap().records().iter().any(|r| matches!(
+            r,
+            TraceRecord::PeerCrossing { .. } | TraceRecord::PeerPriced { .. }
+        )));
+    }
+
+    #[test]
+    fn on_device_places_dispatched_work_on_that_device() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        let mut dx = Dispatcher::new(&mut ex);
+        let x = dx.adopt(Tensor::ones(&[8, 8]), 1.0);
+        dx.on_device(1, |dx| {
+            dx.matmul("mm_dev1", &x, &Tensor::eye(8)).unwrap();
+        });
+        assert_eq!(dx.current_device(), 0);
+        let e = ex
+            .timeline()
+            .events()
+            .iter()
+            .find(|e| e.label == "mm_dev1")
+            .unwrap();
+        assert_eq!(e.device, 1);
+    }
+
+    #[test]
+    fn on_device_flushes_staged_bytes_before_switching() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        let mut dx = Dispatcher::with_coalescing(&mut ex, true);
+        let x = DeviceTensor::host(Tensor::ones(&[8, 8]));
+        dx.on_device(1, |dx| {
+            dx.matmul("mm", &x, &Tensor::eye(8)).unwrap();
+        });
+        // The staged H2D crossing was flushed inside the device-1 scope.
+        let t = ex
+            .timeline()
+            .events()
+            .iter()
+            .find(|e| matches!(e.category, EventCategory::Transfer(_)))
+            .expect("staged copy must be priced");
+        assert_eq!(t.device, 1);
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub enum EventCategory {
     WarmupModelInit,
     /// Per-run activation allocation.
     WarmupAlloc,
+    /// A cross-device (GPU↔GPU) copy — direct over a peer link, or
+    /// bounced through host memory when no peer edge exists.
+    PeerTransfer,
 }
 
 impl EventCategory {
@@ -95,6 +98,9 @@ pub struct TimelineEvent {
     /// engine (the default); `Some` only inside a stream fork, where
     /// events on different lanes may overlap in time.
     pub stream: Option<StreamId>,
+    /// GPU the event is attributed to (0 on the historical single-GPU
+    /// platform; meaningful for Gpu/Pcie places under sharded runs).
+    pub device: usize,
 }
 
 impl TimelineEvent {
@@ -127,6 +133,7 @@ mod tests {
             flops: 0,
             bytes: 0,
             stream: None,
+            device: 0,
         }
     }
 

@@ -16,11 +16,13 @@
 //! is active the engine is bit-identical to the historical sequential
 //! implementation — every existing timeline invariant holds unchanged.
 
-use crate::cache::{CacheStats, FeatureCache, TensorClass};
+use crate::cache::{
+    accumulate_class_stats, CacheStats, ClassCacheStats, FeatureCache, TensorClass,
+};
 use crate::event::{EventCategory, Place, TimelineEvent, TransferDir};
 use crate::kernel::{HostWork, KernelDesc, KernelKind};
 use crate::memory::MemoryTracker;
-use crate::spec::{PlatformSpec, TransferMode};
+use crate::spec::{DeviceId, PeerPath, PlatformSpec, TransferMode};
 use crate::stream::{EventId, StreamId, StreamSet};
 use crate::time::DurationNs;
 use crate::timeline::Timeline;
@@ -111,9 +113,16 @@ pub struct Executor {
     /// Host-memory regime PCIe transfers are priced under. `Pinned`
     /// (the default) is bit-identical to the historical pricing.
     transfer_mode: TransferMode,
-    /// Device-resident feature cache; `None` (the default) means every
-    /// fetch prices its H2D crossing, exactly as before.
-    feature_cache: Option<FeatureCache>,
+    /// Row capacity of the feature cache; `None` (the default) means
+    /// every fetch prices its H2D crossing, exactly as before.
+    cache_capacity: Option<usize>,
+    /// Per-device feature caches (shard-local by construction: each
+    /// device caches only the rows fetched while it was current). Grown
+    /// lazily as devices are probed; empty while caching is disabled.
+    feature_caches: Vec<FeatureCache>,
+    /// GPU that priced actions currently target (0 outside
+    /// [`Executor::on_device`], i.e. the historical single-GPU path).
+    current_device: DeviceId,
 }
 
 impl Executor {
@@ -134,7 +143,9 @@ impl Executor {
             current_stream: None,
             trace: None,
             transfer_mode: TransferMode::default(),
-            feature_cache: None,
+            cache_capacity: None,
+            feature_caches: Vec::new(),
+            current_device: 0,
         }
     }
 
@@ -153,47 +164,70 @@ impl Executor {
     }
 
     /// Switches on the device-resident feature cache with room for
-    /// `capacity_rows` rows (see [`FeatureCache`]). Idempotent: calling
-    /// it again with the same capacity preserves the warm cache — a
-    /// serving replica that enables it per request keeps its hot rows
-    /// across requests. A different capacity rebuilds the cache empty.
+    /// `capacity_rows` rows *per device* (see [`FeatureCache`]; each GPU
+    /// owns a shard-local cache — rows fetched while a device is current
+    /// are resident on that device only). Idempotent: calling it again
+    /// with the same capacity preserves the warm caches — a serving
+    /// replica that enables it per request keeps its hot rows across
+    /// requests. A different capacity rebuilds every cache empty.
     pub fn enable_feature_cache(&mut self, capacity_rows: usize) {
-        match &self.feature_cache {
-            Some(c) if c.capacity() == capacity_rows => {}
-            _ => self.feature_cache = Some(FeatureCache::new(capacity_rows)),
+        if self.cache_capacity != Some(capacity_rows) {
+            self.cache_capacity = Some(capacity_rows);
+            self.feature_caches = vec![FeatureCache::new(capacity_rows)];
         }
     }
 
-    /// The feature cache (`None` while disabled).
+    /// Device 0's feature cache (`None` while disabled).
     pub fn feature_cache(&self) -> Option<&FeatureCache> {
-        self.feature_cache.as_ref()
+        self.cache_capacity.and(self.feature_caches.first())
     }
 
-    /// Hit/miss/eviction counters of the feature cache (all zero while
-    /// disabled).
+    /// The feature cache of a specific device (`None` while disabled or
+    /// before the device's first probe).
+    pub fn device_feature_cache(&self, device: DeviceId) -> Option<&FeatureCache> {
+        self.cache_capacity.and(self.feature_caches.get(device))
+    }
+
+    /// Hit/miss/eviction counters summed over every device's feature
+    /// cache (all zero while disabled).
     pub fn cache_stats(&self) -> CacheStats {
-        self.feature_cache
-            .as_ref()
-            .map(FeatureCache::stats)
-            .unwrap_or_default()
+        let mut total = CacheStats::default();
+        for c in &self.feature_caches {
+            total.accumulate(&c.stats());
+        }
+        total
     }
 
-    /// Probes the feature cache for `(class, key)`, inserting the row
-    /// on a miss and balancing GPU memory (insert allocates
-    /// `row_bytes`, an eviction frees the victim's bytes). Returns
-    /// whether the probe hit — `false` (a priced fetch) whenever the
-    /// cache is disabled. Dispatcher hook; pricing of miss traffic is
-    /// the caller's job.
+    /// Per-[`TensorClass`] cache counters summed over every device's
+    /// feature cache (all zero while disabled).
+    pub fn cache_class_stats(&self) -> ClassCacheStats {
+        let mut total = ClassCacheStats::default();
+        for c in &self.feature_caches {
+            accumulate_class_stats(&mut total, c.class_stats());
+        }
+        total
+    }
+
+    /// Probes the current device's feature cache for `(class, key)`,
+    /// inserting the row on a miss and balancing GPU memory (insert
+    /// allocates `row_bytes`, an eviction frees the victim's bytes).
+    /// Returns whether the probe hit — `false` (a priced fetch)
+    /// whenever the cache is disabled. Dispatcher hook; pricing of miss
+    /// traffic is the caller's job.
     pub(crate) fn cache_probe_insert(
         &mut self,
         class: TensorClass,
         key: u64,
         row_bytes: u64,
     ) -> bool {
-        let Some(cache) = self.feature_cache.as_mut() else {
+        let Some(capacity) = self.cache_capacity else {
             return false;
         };
-        let (hit, evicted_bytes) = cache.probe_insert(class, key, row_bytes);
+        while self.feature_caches.len() <= self.current_device {
+            self.feature_caches.push(FeatureCache::new(capacity));
+        }
+        let (hit, evicted_bytes) =
+            self.feature_caches[self.current_device].probe_insert(class, key, row_bytes);
         if !hit {
             self.gpu_mem.alloc(row_bytes);
             self.gpu_mem.free(evicted_bytes);
@@ -285,6 +319,24 @@ impl Executor {
         }
     }
 
+    /// Logs a cross-device fetch intent: `bytes` owned by `src` needed
+    /// on the current device (dispatcher hook). RULE8 pairs these
+    /// crossings with [`TraceRecord::PeerPriced`] pricing twins.
+    pub(crate) fn trace_peer_crossing(&mut self, src: DeviceId, bytes: u64) {
+        let dst = self.current_device;
+        let at_event = self.timeline.len();
+        let lane = self.current_stream;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(TraceRecord::PeerCrossing {
+                src,
+                dst,
+                bytes,
+                lane,
+                at_event,
+            });
+        }
+    }
+
     /// Logs an explicit device-buffer release (dispatcher hook).
     pub(crate) fn trace_release(&mut self, tensor: TensorId) {
         if let Some(t) = self.trace.as_mut() {
@@ -351,19 +403,20 @@ impl Executor {
     }
 
     /// The clock the next priced action would start at: the active lane's
-    /// clock inside [`Executor::on_stream`], the serial clock otherwise.
+    /// clock (on the current device) inside [`Executor::on_stream`], the
+    /// serial clock otherwise.
     fn cursor(&self) -> DurationNs {
         match (self.current_stream, &self.streams) {
-            (Some(lane), Some(s)) => s.clock(lane),
+            (Some(lane), Some(s)) => s.clock(self.current_device, lane),
             _ => self.clock,
         }
     }
 
-    /// Current virtual time of a lane (the serial clock when no fork is
-    /// active).
+    /// Current virtual time of a lane on the current device (the serial
+    /// clock when no fork is active).
     pub fn stream_now(&self, lane: StreamId) -> DurationNs {
         match &self.streams {
-            Some(s) => s.clock(lane),
+            Some(s) => s.clock(self.current_device, lane),
             None => self.clock,
         }
     }
@@ -407,8 +460,30 @@ impl Executor {
     ///
     /// Panics when a fork is already active (forks do not nest).
     pub fn fork_streams(&mut self) {
+        self.fork_streams_multi(1);
+    }
+
+    /// Forks the timeline into `devices × 3` lanes: each of the first
+    /// `devices` GPUs gets its own Host/Copy/Compute lane triple, all
+    /// starting at the current serial clock. `fork_streams` is the
+    /// single-device case — a one-device fork is bit-identical to the
+    /// historical engine. Lane work targets the current device (see
+    /// [`Executor::on_device`]); events recorded on any device's lane
+    /// can be waited on from any other, which is how sharded drivers
+    /// express cross-device barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fork is already active, when `devices` is zero, or
+    /// when `devices` exceeds the platform's GPU count.
+    pub fn fork_streams_multi(&mut self, devices: usize) {
         assert!(self.streams.is_none(), "stream fork already active");
-        self.streams = Some(StreamSet::forked_at(self.clock));
+        assert!(
+            devices <= self.n_devices(),
+            "fork spans {devices} devices but the platform has {}",
+            self.n_devices()
+        );
+        self.streams = Some(StreamSet::forked_at_devices(self.clock, devices));
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceRecord::Fork { at: self.clock });
         }
@@ -432,13 +507,15 @@ impl Executor {
         let end = s.max_clock().max(self.clock);
         self.clock = end;
         if let Some(t) = self.trace.as_mut() {
+            let mut lane_clocks = Vec::with_capacity(s.devices() * 3);
+            for device in 0..s.devices() {
+                for lane in StreamId::ALL {
+                    lane_clocks.push(s.clock(device, lane));
+                }
+            }
             t.push(TraceRecord::Join {
                 at: end,
-                lane_clocks: [
-                    s.clock(StreamId::Host),
-                    s.clock(StreamId::Copy),
-                    s.clock(StreamId::Compute),
-                ],
+                lane_clocks,
             });
         }
         end
@@ -469,6 +546,64 @@ impl Executor {
         std::mem::replace(&mut self.current_stream, lane)
     }
 
+    /// Number of GPUs in the platform's device graph (1 in CPU-only
+    /// mode: there is no accelerator to shard over).
+    pub fn n_devices(&self) -> usize {
+        match self.mode {
+            ExecMode::CpuOnly => 1,
+            ExecMode::Gpu => self.spec.n_gpus(),
+        }
+    }
+
+    /// The GPU priced actions currently target (0 outside
+    /// [`Executor::on_device`]).
+    pub fn current_device(&self) -> DeviceId {
+        self.current_device
+    }
+
+    /// Runs `f` with every priced action attributed to GPU `device`:
+    /// timeline events carry the device tag, lane-placed work advances
+    /// that device's lane clocks, kernels price against that device's
+    /// spec, and feature-cache probes hit its shard-local cache.
+    /// Nesting is allowed; the innermost device wins. Device 0 with no
+    /// fork is exactly the historical engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device` is outside the platform's device graph, or
+    /// when a fork is active that does not span `device`.
+    pub fn on_device<R>(&mut self, device: DeviceId, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.swap_current_device(device);
+        let result = f(self);
+        self.swap_current_device(prev);
+        result
+    }
+
+    /// Swaps the device priced actions target, returning the previous
+    /// one. Used by wrappers (the dispatcher) that cannot express the
+    /// switch as a closure over `&mut Executor`.
+    pub(crate) fn swap_current_device(&mut self, device: DeviceId) -> DeviceId {
+        assert!(
+            device < self.n_devices(),
+            "device {device} outside the platform's {} GPU(s)",
+            self.n_devices()
+        );
+        if let Some(s) = &self.streams {
+            assert!(
+                device < s.devices(),
+                "device {device} outside the active fork's {} device(s)",
+                s.devices()
+            );
+        }
+        let prev = std::mem::replace(&mut self.current_device, device);
+        if prev != device {
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord::DeviceSwitch { device });
+            }
+        }
+        prev
+    }
+
     /// Records `lane`'s current clock as a waitable synchronization point
     /// (the simulated `cudaEventRecord`).
     ///
@@ -476,11 +611,12 @@ impl Executor {
     ///
     /// Panics when no stream fork is active.
     pub fn record_event(&mut self, lane: StreamId) -> EventId {
+        let device = self.current_device;
         let id = self
             .streams
             .as_mut()
             .expect("record_event requires fork_streams")
-            .record(lane);
+            .record(device, lane);
         if self.trace.is_some() {
             let at = self.stream_now(lane);
             if let Some(t) = self.trace.as_mut() {
@@ -505,10 +641,11 @@ impl Executor {
     /// or another executor entirely. Such a handle would otherwise
     /// advance the lane from an unrelated fork's timestamp table.
     pub fn wait_event(&mut self, lane: StreamId, event: EventId) {
+        let device = self.current_device;
         self.streams
             .as_mut()
             .expect("wait_event requires fork_streams")
-            .wait(lane, event);
+            .wait(device, lane, event);
         if let Some(t) = self.trace.as_mut() {
             t.push(TraceRecord::EventWait {
                 event: event.index(),
@@ -623,9 +760,10 @@ impl Executor {
             flops,
             bytes,
             stream: self.current_stream,
+            device: self.current_device,
         });
         match (self.current_stream, &mut self.streams) {
-            (Some(lane), Some(s)) => *s.clock_mut(lane) = end,
+            (Some(lane), Some(s)) => *s.clock_mut(self.current_device, lane) = end,
             _ => self.clock = end,
         }
     }
@@ -748,7 +886,7 @@ impl Executor {
     }
 
     fn gpu_kernel_duration(&self, desc: &KernelDesc) -> (DurationNs, f64) {
-        let g = &self.spec.gpu;
+        let g = self.spec.gpu_spec(self.current_device);
         let occupancy = (desc.parallelism as f64 / g.saturation_width as f64)
             .clamp(1.0 / g.sm_count as f64, 1.0);
         let compute_s = desc.flops as f64 / (g.peak_flops * g.kernel_efficiency * occupancy);
@@ -895,6 +1033,80 @@ impl Executor {
                 t.push(TraceRecord::Priced {
                     dir,
                     bytes,
+                    lane,
+                    event,
+                });
+            }
+        }
+        d
+    }
+
+    /// Copies `bytes` from GPU `src` to the *current* device, priced on
+    /// the interconnect edge between them: one hop over the direct peer
+    /// link when the topology has one ([`PeerPath::Direct`]), or a
+    /// host-staged bounce — a D2H then an H2D over the two devices'
+    /// PCIe links, always from pinned staging buffers (the driver owns
+    /// them) — otherwise. Free (and unrecorded) in CPU-only mode, for
+    /// zero bytes, and when `src` is already the current device.
+    /// Returns the simulated duration.
+    ///
+    /// One timeline event ([`EventCategory::PeerTransfer`], attributed
+    /// to the destination device) is recorded per call, plus a
+    /// [`TraceRecord::PeerPriced`] twin while tracing — the RULE8
+    /// conservation evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `src` is outside the platform's device graph.
+    pub fn peer_transfer(&mut self, src: DeviceId, bytes: u64) -> DurationNs {
+        if self.mode == ExecMode::CpuOnly {
+            return DurationNs::ZERO;
+        }
+        assert!(
+            src < self.n_devices(),
+            "peer source device {src} outside the platform's {} GPU(s)",
+            self.n_devices()
+        );
+        let dst = self.current_device;
+        if bytes == 0 || src == dst {
+            return DurationNs::ZERO;
+        }
+        self.ensure_context();
+        let (d, label, via_host) = match self.spec.peer_path(src, dst) {
+            PeerPath::Direct(link) => (
+                DurationNs::from_nanos(link.latency_ns)
+                    + DurationNs::from_secs_f64(bytes as f64 / link.bandwidth),
+                "peer_copy",
+                false,
+            ),
+            PeerPath::HostStaged => {
+                let p = &self.spec.pcie;
+                (
+                    DurationNs::from_nanos(2 * p.latency_ns)
+                        + DurationNs::from_secs_f64(2.0 * bytes as f64 / p.bandwidth),
+                    "peer_copy_staged",
+                    true,
+                )
+            }
+        };
+        self.push_event(
+            label,
+            EventCategory::PeerTransfer,
+            Place::Pcie,
+            d,
+            1.0,
+            0,
+            bytes,
+        );
+        if self.trace.is_some() {
+            let event = self.timeline.len() - 1;
+            let lane = self.current_stream;
+            if let Some(t) = self.trace.as_mut() {
+                t.push(TraceRecord::PeerPriced {
+                    src,
+                    dst,
+                    bytes,
+                    via_host,
                     lane,
                     event,
                 });
@@ -1347,6 +1559,187 @@ mod tests {
         // …while a different capacity rebuilds it cold.
         ex.enable_feature_cache(8);
         assert!(!ex.cache_probe_insert(TensorClass::NodeMemory, 9, 64));
+    }
+
+    #[test]
+    fn single_device_engine_is_device_zero() {
+        let mut ex = gpu_executor();
+        assert_eq!(ex.n_devices(), 1);
+        assert_eq!(ex.current_device(), 0);
+        ex.launch(KernelDesc::gemm("k", 16, 16, 16));
+        ex.transfer(TransferDir::H2D, 1024);
+        assert!(ex.timeline().events().iter().all(|e| e.device == 0));
+    }
+
+    #[test]
+    fn multi_device_fork_overlaps_compute_across_devices() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        let origin = ex.now();
+        ex.fork_streams_multi(2);
+        let desc = KernelDesc::gemm("shard", 512, 512, 512);
+        ex.on_stream(StreamId::Compute, |ex| {
+            ex.launch(desc.clone());
+        });
+        ex.on_device(1, |ex| {
+            ex.on_stream(StreamId::Compute, |ex| {
+                ex.launch(desc.clone());
+            });
+        });
+        let end = ex.join_streams();
+        let events: Vec<_> = ex
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| e.label == "shard")
+            .collect();
+        assert_eq!(events.len(), 2);
+        // Same lane, different devices: both start at the fork origin —
+        // the devices genuinely run concurrently.
+        assert_eq!(events[0].device, 0);
+        assert_eq!(events[1].device, 1);
+        assert_eq!(events[0].start, origin);
+        assert_eq!(events[1].start, origin);
+        assert_eq!(end, events[0].end.max(events[1].end));
+    }
+
+    #[test]
+    fn cross_device_events_order_work() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        ex.fork_streams_multi(2);
+        let up = ex.on_device(1, |ex| {
+            ex.on_stream(StreamId::Copy, |ex| {
+                ex.transfer(TransferDir::H2D, 1 << 24);
+                ex.record_event(StreamId::Copy)
+            })
+        });
+        // Device 0's compute waits on device 1's upload.
+        ex.wait_event(StreamId::Compute, up);
+        ex.on_stream(StreamId::Compute, |ex| {
+            ex.launch(KernelDesc::gemm("dep", 64, 64, 64));
+        });
+        ex.join_streams();
+        let events = ex.timeline().events();
+        let copy = events.iter().find(|e| e.label == "memcpy_h2d").unwrap();
+        let kernel = events.iter().find(|e| e.label == "dep").unwrap();
+        assert_eq!(copy.device, 1);
+        assert_eq!(kernel.device, 0);
+        assert!(kernel.start >= copy.end);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the active fork")]
+    fn switching_past_the_fork_span_panics() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(4), ExecMode::Gpu);
+        ex.fork_streams_multi(2);
+        ex.on_device(3, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the platform")]
+    fn switching_past_the_platform_panics() {
+        let mut ex = gpu_executor();
+        ex.on_device(1, |_| {});
+    }
+
+    #[test]
+    fn peer_transfer_prices_the_topology_edge() {
+        let bytes = 1u64 << 24;
+        // NVLink: one hop on the link.
+        let mut nv = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        nv.ensure_context();
+        let d_nv = nv.on_device(1, |ex| ex.peer_transfer(0, bytes));
+        let link = crate::spec::LinkSpec::nvlink();
+        assert_eq!(
+            d_nv,
+            DurationNs::from_nanos(link.latency_ns)
+                + DurationNs::from_secs_f64(bytes as f64 / link.bandwidth)
+        );
+        let e = nv.timeline().events().last().unwrap();
+        assert_eq!(e.category, EventCategory::PeerTransfer);
+        assert_eq!((e.label, e.device, e.bytes), ("peer_copy", 1, bytes));
+
+        // No peer edge: the payload bounces D2H + H2D through the host.
+        let mut pc = Executor::new(PlatformSpec::multi_gpu_pcie(2), ExecMode::Gpu);
+        pc.ensure_context();
+        let d_pc = pc.on_device(1, |ex| ex.peer_transfer(0, bytes));
+        let p = PlatformSpec::default().pcie;
+        assert_eq!(
+            d_pc,
+            DurationNs::from_nanos(2 * p.latency_ns)
+                + DurationNs::from_secs_f64(2.0 * bytes as f64 / p.bandwidth)
+        );
+        assert!(d_pc > d_nv, "host-staged bounce must cost more than NVLink");
+        assert_eq!(
+            pc.timeline().events().last().unwrap().label,
+            "peer_copy_staged"
+        );
+        assert_eq!(nv.timeline().peer_bytes(), bytes);
+    }
+
+    #[test]
+    fn peer_transfer_degenerate_cases_are_free() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        let before = ex.timeline().len();
+        // Same device and zero bytes cost nothing and record nothing.
+        assert_eq!(ex.peer_transfer(0, 1024), DurationNs::ZERO);
+        assert_eq!(
+            ex.on_device(1, |ex| ex.peer_transfer(1, 0)),
+            DurationNs::ZERO
+        );
+        assert_eq!(ex.timeline().len(), before);
+        // CPU-only mode has no devices to peer between.
+        let mut cpu = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
+        assert_eq!(cpu.peer_transfer(0, 1024), DurationNs::ZERO);
+    }
+
+    #[test]
+    fn feature_caches_are_shard_local_per_device() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.enable_feature_cache(8);
+        // A row cached on device 0 misses on device 1: each shard owns
+        // its residency.
+        assert!(!ex.cache_probe_insert(TensorClass::NodeFeature, 7, 64));
+        assert!(ex.cache_probe_insert(TensorClass::NodeFeature, 7, 64));
+        ex.on_device(1, |ex| {
+            assert!(!ex.cache_probe_insert(TensorClass::NodeFeature, 7, 64));
+        });
+        let s = ex.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        let per = ex.cache_class_stats();
+        assert_eq!(per[TensorClass::NodeFeature.index()].misses, 2);
+        assert_eq!(per[TensorClass::EdgeFeature.index()].lookups(), 0);
+        assert!(ex.device_feature_cache(0).is_some());
+        assert!(ex.device_feature_cache(1).is_some());
+    }
+
+    #[test]
+    fn device_switches_are_traced() {
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        ex.ensure_context();
+        ex.enable_tracing();
+        ex.on_device(1, |ex| {
+            ex.peer_transfer(0, 4096);
+        });
+        let records = ex.trace().unwrap().records();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::DeviceSwitch { device: 1 })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, TraceRecord::DeviceSwitch { device: 0 })));
+        assert!(records.iter().any(|r| matches!(
+            r,
+            TraceRecord::PeerPriced {
+                src: 0,
+                dst: 1,
+                bytes: 4096,
+                via_host: false,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -49,13 +49,15 @@ pub mod timeline;
 pub mod trace;
 mod warmup;
 
-pub use cache::{CacheStats, FeatureCache, TensorClass};
+pub use cache::{accumulate_class_stats, CacheStats, ClassCacheStats, FeatureCache, TensorClass};
 pub use dispatch::{CacheFetch, DeviceTensor, Dispatcher, Operand};
 pub use event::{EventCategory, Place, TimelineEvent, TransferDir};
 pub use executor::{ExecMode, Executor, ScopeRecord};
 pub use kernel::{HostWork, KernelDesc, KernelKind};
 pub use memory::MemoryTracker;
-pub use spec::{CpuSpec, GpuSpec, PcieSpec, PlatformSpec, TransferMode};
+pub use spec::{
+    CpuSpec, DeviceId, GpuSpec, LinkSpec, PcieSpec, PeerPath, PlatformSpec, TransferMode,
+};
 pub use stream::{EventId, StreamId};
 pub use time::DurationNs;
 pub use timeline::Timeline;

@@ -177,15 +177,65 @@ impl TransferMode {
     }
 }
 
-/// Complete platform: CPU + GPU + interconnect.
+/// Index of a GPU in the platform's device graph. Device 0 is
+/// [`PlatformSpec::gpu`]; devices 1..N are [`PlatformSpec::extra_gpus`].
+pub type DeviceId = usize;
+
+/// One directed interconnect edge between two GPUs (NVLink-class when
+/// present; absence of an edge means transfers bounce through the host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Effective peer-to-peer bandwidth in bytes/s.
+    pub bandwidth: f64,
+    /// Fixed per-transfer latency (driver + route setup) in nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl LinkSpec {
+    /// A third-generation NVLink bridge pair: ~112.5 GB/s effective per
+    /// direction, with a far smaller setup latency than a PCIe DMA.
+    pub fn nvlink() -> Self {
+        LinkSpec {
+            bandwidth: 112.5e9,
+            latency_ns: 2_000,
+        }
+    }
+}
+
+/// How a cross-device transfer between two GPUs is routed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeerPath {
+    /// A direct peer link (NVLink / P2P-enabled PCIe switch): one hop at
+    /// the edge's bandwidth.
+    Direct(LinkSpec),
+    /// No peer edge: the payload bounces through host memory — a D2H
+    /// then an H2D over each device's PCIe link.
+    HostStaged,
+}
+
+/// Complete platform: CPU + GPU(s) + interconnect graph.
+///
+/// The historical single-GPU shape is the default: `extra_gpus` and
+/// `peer_links` are empty, so `PlatformSpec::default()` — and every
+/// serialized comparison against it — is unchanged. Each GPU owns an
+/// identical host PCIe link (`pcie`), so host↔device traffic to
+/// different devices proceeds in parallel.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PlatformSpec {
     /// The host CPU.
     pub cpu: CpuSpec,
-    /// The accelerator.
+    /// The accelerator (device 0).
     pub gpu: GpuSpec,
-    /// The CPU↔GPU link.
+    /// The CPU↔GPU link (replicated per device).
     pub pcie: PcieSpec,
+    /// Additional accelerators: device `d` (d ≥ 1) is `extra_gpus[d-1]`.
+    /// Empty for the historical single-GPU platform.
+    pub extra_gpus: Vec<GpuSpec>,
+    /// Directed peer-link adjacency over GPUs: `peer_links[src][dst]` is
+    /// the direct edge from device `src` to device `dst`, `None` when
+    /// peer traffic must bounce through the host. May be empty (or
+    /// ragged) — missing entries mean "no direct edge".
+    pub peer_links: Vec<Vec<Option<LinkSpec>>>,
 }
 
 impl PlatformSpec {
@@ -193,6 +243,75 @@ impl PlatformSpec {
     /// spelled explicitly for call sites that want to document intent.
     pub fn paper_testbed() -> Self {
         PlatformSpec::default()
+    }
+
+    /// An `n`-GPU box of testbed-class devices fully connected by NVLink
+    /// (every ordered pair of distinct devices has a direct edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn multi_gpu_nvlink(n: usize) -> Self {
+        assert!(n > 0, "a platform needs at least one GPU");
+        let mut spec = PlatformSpec {
+            extra_gpus: vec![GpuSpec::default(); n - 1],
+            ..PlatformSpec::default()
+        };
+        spec.peer_links = (0..n)
+            .map(|src| {
+                (0..n)
+                    .map(|dst| (src != dst).then(LinkSpec::nvlink))
+                    .collect()
+            })
+            .collect();
+        spec
+    }
+
+    /// An `n`-GPU box of testbed-class devices with no peer links: every
+    /// cross-device transfer bounces through host memory over PCIe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn multi_gpu_pcie(n: usize) -> Self {
+        assert!(n > 0, "a platform needs at least one GPU");
+        PlatformSpec {
+            extra_gpus: vec![GpuSpec::default(); n - 1],
+            ..PlatformSpec::default()
+        }
+    }
+
+    /// Number of GPUs in the device graph (≥ 1).
+    pub fn n_gpus(&self) -> usize {
+        1 + self.extra_gpus.len()
+    }
+
+    /// The spec of GPU `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `device >= n_gpus()`.
+    pub fn gpu_spec(&self, device: DeviceId) -> &GpuSpec {
+        if device == 0 {
+            &self.gpu
+        } else {
+            &self.extra_gpus[device - 1]
+        }
+    }
+
+    /// How a transfer from `src` to `dst` is routed: the direct peer
+    /// edge when the adjacency has one, a host-staged bounce otherwise.
+    pub fn peer_path(&self, src: DeviceId, dst: DeviceId) -> PeerPath {
+        match self
+            .peer_links
+            .get(src)
+            .and_then(|row| row.get(dst))
+            .copied()
+            .flatten()
+        {
+            Some(link) => PeerPath::Direct(link),
+            None => PeerPath::HostStaged,
+        }
     }
 }
 
@@ -226,5 +345,47 @@ mod tests {
     #[test]
     fn paper_testbed_matches_default() {
         assert_eq!(PlatformSpec::paper_testbed(), PlatformSpec::default());
+    }
+
+    #[test]
+    fn default_platform_is_a_single_gpu_graph() {
+        let p = PlatformSpec::default();
+        assert_eq!(p.n_gpus(), 1);
+        assert_eq!(p.gpu_spec(0), &p.gpu);
+        assert_eq!(p.peer_path(0, 0), PeerPath::HostStaged);
+        // The device graph is invisible to the historical constructors.
+        assert_eq!(PlatformSpec::multi_gpu_nvlink(1).extra_gpus.len(), 0);
+        assert_eq!(PlatformSpec::multi_gpu_pcie(1), PlatformSpec::default());
+    }
+
+    #[test]
+    fn nvlink_topology_is_fully_connected() {
+        let p = PlatformSpec::multi_gpu_nvlink(4);
+        assert_eq!(p.n_gpus(), 4);
+        for src in 0..4 {
+            for dst in 0..4 {
+                match p.peer_path(src, dst) {
+                    PeerPath::Direct(link) if src != dst => {
+                        assert_eq!(link, LinkSpec::nvlink());
+                        // NVLink is strictly better than host PCIe.
+                        assert!(link.bandwidth > p.pcie.bandwidth);
+                        assert!(link.latency_ns < p.pcie.latency_ns);
+                    }
+                    PeerPath::HostStaged if src == dst => {}
+                    other => panic!("unexpected path {src}->{dst}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pcie_topology_bounces_through_the_host() {
+        let p = PlatformSpec::multi_gpu_pcie(4);
+        assert_eq!(p.n_gpus(), 4);
+        assert_eq!(p.peer_path(0, 3), PeerPath::HostStaged);
+        assert_eq!(p.peer_path(2, 1), PeerPath::HostStaged);
+        for d in 0..4 {
+            assert_eq!(p.gpu_spec(d), &GpuSpec::default());
+        }
     }
 }

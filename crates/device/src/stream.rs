@@ -59,8 +59,8 @@ impl StreamId {
     /// All lanes, in a fixed order.
     pub const ALL: [StreamId; 3] = [StreamId::Host, StreamId::Copy, StreamId::Compute];
 
-    /// Lane index into per-lane tables.
-    pub(crate) fn index(self) -> usize {
+    /// Lane index into per-lane tables (`Host` 0, `Copy` 1, `Compute` 2).
+    pub fn index(self) -> usize {
         match self {
             StreamId::Host => 0,
             StreamId::Copy => 1,
@@ -102,37 +102,57 @@ impl EventId {
 }
 
 /// Per-lane virtual clocks plus the table of recorded events.
+///
+/// A fork spans one or more *devices*; each device owns the three lanes
+/// above (slot `device * 3 + lane`). The historical single-device fork
+/// is `forked_at`, which is `forked_at_devices(origin, 1)`.
 #[derive(Debug, Clone)]
 pub(crate) struct StreamSet {
-    clocks: [DurationNs; 3],
+    /// Lane clocks, `devices * 3` entries: `device * 3 + lane.index()`.
+    clocks: Vec<DurationNs>,
     recorded: Vec<DurationNs>,
     /// This fork's identity token (see [`NEXT_FORK_TOKEN`]).
     token: u64,
 }
 
 impl StreamSet {
-    /// Creates a stream set with every lane clock at `origin`.
+    /// Creates a single-device stream set with every lane clock at
+    /// `origin` — the historical three-lane fork, bit-identical.
+    #[cfg(test)]
     pub(crate) fn forked_at(origin: DurationNs) -> Self {
+        StreamSet::forked_at_devices(origin, 1)
+    }
+
+    /// Creates a stream set spanning `devices` devices, every lane clock
+    /// at `origin`.
+    pub(crate) fn forked_at_devices(origin: DurationNs, devices: usize) -> Self {
+        assert!(devices > 0, "a stream fork needs at least one device");
         StreamSet {
-            clocks: [origin; 3],
+            clocks: vec![origin; devices * 3],
             recorded: Vec::new(),
             token: NEXT_FORK_TOKEN.fetch_add(1, Ordering::Relaxed),
         }
     }
 
-    /// Current clock of a lane.
-    pub(crate) fn clock(&self, lane: StreamId) -> DurationNs {
-        self.clocks[lane.index()]
+    /// Number of devices this fork spans.
+    pub(crate) fn devices(&self) -> usize {
+        self.clocks.len() / 3
     }
 
-    /// Mutable clock of a lane.
-    pub(crate) fn clock_mut(&mut self, lane: StreamId) -> &mut DurationNs {
-        &mut self.clocks[lane.index()]
+    /// Current clock of a device's lane.
+    pub(crate) fn clock(&self, device: usize, lane: StreamId) -> DurationNs {
+        self.clocks[device * 3 + lane.index()]
     }
 
-    /// Records the lane's current clock and returns a waitable handle.
-    pub(crate) fn record(&mut self, lane: StreamId) -> EventId {
-        self.recorded.push(self.clock(lane));
+    /// Mutable clock of a device's lane.
+    pub(crate) fn clock_mut(&mut self, device: usize, lane: StreamId) -> &mut DurationNs {
+        &mut self.clocks[device * 3 + lane.index()]
+    }
+
+    /// Records the device-lane's current clock and returns a waitable
+    /// handle.
+    pub(crate) fn record(&mut self, device: usize, lane: StreamId) -> EventId {
+        self.recorded.push(self.clock(device, lane));
         EventId {
             index: self.recorded.len() - 1,
             owner: self.token,
@@ -146,7 +166,7 @@ impl StreamSet {
     /// Panics when the event handle was recorded by a different stream
     /// fork (stale, or from another executor): honoring it would
     /// advance the lane from an unrelated fork's timestamp table.
-    pub(crate) fn wait(&mut self, lane: StreamId, event: EventId) {
+    pub(crate) fn wait(&mut self, device: usize, lane: StreamId, event: EventId) {
         assert_eq!(
             event.owner,
             self.token,
@@ -158,7 +178,7 @@ impl StreamSet {
             self.token,
         );
         let t = self.recorded[event.index];
-        let c = self.clock_mut(lane);
+        let c = self.clock_mut(device, lane);
         if t > *c {
             *c = t;
         }
@@ -185,34 +205,35 @@ mod tests {
     #[test]
     fn lanes_have_independent_clocks() {
         let mut s = StreamSet::forked_at(ns(10));
-        *s.clock_mut(StreamId::Host) = ns(50);
-        assert_eq!(s.clock(StreamId::Host), ns(50));
-        assert_eq!(s.clock(StreamId::Copy), ns(10));
-        assert_eq!(s.clock(StreamId::Compute), ns(10));
+        assert_eq!(s.devices(), 1);
+        *s.clock_mut(0, StreamId::Host) = ns(50);
+        assert_eq!(s.clock(0, StreamId::Host), ns(50));
+        assert_eq!(s.clock(0, StreamId::Copy), ns(10));
+        assert_eq!(s.clock(0, StreamId::Compute), ns(10));
         assert_eq!(s.max_clock(), ns(50));
     }
 
     #[test]
     fn wait_advances_but_never_rewinds() {
         let mut s = StreamSet::forked_at(ns(0));
-        *s.clock_mut(StreamId::Host) = ns(100);
-        let done = s.record(StreamId::Host);
-        s.wait(StreamId::Compute, done);
-        assert_eq!(s.clock(StreamId::Compute), ns(100));
+        *s.clock_mut(0, StreamId::Host) = ns(100);
+        let done = s.record(0, StreamId::Host);
+        s.wait(0, StreamId::Compute, done);
+        assert_eq!(s.clock(0, StreamId::Compute), ns(100));
         // A later wait on an older event is a no-op.
-        *s.clock_mut(StreamId::Compute) = ns(200);
-        s.wait(StreamId::Compute, done);
-        assert_eq!(s.clock(StreamId::Compute), ns(200));
+        *s.clock_mut(0, StreamId::Compute) = ns(200);
+        s.wait(0, StreamId::Compute, done);
+        assert_eq!(s.clock(0, StreamId::Compute), ns(200));
     }
 
     #[test]
     fn record_captures_the_moment_not_the_lane() {
         let mut s = StreamSet::forked_at(ns(0));
-        *s.clock_mut(StreamId::Copy) = ns(30);
-        let at30 = s.record(StreamId::Copy);
-        *s.clock_mut(StreamId::Copy) = ns(70);
-        s.wait(StreamId::Compute, at30);
-        assert_eq!(s.clock(StreamId::Compute), ns(30));
+        *s.clock_mut(0, StreamId::Copy) = ns(30);
+        let at30 = s.record(0, StreamId::Copy);
+        *s.clock_mut(0, StreamId::Copy) = ns(70);
+        s.wait(0, StreamId::Compute, at30);
+        assert_eq!(s.clock(0, StreamId::Compute), ns(30));
     }
 
     #[test]
@@ -220,18 +241,34 @@ mod tests {
     fn waiting_on_a_foreign_forks_event_panics() {
         let mut a = StreamSet::forked_at(ns(0));
         let mut b = StreamSet::forked_at(ns(0));
-        *a.clock_mut(StreamId::Copy) = ns(40);
-        let foreign = a.record(StreamId::Copy);
+        *a.clock_mut(0, StreamId::Copy) = ns(40);
+        let foreign = a.record(0, StreamId::Copy);
         // `b` never recorded anything: honoring the handle would read
         // `a`'s timestamp table.
-        b.wait(StreamId::Compute, foreign);
+        b.wait(0, StreamId::Compute, foreign);
     }
 
     #[test]
     fn event_ids_expose_their_index() {
         let mut s = StreamSet::forked_at(ns(0));
-        assert_eq!(s.record(StreamId::Host).index(), 0);
-        assert_eq!(s.record(StreamId::Copy).index(), 1);
+        assert_eq!(s.record(0, StreamId::Host).index(), 0);
+        assert_eq!(s.record(0, StreamId::Copy).index(), 1);
+    }
+
+    #[test]
+    fn devices_own_independent_lane_sets() {
+        let mut s = StreamSet::forked_at_devices(ns(5), 3);
+        assert_eq!(s.devices(), 3);
+        *s.clock_mut(1, StreamId::Compute) = ns(90);
+        // The same lane on other devices is untouched.
+        assert_eq!(s.clock(0, StreamId::Compute), ns(5));
+        assert_eq!(s.clock(2, StreamId::Compute), ns(5));
+        assert_eq!(s.max_clock(), ns(90));
+        // Events synchronize across devices: device 2's copy lane can
+        // wait on device 1's compute clock.
+        let done = s.record(1, StreamId::Compute);
+        s.wait(2, StreamId::Copy, done);
+        assert_eq!(s.clock(2, StreamId::Copy), ns(90));
     }
 
     #[test]

@@ -118,16 +118,31 @@ impl Timeline {
         weighted / window as f64
     }
 
-    /// Kernel-resident fraction of `[win_start, win_end)`: the share of
-    /// the window during which *some* kernel was executing, ignoring
-    /// occupancy. This is what `nvidia-smi`'s "GPU utilization" reports
-    /// and what the paper's utilization numbers mean.
+    /// Kernel-resident fraction of `[win_start, win_end)` on device 0:
+    /// the share of the window during which *some* kernel was executing,
+    /// ignoring occupancy. This is what `nvidia-smi`'s "GPU utilization"
+    /// reports and what the paper's utilization numbers mean. On the
+    /// historical single-GPU platform every kernel lives on device 0, so
+    /// this is unchanged; see [`Timeline::device_busy_fraction`] for
+    /// other devices and [`Timeline::platform_busy_fraction`] for the
+    /// aggregate.
     ///
     /// Computed as the interval-union of kernel events clipped to the
     /// window, so kernels that overlap in time (stream forks) are counted
     /// once — summing per-event overlaps would double-count them and
     /// report fractions above 1.
     pub fn gpu_busy_fraction(&self, win_start: DurationNs, win_end: DurationNs) -> f64 {
+        self.device_busy_fraction(0, win_start, win_end)
+    }
+
+    /// Kernel-resident fraction of `[win_start, win_end)` on one device
+    /// (interval union of its kernel events clipped to the window).
+    pub fn device_busy_fraction(
+        &self,
+        device: usize,
+        win_start: DurationNs,
+        win_end: DurationNs,
+    ) -> f64 {
         let window = win_end.saturating_sub(win_start).as_nanos();
         if window == 0 {
             return 0.0;
@@ -135,7 +150,7 @@ impl Timeline {
         let mut intervals: Vec<(u64, u64)> = self
             .events
             .iter()
-            .filter(|e| e.category.is_gpu_compute())
+            .filter(|e| e.category.is_gpu_compute() && e.device == device)
             .filter_map(|e| {
                 let s = e.start.max(win_start).as_nanos();
                 let t = e.end.min(win_end).as_nanos();
@@ -159,6 +174,42 @@ impl Timeline {
             busy += ct - cs;
         }
         busy as f64 / window as f64
+    }
+
+    /// Number of GPUs the timeline has events for: one more than the
+    /// highest device index among GPU-compute events (1 for an empty or
+    /// host-only timeline — the platform always has device 0).
+    pub fn n_devices(&self) -> usize {
+        1 + self
+            .events
+            .iter()
+            .filter(|e| e.category.is_gpu_compute() || e.category == EventCategory::PeerTransfer)
+            .map(|e| e.device)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean of the per-device kernel-resident fractions over
+    /// `[win_start, win_end)`, across every device the timeline has
+    /// events for — the platform-wide utilization a fleet scheduler
+    /// would report. Equal to [`Timeline::gpu_busy_fraction`] on a
+    /// single-device timeline.
+    pub fn platform_busy_fraction(&self, win_start: DurationNs, win_end: DurationNs) -> f64 {
+        let n = self.n_devices();
+        (0..n)
+            .map(|d| self.device_busy_fraction(d, win_start, win_end))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Total bytes moved by cross-device peer transfers (direct and
+    /// host-staged). Zero on single-device timelines.
+    pub fn peer_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.category == EventCategory::PeerTransfer)
+            .map(|e| e.bytes)
+            .sum()
     }
 
     /// GPU utilization sampled over fixed-width windows spanning the whole
@@ -218,6 +269,10 @@ mod tests {
     use crate::event::TransferDir;
 
     fn kernel(start: u64, end: u64, occ: f64) -> TimelineEvent {
+        kernel_on(0, start, end, occ)
+    }
+
+    fn kernel_on(device: usize, start: u64, end: u64, occ: f64) -> TimelineEvent {
         TimelineEvent {
             label: "k",
             scope: "run/attn".to_string(),
@@ -229,6 +284,7 @@ mod tests {
             flops: 100,
             bytes: 10,
             stream: None,
+            device,
         }
     }
 
@@ -244,6 +300,7 @@ mod tests {
             flops: 0,
             bytes,
             stream: None,
+            device: 0,
         }
     }
 
@@ -336,6 +393,59 @@ mod tests {
         // Clipping to a window that cuts both events.
         let clipped = tl.gpu_busy_fraction(DurationNs::from_nanos(5), DurationNs::from_nanos(35));
         assert!((clipped - 10.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_fractions_separate_devices_on_a_two_device_timeline() {
+        let mut tl = Timeline::new();
+        // Device 0 busy [0, 60); device 1 busy [0, 20) — overlapping in
+        // wall time because the devices run concurrently.
+        tl.push(kernel_on(0, 0, 40, 1.0));
+        tl.push(kernel_on(0, 30, 60, 1.0));
+        tl.push(kernel_on(1, 0, 20, 1.0));
+        let w0 = DurationNs::ZERO;
+        let w1 = DurationNs::from_nanos(100);
+        assert_eq!(tl.n_devices(), 2);
+        // gpu_busy_fraction is device 0 only: concurrent device-1 work
+        // must not inflate it past the single-lane union.
+        assert!((tl.gpu_busy_fraction(w0, w1) - 0.6).abs() < 1e-9);
+        assert!((tl.device_busy_fraction(0, w0, w1) - 0.6).abs() < 1e-9);
+        assert!((tl.device_busy_fraction(1, w0, w1) - 0.2).abs() < 1e-9);
+        // Aggregate = mean over devices present.
+        assert!((tl.platform_busy_fraction(w0, w1) - 0.4).abs() < 1e-9);
+        // Devices beyond the timeline report idle.
+        assert_eq!(tl.device_busy_fraction(7, w0, w1), 0.0);
+    }
+
+    #[test]
+    fn platform_busy_fraction_matches_gpu_on_single_device() {
+        let mut tl = Timeline::new();
+        tl.push(kernel(0, 40, 1.0));
+        tl.push(kernel(30, 60, 1.0));
+        let w0 = DurationNs::ZERO;
+        let w1 = DurationNs::from_nanos(100);
+        assert_eq!(tl.n_devices(), 1);
+        assert_eq!(
+            tl.platform_busy_fraction(w0, w1),
+            tl.gpu_busy_fraction(w0, w1)
+        );
+    }
+
+    #[test]
+    fn peer_bytes_counts_only_peer_transfers() {
+        let mut tl = Timeline::new();
+        tl.push(transfer(0, 10, 100, TransferDir::H2D));
+        let mut peer = kernel_on(1, 10, 20, 1.0);
+        peer.category = EventCategory::PeerTransfer;
+        peer.place = Place::Pcie;
+        peer.bytes = 64;
+        tl.push(peer);
+        assert_eq!(tl.peer_bytes(), 64);
+        // Peer traffic is not PCIe host traffic…
+        assert_eq!(tl.transfer_bytes(None), 100);
+        assert_eq!(tl.transfer_count(None), 1);
+        // …but its device index counts toward the device census.
+        assert_eq!(tl.n_devices(), 2);
     }
 
     #[test]

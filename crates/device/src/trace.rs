@@ -142,9 +142,11 @@ pub enum TraceRecord {
     Join {
         /// The joined serial clock.
         at: DurationNs,
-        /// Per-lane clocks at join, in [`StreamId::ALL`] order
-        /// (`Host`, `Copy`, `Compute`).
-        lane_clocks: [DurationNs; 3],
+        /// Per-lane clocks at join: three entries per forked device
+        /// (slot `device * 3 + lane`), in [`StreamId::ALL`] lane order
+        /// (`Host`, `Copy`, `Compute`). Single-device forks record
+        /// exactly three.
+        lane_clocks: Vec<DurationNs>,
     },
     /// `record_event`: `lane`'s clock captured as waitable event
     /// `event` (index within the active fork).
@@ -197,6 +199,45 @@ pub enum TraceRecord {
         lane: Option<StreamId>,
         /// Timeline length at log time.
         at_event: usize,
+    },
+    /// The executor's current device changed: subsequent lane-tagged
+    /// records and events target `device` until the next switch.
+    DeviceSwitch {
+        /// The newly current GPU.
+        device: usize,
+    },
+    /// A cross-device fetch intent from the dispatcher: `bytes` owned by
+    /// `src` are needed on `dst`. Every such crossing must be priced on
+    /// exactly one interconnect edge by a matching
+    /// [`TraceRecord::PeerPriced`] (RULE8 conservation).
+    PeerCrossing {
+        /// Device that owns the bytes.
+        src: usize,
+        /// Device that needs them.
+        dst: usize,
+        /// Bytes crossing.
+        bytes: u64,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline length at log time.
+        at_event: usize,
+    },
+    /// A priced cross-device transfer (the timeline's `PeerTransfer`
+    /// event twin). `via_host` records the route: a direct peer edge, or
+    /// a host-staged bounce over both devices' PCIe links.
+    PeerPriced {
+        /// Source device.
+        src: usize,
+        /// Destination device.
+        dst: usize,
+        /// Bytes priced.
+        bytes: u64,
+        /// Whether the payload bounced through host memory.
+        via_host: bool,
+        /// Issuing lane.
+        lane: Option<StreamId>,
+        /// Timeline index of the priced event.
+        event: usize,
     },
 }
 

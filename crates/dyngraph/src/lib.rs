@@ -35,6 +35,7 @@ mod delta;
 mod error;
 mod event;
 mod graph;
+pub mod partition;
 pub mod sampler;
 
 /// Deterministic thread fan-out, re-exported from `dgnn-tensor` where the
@@ -48,6 +49,7 @@ pub use delta::{AppendReceipt, IngestCost, StreamingAdjacency, StreamingView};
 pub use error::GraphError;
 pub use event::{EventStream, TemporalEvent};
 pub use graph::Graph;
+pub use partition::{contiguous_ranges, greedy_edge_cut, Partition};
 pub use sampler::{
     NeighborSampler, SampleCost, SampleStrategy, SampledNeighbor, TemporalAdjacency, TemporalView,
 };

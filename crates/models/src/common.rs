@@ -1,6 +1,6 @@
 //! Shared model-execution machinery.
 
-use dgnn_device::{Dispatcher, DurationNs, EventId, Executor, StreamId, TransferMode};
+use dgnn_device::{Dispatcher, DurationNs, EventId, ExecMode, Executor, StreamId, TransferMode};
 
 use crate::registry::ModelInfo;
 use crate::Result;
@@ -77,6 +77,14 @@ pub struct InferenceConfig {
     /// bit-identical to the historical engine; `Pageable` adds the
     /// staging-buffer copy and per-transfer host metadata overhead.
     pub transfer_mode: TransferMode,
+    /// Number of GPU shards the sharded drivers (TGN, TGAT, MolDGNN,
+    /// EvolveGCN) split each batch across. `1` (the default) is the
+    /// single-device engine — bit-identical to every historical
+    /// timeline. Values above one take effect only in GPU mode on a
+    /// platform with that many devices (capped at the device count);
+    /// cross-shard data lands as peer transfers priced on the
+    /// interconnect. Models without a sharded driver ignore the knob.
+    pub shards: usize,
 }
 
 impl Default for InferenceConfig {
@@ -91,6 +99,7 @@ impl Default for InferenceConfig {
             transfer_granularity: TransferGranularity::Staged,
             feature_cache: None,
             transfer_mode: TransferMode::Pinned,
+            shards: 1,
         }
     }
 }
@@ -147,6 +156,24 @@ impl InferenceConfig {
     pub fn with_transfer_mode(mut self, mode: TransferMode) -> Self {
         self.transfer_mode = mode;
         self
+    }
+
+    /// Builder-style shard-count override (see
+    /// [`InferenceConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Shards this run will actually use on `ex`: the configured count
+    /// capped at the platform's device count in GPU mode, `1` otherwise
+    /// (CPU runs have no device graph to shard over).
+    pub fn effective_shards(&self, ex: &Executor) -> usize {
+        if ex.mode() == ExecMode::Gpu {
+            self.shards.clamp(1, ex.n_devices())
+        } else {
+            1
+        }
     }
 
     /// Applies the config's executor-level knobs (transfer mode, feature
@@ -230,6 +257,47 @@ impl DoubleBuffer {
             let done = dx.record_event(StreamId::Copy);
             self.uploads.push(done);
         }
+    }
+}
+
+/// Maps every node of `0..n_nodes` to its owning shard under a
+/// contiguous-range layout (see [`dgnn_graph::contiguous_ranges`]):
+/// `owners[v]` is the index of the range containing `v`. Temporal
+/// sharded drivers use this to decide which device owns an event's
+/// endpoints and sampled neighbors.
+pub fn shard_owners(ranges: &[std::ops::Range<usize>], n_nodes: usize) -> Vec<usize> {
+    let mut owners = vec![0usize; n_nodes];
+    for (p, r) in ranges.iter().enumerate() {
+        for v in r.clone() {
+            owners[v] = p;
+        }
+    }
+    owners
+}
+
+/// All-to-all barrier across a multi-device fork at a batch boundary:
+/// every device marks its copy and compute lanes, then every device's
+/// three lanes wait on every other device's marks — no shard starts
+/// batch `i + 1` before every shard has finished batch `i` (the
+/// framework-level `cudaDeviceSynchronize` between sharded steps).
+pub fn shard_barrier(dx: &mut Dispatcher, shards: usize) {
+    let mut marks: Vec<(usize, EventId)> = Vec::with_capacity(shards * 2);
+    for dev in 0..shards {
+        dx.on_device(dev, |dx| {
+            marks.push((dev, dx.record_event(StreamId::Copy)));
+            marks.push((dev, dx.record_event(StreamId::Compute)));
+        });
+    }
+    for dev in 0..shards {
+        dx.on_device(dev, |dx| {
+            for &(owner, mark) in &marks {
+                if owner != dev {
+                    for lane in StreamId::ALL {
+                        dx.wait_event(lane, mark);
+                    }
+                }
+            }
+        });
     }
 }
 

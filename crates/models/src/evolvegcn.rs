@@ -20,7 +20,8 @@ use dgnn_nn::{GcnLayer, GruCell, Linear, Module};
 use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
 use crate::common::{
-    lane_handoff, on_lane, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary, REP_CAP,
+    lane_handoff, on_lane, shard_barrier, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+    REP_CAP,
 };
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
@@ -30,6 +31,12 @@ use crate::Result;
 const PREP_NODE_OPS: u64 = 1_000;
 /// Framework ops per edge during snapshot preparation.
 const PREP_EDGE_OPS: u64 = 500;
+
+/// A shard's share of a byte total (`share` in `[0, 1]`; floors).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn share_bytes(total: u64, share: f64) -> u64 {
+    (total as f64 * share) as u64
+}
 
 /// Which EvolveGCN variant to run (Fig 2a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +103,199 @@ impl EvolveGcn {
     fn modules(&self) -> Vec<&dyn Module> {
         vec![&self.weight_rnn, &self.gcn1, &self.gcn2, &self.topk_scorer]
     }
+
+    /// Sharded multi-GPU driver: every snapshot's node set is split by
+    /// the deterministic greedy edge-cut partitioner
+    /// ([`dgnn_graph::greedy_edge_cut`]); each shard reloads and runs the
+    /// GCN over its own part, cut edges pull the remote endpoint's
+    /// feature rows as peer transfers, and the tiny `h×h` weight
+    /// evolution is *replicated* on every device (cheaper than
+    /// broadcasting the evolved matrix each step, and functionally
+    /// identical since every shard evolves from the same input).
+    fn infer_sharded(
+        &mut self,
+        ex: &mut Executor,
+        cfg: &InferenceConfig,
+        shards: usize,
+    ) -> Result<RunSummary> {
+        let h = self.cfg.hidden;
+        let n = self.data.n_nodes();
+        let d_in = self.data.node_dim();
+        let feat_bytes = (n * d_in * 4) as u64;
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        let n_steps = self.data.snapshots.len().min(cfg.max_units.max(1));
+        let rep_n = n.min(REP_CAP);
+        let rep_feats = self
+            .data
+            .node_features
+            .gather_rows(&(0..rep_n).collect::<Vec<_>>())?;
+
+        cfg.apply_device_options(ex);
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced());
+            dx.fork_streams_multi(shards);
+            for step in 0..n_steps {
+                let snap = &self.data.snapshots.snapshots()[step];
+                let edges: Vec<(usize, usize)> =
+                    snap.graph.iter_edges().map(|(u, v, _)| (u, v)).collect();
+                let part = dgnn_graph::greedy_edge_cut(n, &edges, shards);
+                // Per-shard tallies: owned nodes, owned edges (an edge
+                // belongs to its source's part) and the cut matrix —
+                // cut[s][o] edges need part o's endpoint rows on s.
+                let mut n_s = vec![0usize; shards];
+                for &p in &part.part {
+                    n_s[p] += 1;
+                }
+                let mut e_s = vec![0u64; shards];
+                let mut cut = vec![vec![0u64; shards]; shards];
+                for &(u, v) in &edges {
+                    let pu = part.part[u];
+                    e_s[pu] += 1;
+                    let pv = part.part[v];
+                    if pv != pu {
+                        cut[pu][pv] += 1;
+                    }
+                }
+                let nnz = edges.len().max(1) as u64;
+
+                // Representative dense adjacency over the leading nodes
+                // (shared across shards; each adopts it at its own scale).
+                let rep_edges: Vec<(usize, usize, f32)> = snap
+                    .graph
+                    .iter_edges()
+                    .filter(|&(s, d, _)| s < rep_n && d < rep_n)
+                    .collect();
+                let rep_graph = dgnn_graph::Graph::from_weighted_edges(rep_n, &rep_edges)?;
+                let rep_adj_data =
+                    Tensor::from_vec(rep_graph.normalized_adjacency(), &[rep_n, rep_n])?;
+
+                let mut next_weight: Option<Tensor> = None;
+                for s in 0..shards {
+                    let shard: Result<()> = dx.on_device(s, |dx| {
+                        if n_s[s] == 0 {
+                            return Ok(());
+                        }
+                        let shard_scale = n_s[s] as f64 / rep_n as f64;
+                        let node_share = n_s[s] as f64 / n as f64;
+                        let edge_share = e_s[s] as f64 / nnz as f64;
+
+                        // 1. Shard-local snapshot prep + reload of the
+                        // part's topology and feature rows.
+                        dx.on_stream(StreamId::Host, |dx| {
+                            dx.scope("snapshot_prep", |dx| {
+                                dx.host(HostWork {
+                                    label: "prepare_snapshot",
+                                    ops: n_s[s] as u64 * PREP_NODE_OPS + e_s[s] * PREP_EDGE_OPS,
+                                    seq_bytes: share_bytes(feat_bytes, node_share),
+                                    irregular_bytes: share_bytes(snap.graph.byte_len(), edge_share),
+                                    parallelism: 1,
+                                });
+                            })
+                        });
+                        lane_handoff(dx, true, StreamId::Host, StreamId::Copy);
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_h2d", |dx| {
+                                let edge_feat_bytes = e_s[s] * (d_in * 4) as u64;
+                                for bytes in [
+                                    share_bytes(snap.graph.byte_len(), edge_share),
+                                    share_bytes(feat_bytes, node_share),
+                                    edge_feat_bytes,
+                                ] {
+                                    dx.transfer(TransferDir::H2D, bytes);
+                                }
+                                // Cut edges pull the remote endpoint's
+                                // input-feature and hidden rows from their
+                                // owning device (both GCN layers read them).
+                                for (o, &cut_rows) in cut[s].iter().enumerate() {
+                                    if o != s && cut_rows > 0 {
+                                        dx.peer_transfer(o, cut_rows * ((d_in + h) * 4) as u64);
+                                    }
+                                }
+                                dx.flush_transfers();
+                            })
+                        });
+                        lane_handoff(dx, true, StreamId::Copy, StreamId::Compute);
+
+                        // 2. Replicated weight evolution (+ shard-local
+                        // top-k scoring for -H).
+                        if self.cfg.version == EvolveGcnVersion::H {
+                            checksum += dx.on_stream(StreamId::Compute, |dx| {
+                                dx.scope("topk", |dx| -> Result<f32> {
+                                    let feats = dx.adopt(rep_feats.clone(), shard_scale);
+                                    let scores = self.topk_scorer.forward(dx, &feats)?;
+                                    dx.charge(OpDescriptor::sort("topk_sort", n_s[s]), 1.0);
+                                    dx.charge(OpDescriptor::gather("topk_gather", h, h), 1.0);
+                                    let logn = 64 - (n_s[s].max(2) as u64).leading_zeros() as u64;
+                                    dx.host(HostWork::irregular(
+                                        "topk_select",
+                                        2 * n_s[s] as u64 * logn,
+                                        (n_s[s] * 4) as u64,
+                                    ));
+                                    Ok(scores.data().sum() * 1e-3)
+                                })
+                            })?;
+                        }
+                        let evolved = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("rnn", |dx| -> Result<Tensor> {
+                                let w = dx.adopt(self.evolved_weight.clone(), 1.0);
+                                let evolved = self.weight_rnn.forward(dx, &w, &w)?;
+                                Ok(evolved.data().clone())
+                            })
+                        })?;
+
+                        // 3. Two GCN layers over the shard's part with the
+                        // freshly evolved weights.
+                        let emb = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("gnn", |dx| -> Result<DeviceTensor> {
+                                let rep_adj = dx.adopt(rep_adj_data.clone(), shard_scale);
+                                let x = dx.adopt(rep_feats.clone(), shard_scale);
+                                let h1 = self.gcn1.forward(dx, &rep_adj, &x)?;
+                                self.gcn2
+                                    .forward_with_weight(dx, &rep_adj, &h1, &evolved)
+                                    .map_err(Into::into)
+                            })
+                        })?;
+                        checksum += emb.data().sum() * 1e-3;
+                        next_weight = Some(evolved);
+
+                        // 4. The part's embeddings back to the CPU.
+                        let out = dx.adopt(Tensor::zeros(&[rep_n, h]), shard_scale);
+                        lane_handoff(dx, true, StreamId::Compute, StreamId::Copy);
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_d2h", |dx| {
+                                dx.download(&out);
+                                dx.flush_transfers();
+                            })
+                        });
+                        Ok(())
+                    });
+                    shard?;
+                }
+                // Every shard evolved the same matrix from the same
+                // input; commit it once after the fan-out.
+                if let Some(w) = next_weight {
+                    self.evolved_weight = w;
+                }
+                shard_barrier(&mut dx, shards);
+                iterations += 1;
+            }
+            dx.join_streams();
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
 }
 
 impl DgnnModel for EvolveGcn {
@@ -130,6 +330,10 @@ impl DgnnModel for EvolveGcn {
     }
 
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let shards = cfg.effective_shards(ex);
+        if shards > 1 {
+            return self.infer_sharded(ex, cfg, shards);
+        }
         let h = self.cfg.hidden;
         let n = self.data.n_nodes();
         let d_in = self.data.node_dim();
@@ -399,5 +603,44 @@ mod tests {
             (s.checksum, ex.now())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_weights_evolve_identically_to_single_device() {
+        // The replicated weight evolution runs from the same input on
+        // every shard, so the evolved matrix after n steps must equal
+        // the single-device run's bit for bit.
+        let evolve = |shards: usize| {
+            let mut m = build(EvolveGcnVersion::O);
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+            m.run(&mut ex, &cfg().with_shards(shards)).unwrap();
+            m.evolved_weight.clone()
+        };
+        assert_eq!(evolve(1), evolve(2));
+    }
+
+    #[test]
+    fn sharded_snapshot_reload_splits_and_cut_edges_cross() {
+        let run = |shards: usize| {
+            let mut m = build(EvolveGcnVersion::O);
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(4), ExecMode::Gpu);
+            m.run(&mut ex, &cfg().with_shards(shards)).unwrap();
+            let peer: u64 = ex
+                .timeline()
+                .events()
+                .iter()
+                .filter(|e| e.category == dgnn_device::EventCategory::PeerTransfer)
+                .map(|e| e.bytes)
+                .sum();
+            (ex.now(), peer)
+        };
+        let (single, no_peer) = run(1);
+        let (sharded, peer) = run(4);
+        assert_eq!(no_peer, 0);
+        assert!(peer > 0, "a connected snapshot has cut edges");
+        assert!(
+            sharded < single,
+            "splitting the snapshot reload must win: {sharded:?} vs {single:?}"
+        );
     }
 }

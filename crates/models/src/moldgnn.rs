@@ -19,7 +19,8 @@ use dgnn_nn::{GcnLayer, Linear, LstmCell, Module};
 use dgnn_tensor::{Tensor, TensorRng};
 
 use crate::common::{
-    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+    lane_handoff, on_lane, representative, shard_barrier, DgnnModel, DoubleBuffer, InferenceConfig,
+    RunSummary,
 };
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
@@ -104,6 +105,149 @@ impl MolDgnn {
             .reshape(&[atoms, 3])?;
         Ok((adj, coords))
     }
+
+    /// Sharded multi-GPU driver: the batch's molecules split into
+    /// contiguous ranges — molecules are independent graphs, so the
+    /// partition has zero edge cut and *no* peer traffic. Each device
+    /// rolls its molecule range through its own GCN-LSTM (frames stay
+    /// strictly sequential per shard); shards synchronize once per
+    /// trajectory unit.
+    fn infer_sharded(
+        &mut self,
+        ex: &mut Executor,
+        cfg: &InferenceConfig,
+        shards: usize,
+    ) -> Result<RunSummary> {
+        let b = cfg.batch_size.max(1);
+        let ranges = dgnn_graph::contiguous_ranges(b, shards);
+        let frames = self.cfg.frames.min(self.data.frames_per_molecule()).max(1);
+        let flat = self.data.n_atoms * self.cfg.gcn_dim;
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        let cached = cfg.feature_cache.is_some();
+        cfg.apply_device_options(ex);
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced());
+            dx.fork_streams_multi(shards);
+            // One representative LSTM state per shard, resident on its
+            // device, carrying that shard's molecule range.
+            let mut states: Vec<Option<dgnn_nn::LstmState>> = vec![None; shards];
+            for _ in 0..cfg.max_units.max(1) {
+                for (s, range) in ranges.iter().enumerate() {
+                    let b_s = range.len();
+                    if b_s == 0 {
+                        continue;
+                    }
+                    let rep = representative(b_s.min(self.data.n_molecules()));
+                    let mol_scale = b_s as f64 / rep as f64;
+                    let shard: Result<()> = dx.on_device(s, |dx| {
+                        if states[s].is_none() {
+                            states[s] = Some(self.lstm.zero_state_scaled(dx, rep, mol_scale));
+                        }
+                        for frame in 0..frames {
+                            // 1. Adjacency assembly for the shard's
+                            // molecules + H2D over its own PCIe link.
+                            dx.on_stream(StreamId::Host, |dx| {
+                                dx.scope("frame_prep", |dx| {
+                                    dx.host(HostWork::sequential(
+                                        "assemble_adjacency",
+                                        FRAME_LOOP_OPS + b_s as u64 * FRAME_MOLECULE_OPS,
+                                        self.adjacency_bytes(b_s),
+                                    ));
+                                })
+                            });
+                            lane_handoff(dx, true, StreamId::Host, StreamId::Copy);
+                            dx.on_stream(StreamId::Copy, |dx| {
+                                dx.scope("memcpy_h2d", |dx| {
+                                    if cached {
+                                        let keys: Vec<u64> = range
+                                            .clone()
+                                            .map(|mol| mol as u64 * frames as u64 + frame as u64)
+                                            .collect();
+                                        let row_bytes =
+                                            3 * (self.data.n_atoms * self.data.n_atoms * 4) as u64;
+                                        dx.fetch_rows(
+                                            TensorClass::EdgeFeature,
+                                            &keys,
+                                            row_bytes,
+                                            1.0,
+                                        );
+                                    } else {
+                                        for _ in 0..b_s {
+                                            dx.transfer(TransferDir::H2D, self.adjacency_bytes(1));
+                                        }
+                                        dx.transfer(TransferDir::H2D, self.adjacency_bytes(b_s));
+                                        dx.transfer(TransferDir::H2D, self.adjacency_bytes(b_s));
+                                    }
+                                    dx.flush_transfers();
+                                })
+                            });
+                            lane_handoff(dx, true, StreamId::Copy, StreamId::Compute);
+
+                            // 2–4. GCN, LSTM and decode for the shard's
+                            // molecules on its compute lane.
+                            let rep_emb = dx.on_stream(StreamId::Compute, |dx| {
+                                dx.scope("gnn", |dx| -> Result<DeviceTensor> {
+                                    let (adj0, coords0) = self.molecule_inputs(0, frame)?;
+                                    let adj = dx.adopt(adj0, b_s as f64);
+                                    let x = dx.adopt(coords0, b_s as f64);
+                                    let emb0 = self.gcn.forward(dx, &adj, &x)?;
+                                    let mut rows = vec![emb0.data().reshape(&[flat])?];
+                                    for mol in 1..rep {
+                                        let (adj, coords) = self.molecule_inputs(mol, frame)?;
+                                        let emb =
+                                            adj.matmul(&coords)?.matmul(self.gcn.weight())?.relu();
+                                        rows.push(emb.reshape(&[flat])?);
+                                    }
+                                    Ok(dx.adopt(Tensor::stack_rows(&rows)?, mol_scale))
+                                })
+                            })?;
+                            let prev = states[s].take().expect("state initialized above");
+                            let next = dx.on_stream(StreamId::Compute, |dx| {
+                                dx.scope("rnn", |dx| -> Result<dgnn_nn::LstmState> {
+                                    self.lstm.forward(dx, &rep_emb, &prev).map_err(Into::into)
+                                })
+                            })?;
+                            dx.on_stream(StreamId::Compute, |dx| {
+                                dx.scope("prediction", |dx| -> Result<()> {
+                                    let pred = self.decoder.forward(dx, &next.0)?;
+                                    checksum += pred.data().sum() * 1e-3;
+                                    Ok(())
+                                })
+                            })?;
+                            states[s] = Some(next);
+                            lane_handoff(dx, true, StreamId::Compute, StreamId::Copy);
+                            dx.on_stream(StreamId::Copy, |dx| {
+                                dx.scope("memcpy_d2h", |dx| {
+                                    dx.transfer(TransferDir::D2H, self.adjacency_bytes(b_s));
+                                    dx.transfer(TransferDir::D2H, self.adjacency_bytes(b_s));
+                                    dx.flush_transfers();
+                                })
+                            });
+                        }
+                        Ok(())
+                    });
+                    shard?;
+                }
+                shard_barrier(&mut dx, shards);
+                iterations += 1;
+            }
+            dx.join_streams();
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
 }
 
 impl DgnnModel for MolDgnn {
@@ -131,6 +275,10 @@ impl DgnnModel for MolDgnn {
     }
 
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let shards = cfg.effective_shards(ex);
+        if shards > 1 {
+            return self.infer_sharded(ex, cfg, shards);
+        }
         let b = cfg.batch_size.max(1);
         let rep = representative(b.min(self.data.n_molecules()));
         let mol_scale = b as f64 / rep as f64;
@@ -367,6 +515,41 @@ mod tests {
             let mut m = build();
             let mut ex = Executor::new(PlatformSpec::default(), ExecMode::Gpu);
             let s = m.run(&mut ex, &cfg(16)).unwrap();
+            (s.checksum, ex.now())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sharded_molecule_split_has_zero_peer_traffic_and_wins() {
+        let run = |shards: usize| {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(4), ExecMode::Gpu);
+            m.run(&mut ex, &cfg(256).with_shards(shards)).unwrap();
+            let peer: u64 = ex
+                .timeline()
+                .events()
+                .iter()
+                .filter(|e| e.category == dgnn_device::EventCategory::PeerTransfer)
+                .map(|e| e.bytes)
+                .sum();
+            (ex.now(), peer)
+        };
+        let (single, _) = run(1);
+        let (sharded, peer) = run(4);
+        assert_eq!(peer, 0, "molecules are disjoint graphs: zero edge cut");
+        assert!(
+            sharded < single,
+            "the memcpy wall splits across links: {sharded:?} vs {single:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic() {
+        let run = || {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+            let s = m.run(&mut ex, &cfg(64).with_shards(2)).unwrap();
             (s.checksum, ex.now())
         };
         assert_eq!(run(), run());

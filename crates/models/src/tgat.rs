@@ -25,7 +25,8 @@ use dgnn_nn::{BochnerTimeEncoder, Linear, Module, MultiHeadAttention};
 use dgnn_tensor::{Tensor, TensorRng};
 
 use crate::common::{
-    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+    lane_handoff, on_lane, representative, shard_barrier, shard_owners, DgnnModel, DoubleBuffer,
+    InferenceConfig, RunSummary,
 };
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
@@ -132,6 +133,243 @@ impl Tgat {
         }
         m
     }
+
+    /// Sharded multi-GPU driver: events belong to the shard owning their
+    /// source node (contiguous ranges); each shard samples and runs
+    /// attention for its slice on its own device. Gathered neighbor
+    /// feature rows the shard owns ship over its PCIe link; rows owned
+    /// by other shards arrive as peer transfers from their device.
+    fn infer_sharded(
+        &mut self,
+        ex: &mut Executor,
+        cfg: &InferenceConfig,
+        shards: usize,
+    ) -> Result<RunSummary> {
+        let k = cfg.n_neighbors.max(1);
+        let n_layers = self.cfg.n_layers;
+        let sampler = NeighborSampler::new(SampleStrategy::Uniform, cfg.seed);
+        let row_bytes = ((self.data.edge_dim() + 2) * 4) as u64;
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        let n_nodes = self.data.stream.n_nodes();
+        let owners = shard_owners(&dgnn_graph::contiguous_ranges(n_nodes, shards), n_nodes);
+
+        let batches: Vec<Vec<dgnn_graph::TemporalEvent>> = self
+            .data
+            .stream
+            .batches(cfg.batch_size)
+            .take(cfg.max_units.max(1))
+            .map(|b| b.to_vec())
+            .collect();
+
+        let cached = cfg.feature_cache.is_some();
+        cfg.apply_device_options(ex);
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced());
+            dx.fork_streams_multi(shards);
+            for batch in &batches {
+                let mut slices: Vec<Vec<&dgnn_graph::TemporalEvent>> = vec![Vec::new(); shards];
+                for e in batch {
+                    slices[owners[e.src]].push(e);
+                }
+                for (s, slice) in slices.iter().enumerate() {
+                    let shard: Result<()> = dx.on_device(s, |dx| {
+                        let bsz = slice.len();
+                        if bsz == 0 {
+                            return Ok(());
+                        }
+                        let rep = representative(bsz);
+                        let rows = bsz * self.rows_per_event(k);
+                        let edge_rows = (bsz * self.edge_rows_per_event(k)) as u64;
+
+                        // 1. Two-hop temporal sampling over the shard's
+                        // roots, on this device's host lane.
+                        let rep_layers = dx.on_stream(StreamId::Host, |dx| {
+                            dx.scope("sampling", |dx| {
+                                let roots: Vec<(usize, f64)> =
+                                    slice.iter().take(rep).map(|e| (e.src, e.time)).collect();
+                                let ks = vec![k; n_layers.max(1)];
+                                let (layers, cost) =
+                                    sampler.sample_khop_batch(&self.adj, &roots, &ks);
+                                let scale = (bsz as u64).div_ceil(rep as u64);
+                                let calls = (bsz * (1 + k)) as u64;
+                                let sorted = (bsz * (1 + k)) as u64;
+                                let sort_ops = sorted * (64 - sorted.max(2).leading_zeros() as u64);
+                                let parallelism =
+                                    if cfg.parallel_sampling { bsz as u64 } else { 1 };
+                                dx.host(HostWork {
+                                    label: "temporal_sampling",
+                                    ops: cost.ops * scale + calls * SAMPLING_CALL_OPS + sort_ops,
+                                    seq_bytes: 0,
+                                    irregular_bytes: cost.irregular_bytes * scale,
+                                    parallelism,
+                                });
+                                layers
+                            })
+                        });
+                        lane_handoff(dx, true, StreamId::Host, StreamId::Copy);
+
+                        // Split the gathered rows by owner: locally-owned
+                        // rows cross this device's PCIe link, remote rows
+                        // are peer traffic from their owner (counted on
+                        // the representative sample, scaled to the
+                        // shard's logical gather volume).
+                        let mut nbr_counts = vec![0u64; shards];
+                        let mut rep_total = 0u64;
+                        for l in &rep_layers {
+                            for nb in l {
+                                nbr_counts[owners[nb.node]] += 1;
+                                rep_total += 1;
+                            }
+                        }
+                        let scaled_rows = |o: usize| {
+                            match (nbr_counts[o] * edge_rows).checked_div(rep_total) {
+                                Some(rows) => rows,
+                                // No representative neighbors at all:
+                                // charge the full gather locally.
+                                None if o == s => edge_rows,
+                                None => 0,
+                            }
+                        };
+
+                        // 2. H2D of local rows + peer fetch of remote rows.
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_h2d", |dx| {
+                                if cached {
+                                    let local_keys: Vec<u64> = rep_layers
+                                        .iter()
+                                        .flat_map(|l| l.iter())
+                                        .filter(|nb| owners[nb.node] == s)
+                                        .map(|nb| nb.node as u64)
+                                        .collect();
+                                    if !local_keys.is_empty() {
+                                        let nscale =
+                                            scaled_rows(s) as f64 / local_keys.len() as f64;
+                                        dx.fetch_rows(
+                                            TensorClass::NodeFeature,
+                                            &local_keys,
+                                            row_bytes,
+                                            nscale,
+                                        );
+                                    } else {
+                                        dx.transfer(TransferDir::H2D, scaled_rows(s) * row_bytes);
+                                    }
+                                } else {
+                                    dx.transfer(TransferDir::H2D, scaled_rows(s) * row_bytes);
+                                }
+                                for o in 0..shards {
+                                    if o != s && scaled_rows(o) > 0 {
+                                        dx.peer_transfer(o, scaled_rows(o) * row_bytes);
+                                    }
+                                }
+                                dx.flush_transfers();
+                            })
+                        });
+                        lane_handoff(dx, true, StreamId::Copy, StreamId::Compute);
+                        lane_handoff(dx, true, StreamId::Host, StreamId::Compute);
+
+                        // Representative functional inputs, as in the
+                        // single-device driver.
+                        let rep_src: Vec<usize> = slice.iter().take(rep).map(|e| e.src).collect();
+                        let src_feats = self.data.node_features.gather_rows(&rep_src)?;
+                        let neigh: Vec<&dgnn_graph::sampler::SampledNeighbor> = rep_layers
+                            .get(1)
+                            .map(|l| l.iter().take(k).collect())
+                            .unwrap_or_default();
+                        let (neigh_feats, deltas) = if neigh.is_empty() {
+                            (Tensor::zeros(&[1, self.data.node_dim()]), vec![0.0f32])
+                        } else {
+                            let ids: Vec<usize> = neigh.iter().map(|s| s.node).collect();
+                            #[allow(clippy::cast_possible_truncation)] // f32 timestamps
+                            let times: Vec<f32> = neigh.iter().map(|s| s.time as f32).collect();
+                            (self.data.node_features.gather_rows(&ids)?, times)
+                        };
+                        let kn = neigh_feats.dims()[0];
+
+                        // 3. Time encoding + attention + prediction on the
+                        // shard's compute lane.
+                        let rep_time = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("time_encoding", |dx| {
+                                let n_phys = deltas.len();
+                                let t = Tensor::from_vec(deltas.clone(), &[n_phys])?;
+                                let t = dx.adopt(t, rows as f64 / n_phys as f64);
+                                self.time_enc.forward(dx, &t)
+                            })
+                        })?;
+                        let out = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("attention", |dx| -> Result<DeviceTensor> {
+                                let src = dx.adopt(src_feats.clone(), bsz as f64 / rep as f64);
+                                let q0 = self.feat_proj.forward(dx, &src)?;
+                                let nbr =
+                                    dx.adopt(neigh_feats.clone(), (bsz * k) as f64 / kn as f64);
+                                let nf = self.feat_proj.forward(dx, &nbr)?;
+                                let nt = if nf.data().dims()[0] == rep_time.data().dims()[0] {
+                                    let merged = nf.data().concat_cols(rep_time.data())?;
+                                    let merged = dx.adopt(merged, nf.scale());
+                                    self.merge[0].forward(dx, &merged)?
+                                } else {
+                                    nf
+                                };
+                                let mut hid = q0;
+                                for layer in 0..n_layers {
+                                    let targets = if layer + 1 == n_layers { bsz } else { bsz * k };
+                                    let q_rows = hid.data().dims()[0];
+                                    let q = dx
+                                        .adopt(hid.data().clone(), targets as f64 / q_rows as f64);
+                                    let kv_rows = nt.data().dims()[0];
+                                    let kv = dx.adopt(
+                                        nt.data().clone(),
+                                        (targets * k) as f64 / kv_rows as f64,
+                                    );
+                                    hid = self.attn[layer].forward(dx, &q, &kv, &kv)?;
+                                }
+                                Ok(hid)
+                            })
+                        })?;
+                        let result = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("prediction", |dx| -> Result<DeviceTensor> {
+                                let out_rows = out.data().dims()[0];
+                                let pair = dx.adopt(
+                                    out.data().concat_cols(out.data())?,
+                                    bsz as f64 / out_rows as f64,
+                                );
+                                let score = self.predictor.forward(dx, &pair)?;
+                                checksum += score.data().sum();
+                                Ok(dx.adopt(out.data().clone(), bsz as f64 / out_rows as f64))
+                            })
+                        })?;
+
+                        // 4. Target embeddings back over this shard's link.
+                        lane_handoff(dx, true, StreamId::Compute, StreamId::Copy);
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_d2h", |dx| {
+                                dx.download(&result);
+                                dx.flush_transfers();
+                            })
+                        });
+                        Ok(())
+                    });
+                    shard?;
+                }
+                shard_barrier(&mut dx, shards);
+                iterations += 1;
+            }
+            dx.join_streams();
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
 }
 
 impl DgnnModel for Tgat {
@@ -166,6 +404,10 @@ impl DgnnModel for Tgat {
     }
 
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let shards = cfg.effective_shards(ex);
+        if shards > 1 {
+            return self.infer_sharded(ex, cfg, shards);
+        }
         let k = cfg.n_neighbors.max(1);
         let d = self.cfg.dim;
         let n_layers = self.cfg.n_layers;
@@ -490,5 +732,47 @@ mod tests {
         let info = model.info();
         assert_eq!(info.name, "tgat");
         assert!(info.evolving.edge_features);
+    }
+
+    #[test]
+    fn sharded_sampling_splits_across_devices_and_wins() {
+        let run = |shards: usize| {
+            let mut model = build();
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(4), ExecMode::Gpu);
+            let s = model
+                .run(
+                    &mut ex,
+                    &small_cfg().with_batch_size(200).with_shards(shards),
+                )
+                .unwrap();
+            (s.checksum, ex.now())
+        };
+        assert_eq!(run(4), run(4), "sharded replay is bit-stable");
+        let (_, single) = run(1);
+        let (_, sharded) = run(4);
+        assert!(
+            sharded < single,
+            "sharding the sampling-bound model must win: {sharded:?} vs {single:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_remote_neighbor_rows_are_peer_priced() {
+        let mut model = build();
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        model
+            .run(&mut ex, &small_cfg().with_batch_size(100).with_shards(2))
+            .unwrap();
+        let peer: u64 = ex
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| e.category == dgnn_device::EventCategory::PeerTransfer)
+            .map(|e| e.bytes)
+            .sum();
+        assert!(
+            peer > 0,
+            "remote neighbor feature rows must cross the interconnect"
+        );
     }
 }

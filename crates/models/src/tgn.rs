@@ -31,7 +31,8 @@ use dgnn_nn::{EmbeddingTable, GruCell, Linear, Module, MultiHeadAttention, Time2
 use dgnn_tensor::{OpDescriptor, Tensor, TensorRng};
 
 use crate::common::{
-    lane_handoff, on_lane, representative, DgnnModel, DoubleBuffer, InferenceConfig, RunSummary,
+    lane_handoff, on_lane, representative, shard_barrier, shard_owners, DgnnModel, DoubleBuffer,
+    InferenceConfig, RunSummary,
 };
 use crate::registry::{all_model_infos, ModelInfo};
 use crate::Result;
@@ -114,6 +115,281 @@ impl Tgn {
     fn touched_rows(&self, batch: usize, k: usize) -> u64 {
         (batch * (2 + k)) as u64
     }
+
+    /// Sharded multi-GPU driver: events belong to the shard that owns
+    /// their source node (contiguous node ranges, so per-shard memory
+    /// stays a dense slice), each shard's slice runs on its own device's
+    /// lane triple, and the memory rows of remote destination endpoints
+    /// and sampled neighbors arrive as peer transfers priced on the
+    /// interconnect edge to their owner (NVLink hop, or a host-staged
+    /// PCIe bounce when the topology has no direct link).
+    fn infer_sharded(
+        &mut self,
+        ex: &mut Executor,
+        cfg: &InferenceConfig,
+        shards: usize,
+    ) -> Result<RunSummary> {
+        let k = cfg.n_neighbors.clamp(1, 10);
+        let d = self.cfg.dim;
+        let row_bytes = (2 * d * 4) as u64;
+        let sampler = NeighborSampler::new(SampleStrategy::MostRecent, cfg.seed);
+        let mut checksum = 0.0f32;
+        let mut iterations = 0usize;
+
+        let n_nodes = self.data.stream.n_nodes();
+        let owners = shard_owners(&dgnn_graph::contiguous_ranges(n_nodes, shards), n_nodes);
+
+        let batches: Vec<Vec<dgnn_graph::TemporalEvent>> = self
+            .data
+            .stream
+            .batches(cfg.batch_size)
+            .take(cfg.max_units.max(1))
+            .map(|b| b.to_vec())
+            .collect();
+
+        let cached = cfg.feature_cache.is_some();
+        cfg.apply_device_options(ex);
+
+        let run: Result<()> = ex.scope("inference", |ex| {
+            let mut dx = Dispatcher::with_coalescing(ex, cfg.coalesced());
+            dx.fork_streams_multi(shards);
+            for batch in &batches {
+                let mut slices: Vec<Vec<&dgnn_graph::TemporalEvent>> = vec![Vec::new(); shards];
+                for e in batch {
+                    slices[owners[e.src]].push(e);
+                }
+                // Fixed shard order: the checksum and the shared memory
+                // table update deterministically.
+                for (s, slice) in slices.iter().enumerate() {
+                    let shard: Result<()> = dx.on_device(s, |dx| {
+                        let bsz = slice.len();
+                        if bsz == 0 {
+                            return Ok(());
+                        }
+                        let rep = representative(bsz);
+                        let scale = bsz as f64 / rep as f64;
+
+                        // 1. Shard-local batch packing on this device's
+                        // host lane.
+                        dx.on_stream(StreamId::Host, |dx| {
+                            dx.scope("batch_prep", |dx| {
+                                dx.host(HostWork::sequential(
+                                    "pack_batch",
+                                    bsz as u64 * PREP_CALL_OPS,
+                                    bsz as u64 * dgnn_graph::EventStream::EVENT_BYTES,
+                                ));
+                            })
+                        });
+
+                        // 2. Temporal sampling over the shard's roots.
+                        let rep_neighbors = dx.on_stream(StreamId::Host, |dx| {
+                            dx.scope("sampling", |dx| {
+                                let roots: Vec<(usize, f64)> =
+                                    slice.iter().take(rep).map(|e| (e.src, e.time)).collect();
+                                let (rep_samples, cost) =
+                                    sampler.sample_batch(&self.adj, &roots, k);
+                                let sc = (bsz as u64).div_ceil(rep as u64);
+                                let parallelism =
+                                    if cfg.parallel_sampling { bsz as u64 } else { 1 };
+                                dx.host(HostWork {
+                                    label: "temporal_sampling",
+                                    ops: cost.ops * sc / 4 + (bsz * 2) as u64 * SAMPLE_CALL_OPS,
+                                    seq_bytes: 0,
+                                    irregular_bytes: cost.irregular_bytes * sc / 4,
+                                    parallelism,
+                                });
+                                rep_samples
+                            })
+                        });
+
+                        // Remote memory rows by owning device: destination
+                        // endpoints outside this shard's range, plus the
+                        // cross-shard fraction of sampled neighbors
+                        // (counted on the representative sample, scaled to
+                        // the shard's logical neighbor volume).
+                        let mut remote_dst = vec![0u64; shards];
+                        for e in slice {
+                            if owners[e.dst] != s {
+                                remote_dst[owners[e.dst]] += 1;
+                            }
+                        }
+                        let mut nbr_counts = vec![0u64; shards];
+                        let mut rep_nbr_total = 0u64;
+                        for l in &rep_neighbors {
+                            for nb in l {
+                                nbr_counts[owners[nb.node]] += 1;
+                                rep_nbr_total += 1;
+                            }
+                        }
+                        let logical_nbrs = (bsz * k) as u64;
+                        let scaled_nbr = |o: usize| {
+                            (nbr_counts[o] * logical_nbrs)
+                                .checked_div(rep_nbr_total)
+                                .unwrap_or(0)
+                        };
+                        let local_dst = bsz as u64 - remote_dst.iter().sum::<u64>();
+
+                        // 3. Shard-local H2D over this device's PCIe link;
+                        // remote rows as interconnect peer traffic.
+                        lane_handoff(dx, true, StreamId::Host, StreamId::Copy);
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_h2d", |dx| {
+                                let edge_bytes = (bsz * self.data.edge_dim() * 4) as u64;
+                                let ts_bytes = (bsz * 2 * 4) as u64;
+                                if cached {
+                                    dx.transfer(TransferDir::H2D, edge_bytes);
+                                    dx.transfer(TransferDir::H2D, ts_bytes);
+                                    // Shard-local rows route through this
+                                    // device's cache shard.
+                                    let mut keys: Vec<u64> =
+                                        slice.iter().map(|e| e.src as u64).collect();
+                                    keys.extend(
+                                        slice
+                                            .iter()
+                                            .filter(|e| owners[e.dst] == s)
+                                            .map(|e| e.dst as u64),
+                                    );
+                                    dx.fetch_rows(TensorClass::NodeMemory, &keys, row_bytes, 1.0);
+                                    let local_keys: Vec<u64> = rep_neighbors
+                                        .iter()
+                                        .flat_map(|l| l.iter())
+                                        .filter(|nb| owners[nb.node] == s)
+                                        .map(|nb| nb.node as u64)
+                                        .collect();
+                                    if !local_keys.is_empty() {
+                                        let nscale = scaled_nbr(s) as f64 / local_keys.len() as f64;
+                                        dx.fetch_rows(
+                                            TensorClass::NodeMemory,
+                                            &local_keys,
+                                            row_bytes,
+                                            nscale,
+                                        );
+                                    }
+                                } else {
+                                    for bytes in [
+                                        edge_bytes,
+                                        ts_bytes,
+                                        bsz as u64 * row_bytes,
+                                        local_dst * row_bytes,
+                                        scaled_nbr(s) * row_bytes,
+                                    ] {
+                                        dx.transfer(TransferDir::H2D, bytes);
+                                    }
+                                }
+                                for (o, &dst_rows) in remote_dst.iter().enumerate() {
+                                    if o == s {
+                                        continue;
+                                    }
+                                    let rows = dst_rows + scaled_nbr(o);
+                                    if rows > 0 {
+                                        dx.peer_transfer(o, rows * row_bytes);
+                                    }
+                                }
+                                dx.flush_transfers();
+                            })
+                        });
+                        lane_handoff(dx, true, StreamId::Host, StreamId::Compute);
+                        lane_handoff(dx, true, StreamId::Copy, StreamId::Compute);
+
+                        let rep_src: Vec<usize> = slice.iter().take(rep).map(|e| e.src).collect();
+
+                        // 4. Message passing, memory update, embedding and
+                        // prediction on this device's compute lane — the
+                        // same representative math as the single-device
+                        // driver at shard scale.
+                        let rep_msgs = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("message_passing", |dx| -> Result<DeviceTensor> {
+                                let src_mem = self.memory.lookup_scaled(dx, &rep_src, scale)?;
+                                let dst: Vec<usize> =
+                                    slice.iter().take(rep).map(|e| e.dst).collect();
+                                let dst_mem = self.memory.lookup_scaled(dx, &dst, scale)?;
+                                let feats: Vec<usize> =
+                                    slice.iter().take(rep).map(|e| e.feature_idx).collect();
+                                let edge = self.data.edge_features.gather_rows(&feats)?;
+                                #[allow(clippy::cast_possible_truncation)] // f32 timestamps
+                                let deltas = Tensor::from_vec(
+                                    slice.iter().take(rep).map(|e| e.time as f32).collect(),
+                                    &[rep],
+                                )?;
+                                let deltas = dx.adopt(deltas, scale);
+                                let time = self.time_enc.forward(dx, &deltas)?;
+                                let raw = src_mem
+                                    .data()
+                                    .concat_cols(dst_mem.data())?
+                                    .concat_cols(&edge)?
+                                    .concat_cols(time.data())?;
+                                let raw = dx.adopt(raw, scale);
+                                let msgs = self.message_fn.forward(dx, &raw)?;
+                                dx.charge(OpDescriptor::reduce("message_agg", bsz, k.max(1)), 1.0);
+                                Ok(msgs)
+                            })
+                        })?;
+                        let new_mem = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("memory_update", |dx| -> Result<DeviceTensor> {
+                                let prev = self.memory.lookup_scaled(dx, &rep_src, scale)?;
+                                self.memory_updater
+                                    .forward(dx, &rep_msgs, &prev)
+                                    .map_err(Into::into)
+                            })
+                        })?;
+                        dx.on_stream(StreamId::Compute, |dx| {
+                            self.memory.update(dx, &rep_src, &new_mem)
+                        })?;
+                        let emb = dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("embedding", |dx| -> Result<DeviceTensor> {
+                                let kv_ids: Vec<usize> = rep_neighbors
+                                    .first()
+                                    .map(|l| l.iter().map(|n| n.node).collect::<Vec<_>>())
+                                    .unwrap_or_default()
+                                    .into_iter()
+                                    .chain(rep_src.first().copied())
+                                    .collect();
+                                let kv = self.memory.lookup_scaled(dx, &kv_ids, bsz as f64)?;
+                                self.embed_attn
+                                    .forward(dx, &new_mem, &kv, &kv)
+                                    .map_err(Into::into)
+                            })
+                        })?;
+                        dx.on_stream(StreamId::Compute, |dx| {
+                            dx.scope("prediction", |dx| -> Result<()> {
+                                let pair = dx.adopt(emb.data().concat_cols(emb.data())?, scale);
+                                checksum += self.predictor.forward(dx, &pair)?.data().sum();
+                                Ok(())
+                            })
+                        })?;
+
+                        // 5. Memory write-back: the shard's updated
+                        // endpoint and neighbor message blocks return to
+                        // the host over its own PCIe link.
+                        lane_handoff(dx, true, StreamId::Compute, StreamId::Copy);
+                        dx.on_stream(StreamId::Copy, |dx| {
+                            dx.scope("memcpy_d2h", |dx| {
+                                dx.transfer(TransferDir::D2H, (bsz * 2 * d * 4) as u64);
+                                dx.transfer(TransferDir::D2H, (bsz * k * d * 4) as u64);
+                                dx.flush_transfers();
+                            })
+                        });
+                        Ok(())
+                    });
+                    shard?;
+                }
+                shard_barrier(&mut dx, shards);
+                iterations += 1;
+            }
+            dx.join_streams();
+            Ok(())
+        });
+        run?;
+
+        let inference_time = ex
+            .scopes()
+            .iter()
+            .rev()
+            .find(|s| s.path == "inference")
+            .map(|s| s.duration())
+            .unwrap_or_default();
+        Ok(RunSummary::new(iterations, inference_time, checksum))
+    }
 }
 
 impl DgnnModel for Tgn {
@@ -144,6 +420,10 @@ impl DgnnModel for Tgn {
     }
 
     fn infer(&mut self, ex: &mut Executor, cfg: &InferenceConfig) -> Result<RunSummary> {
+        let shards = cfg.effective_shards(ex);
+        if shards > 1 {
+            return self.infer_sharded(ex, cfg, shards);
+        }
         let k = cfg.n_neighbors.clamp(1, 10);
         let d = self.cfg.dim;
         let sampler = NeighborSampler::new(SampleStrategy::MostRecent, cfg.seed);
@@ -500,5 +780,72 @@ mod tests {
         let mut ex = Executor::new(PlatformSpec::default(), ExecMode::CpuOnly);
         let s = m.run(&mut ex, &cfg(64)).unwrap();
         assert!(s.inference_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn one_shard_on_a_multi_gpu_platform_is_bit_identical() {
+        let run = |spec: PlatformSpec, shards: usize| {
+            let mut m = build();
+            let mut ex = Executor::new(spec, ExecMode::Gpu);
+            let s = m.run(&mut ex, &cfg(64).with_shards(shards)).unwrap();
+            (s.checksum, s.inference_time, ex.now())
+        };
+        // Extra idle GPUs in the device graph change nothing about a
+        // single-shard run.
+        assert_eq!(
+            run(PlatformSpec::default(), 1),
+            run(PlatformSpec::multi_gpu_nvlink(4), 1)
+        );
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_and_faster_on_nvlink() {
+        let run = |shards: usize| {
+            let mut m = build();
+            let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(4), ExecMode::Gpu);
+            let s = m.run(&mut ex, &cfg(256).with_shards(shards)).unwrap();
+            (s.checksum, ex.now())
+        };
+        assert_eq!(run(4), run(4), "sharded replay is bit-stable");
+        let (_, single) = run(1);
+        let (_, sharded) = run(4);
+        assert!(
+            sharded < single,
+            "4 NVLink shards ({sharded:?}) should beat one GPU ({single:?})"
+        );
+    }
+
+    #[test]
+    fn sharded_run_prices_peer_traffic() {
+        let mut m = build();
+        let mut ex = Executor::new(PlatformSpec::multi_gpu_nvlink(2), ExecMode::Gpu);
+        m.run(&mut ex, &cfg(128).with_shards(2)).unwrap();
+        let peer: u64 = ex
+            .timeline()
+            .events()
+            .iter()
+            .filter(|e| e.category == dgnn_device::EventCategory::PeerTransfer)
+            .map(|e| e.bytes)
+            .sum();
+        assert!(
+            peer > 0,
+            "cross-shard memory rows must cross the interconnect"
+        );
+    }
+
+    #[test]
+    fn pcie_topology_prices_peer_traffic_as_staged_bounces() {
+        let time_on = |spec: PlatformSpec| {
+            let mut m = build();
+            let mut ex = Executor::new(spec, ExecMode::Gpu);
+            m.run(&mut ex, &cfg(256).with_shards(4)).unwrap();
+            ex.now()
+        };
+        let nvlink = time_on(PlatformSpec::multi_gpu_nvlink(4));
+        let pcie = time_on(PlatformSpec::multi_gpu_pcie(4));
+        assert!(
+            pcie > nvlink,
+            "host-staged bounces ({pcie:?}) must cost more than NVLink hops ({nvlink:?})"
+        );
     }
 }

@@ -25,7 +25,10 @@
 //! session reuse amortizes priced warm-up without carrying mutable
 //! model state between requests.
 
-use dgnn_device::{CacheStats, DurationNs, ExecMode, Executor, PlatformSpec};
+use dgnn_device::{
+    accumulate_class_stats, CacheStats, ClassCacheStats, DurationNs, ExecMode, Executor,
+    PlatformSpec,
+};
 use dgnn_models::RunSummary;
 use dgnn_profile::ServicePhases;
 
@@ -290,6 +293,17 @@ impl WarmPool {
         let mut total = CacheStats::default();
         for r in &self.replicas {
             total.accumulate(&r.session.cache_stats());
+        }
+        total
+    }
+
+    /// Per-[`dgnn_device::TensorClass`] feature-cache counters summed
+    /// over every slot's session — splits the [`WarmPool::cache_stats`]
+    /// total into node-feature / edge-feature / node-memory traffic.
+    pub fn cache_class_stats(&self) -> ClassCacheStats {
+        let mut total = ClassCacheStats::default();
+        for r in &self.replicas {
+            accumulate_class_stats(&mut total, &r.session.cache_class_stats());
         }
         total
     }

@@ -15,7 +15,7 @@
 //! warm-up cost shows up as cold-start spikes at the tail, not in the
 //! mean.
 
-use dgnn_device::{CacheStats, DurationNs};
+use dgnn_device::{CacheStats, ClassCacheStats, DurationNs, TensorClass};
 use dgnn_models::RunSummary;
 use dgnn_profile::{LatencyStats, ServicePhases, TextTable};
 
@@ -131,6 +131,10 @@ pub struct ServeReport {
     /// cross-request reuse on warm slots; all zeros when the served
     /// configs never set [`dgnn_models::InferenceConfig::feature_cache`].
     pub cache: CacheStats,
+    /// The same counters split by [`TensorClass`] (indexed by
+    /// [`TensorClass::index`]) — shows whether hits come from static
+    /// node/edge features or recurrent memory rows.
+    pub cache_by_class: ClassCacheStats,
     /// Last completion time (provisioning included).
     pub makespan: DurationNs,
     /// Served requests per simulated second of makespan.
@@ -151,6 +155,7 @@ impl ServeReport {
         provision: &ServicePhases,
         cold_services: usize,
         cache: CacheStats,
+        cache_by_class: ClassCacheStats,
     ) -> Self {
         let latencies: Vec<DurationNs> = served.iter().map(ServedRequest::latency).collect();
         let assembly: Vec<DurationNs> = served.iter().map(ServedRequest::assembly_wait).collect();
@@ -195,6 +200,7 @@ impl ServeReport {
             service: LatencyStats::from_durations(&service),
             staleness: LatencyStats::from_durations(&staleness),
             cache,
+            cache_by_class,
             makespan,
             throughput_rps,
             mean_batch_size,
@@ -261,6 +267,19 @@ impl ServeReport {
                 self.cache.hit_bytes,
                 self.cache.evictions,
             ));
+            for class in TensorClass::ALL {
+                let s = &self.cache_by_class[class.index()];
+                if s.lookups() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:>12}: {} hit / {} miss ({:.1}% hit rate)\n",
+                    class.name(),
+                    s.hits,
+                    s.misses,
+                    s.hit_rate() * 100.0,
+                ));
+            }
         }
         out
     }

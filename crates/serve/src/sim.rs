@@ -269,6 +269,7 @@ pub(crate) fn serve_with_streaming(
         &provision,
         pool.cold_starts(),
         pool.cache_stats(),
+        pool.cache_class_stats(),
     );
     ServeOutcome {
         report,

@@ -234,10 +234,18 @@ fn warm_replicas_keep_feature_caches_across_requests() {
         stats.hits > 0,
         "warm replicas must re-serve cached rows across requests: {stats:?}"
     );
-    assert!(outcome
-        .report
-        .render("cached serve")
-        .contains("feature cache"));
+    let text = outcome.report.render("cached serve");
+    assert!(text.contains("feature cache"));
+    // The per-class split must account for every counted probe and
+    // surface TGAT's node-feature traffic as its own render line.
+    let by_class = &outcome.report.cache_by_class;
+    let class_hits: u64 = by_class.iter().map(|s| s.hits).sum();
+    let class_misses: u64 = by_class.iter().map(|s| s.misses).sum();
+    assert_eq!(class_hits, stats.hits, "per-class hits must sum to total");
+    assert_eq!(class_misses, stats.misses);
+    let nf = &by_class[dgnn_device::TensorClass::NodeFeature.index()];
+    assert!(nf.lookups() > 0, "TGAT probes node-feature rows");
+    assert!(text.contains("node_feature"), "{text}");
     // Cache hits are legitimately unpriced: the sanitizer stays clean
     // and tallies them instead of flagging RULE5.
     let mut audited_hits = 0;
