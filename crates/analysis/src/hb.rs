@@ -122,6 +122,8 @@ pub(crate) fn hb(a: &Node, b: &Node) -> bool {
 pub(crate) struct HbEngine {
     vc: Vec<VClock>,
     /// Event index → recording lane's clock, scoped to the active fork.
+    /// Point lookups only (keyed get/insert), never iterated — visit
+    /// order cannot affect happens-before results.
     snapshots: HashMap<usize, VClock>,
     /// Serial clock snapshot at the active fork's origin; lanes grown
     /// mid-fork inherit it (the fork edge reaches every device's lanes).

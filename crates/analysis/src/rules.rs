@@ -140,6 +140,10 @@ struct TensorState {
 struct Sanitizer<'a> {
     timeline: &'a Timeline,
     engine: HbEngine,
+    /// The hash containers below are point-lookup-only state keyed by
+    /// replay ids (never iterated), so hasher order cannot reach hazard
+    /// output; everything that *is* iterated for reports uses BTree
+    /// containers.
     tensors: HashMap<TensorId, TensorState>,
     hazards: Vec<Hazard>,
     /// Dedup for tensor-attributed hazards: one report per (rule, buffer).
@@ -996,6 +1000,8 @@ impl<'a> Sanitizer<'a> {
     /// clock) of every device, events must be well-formed and
     /// non-overlapping in emission order.
     fn check_timeline(&mut self) {
+        // Keyed get/insert per lane component, never iterated: hazard
+        // order follows timeline emission order, not hasher state.
         let mut last_end: HashMap<usize, (usize, DurationNs)> = HashMap::new();
         for (idx, e) in self.timeline.events().iter().enumerate() {
             if e.end < e.start {

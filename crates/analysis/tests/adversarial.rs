@@ -281,6 +281,49 @@ fn rule3_wait_on_unrecorded_event_is_flagged() {
     assert_eq!(report.count(HazardRule::MissingWait), 1, "{report}");
 }
 
+#[test]
+fn rule3_clean_twin_release_after_recorded_wait_passes() {
+    // Same write/read pair as the race above, but Compute records an
+    // event after its read and Copy waits on it before releasing: the
+    // cross-lane edge orders the release after the read.
+    let mut trace = ExecTrace::new();
+    trace.push(TraceRecord::Fork { at: ns(0) });
+    trace.push(TraceRecord::Access {
+        tensor: 6,
+        kind: AccessKind::Adopt,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 0,
+    });
+    trace.push(TraceRecord::Access {
+        tensor: 6,
+        kind: AccessKind::Arg,
+        lane: Some(StreamId::Compute),
+        place: Place::Gpu,
+        at_event: 1,
+    });
+    trace.push(TraceRecord::EventRecord {
+        event: 0,
+        lane: StreamId::Compute,
+        at: ns(10),
+    });
+    trace.push(TraceRecord::EventWait {
+        event: 0,
+        lane: StreamId::Copy,
+    });
+    trace.push(TraceRecord::Release {
+        tensor: 6,
+        lane: Some(StreamId::Copy),
+        at_event: 2,
+    });
+    trace.push(TraceRecord::Join {
+        at: ns(20),
+        lane_clocks: vec![ns(0), ns(15), ns(10)],
+    });
+    let report = sanitize(&Timeline::new(), &trace, &SanitizeOptions::default());
+    assert!(report.is_clean(), "{report}");
+}
+
 // ---------------------------------------------------------------------
 // RULE4 clock monotonicity
 // ---------------------------------------------------------------------
@@ -491,6 +534,27 @@ fn rule6_fraction_outside_unit_interval_is_flagged() {
     };
     let report = sanitize(&Timeline::new(), &ExecTrace::new(), &opts);
     assert!(report.count(HazardRule::BusyFraction) >= 1, "{report}");
+}
+
+#[test]
+fn rule6_clean_twin_union_fraction_passes() {
+    // The same overlapping three-kernel timeline as the adversarial
+    // case, but the claim uses the interval-union busy time (60 ns of
+    // the 100 ns window) instead of the double-counted per-event sum.
+    let mut tl = Timeline::new();
+    tl.push(kernel_event(0, 40, Some(StreamId::Compute)));
+    tl.push(kernel_event(20, 60, Some(StreamId::Host)));
+    tl.push(kernel_event(50, 60, Some(StreamId::Copy)));
+    let opts = SanitizeOptions {
+        busy_claim: Some(BusyClaim {
+            win_start: ns(0),
+            win_end: ns(100),
+            fraction: 0.6,
+        }),
+        ..SanitizeOptions::default()
+    };
+    let report = sanitize(&tl, &ExecTrace::new(), &opts);
+    assert!(report.is_clean(), "{report}");
 }
 
 // ---------------------------------------------------------------------

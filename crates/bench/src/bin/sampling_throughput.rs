@@ -19,8 +19,7 @@
 //!
 //! Usage: `sampling_throughput [--scale tiny|small|full] [--seed N]`
 
-use std::time::Instant;
-
+use dgnn_bench::harness::walltime;
 use dgnn_bench::parse_opts;
 use dgnn_datasets::{wikipedia, PowerLawSampler, Scale};
 use dgnn_device::{ExecMode, Executor, PlatformSpec};
@@ -56,7 +55,7 @@ fn power_law_stream(n_nodes: usize, n_events: usize, alpha: f64, seed: u64) -> E
 /// Times `f` over `samples` iterations (one untimed warm-up), mean ns.
 fn mean_ns<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
     std::hint::black_box(f());
-    let t0 = Instant::now();
+    let t0 = walltime();
     for _ in 0..samples {
         std::hint::black_box(f());
     }

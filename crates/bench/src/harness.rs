@@ -8,18 +8,29 @@
 
 use std::time::{Duration, Instant};
 
+/// The one sanctioned wall-clock read in the workspace.
+///
+/// Every other crate simulates time; bench binaries that need real
+/// timings route them through here so `dgnn-lint`'s LINT2 allowlist
+/// stays a single file. Wall time is **report-only**: it is printed
+/// next to results and never feeds back into simulated pricing,
+/// sampling or any other decision path.
+pub fn walltime() -> Instant {
+    Instant::now()
+}
+
 /// Runs `f` for `samples` timed iterations (after one untimed warm-up)
 /// and prints mean/min/max wall-clock per iteration.
 pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
     std::hint::black_box(f());
     let mut times: Vec<Duration> = Vec::with_capacity(samples);
     for _ in 0..samples.max(1) {
-        let t0 = Instant::now();
+        let t0 = walltime();
         std::hint::black_box(f());
         times.push(t0.elapsed());
     }
     let total: Duration = times.iter().sum();
-    #[allow(clippy::cast_possible_truncation)] // sample counts are tiny
+    #[expect(clippy::cast_possible_truncation, reason = "sample counts are tiny")]
     let mean = total / times.len() as u32;
     let min = times.iter().min().copied().unwrap_or_default();
     let max = times.iter().max().copied().unwrap_or_default();

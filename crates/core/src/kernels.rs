@@ -1,6 +1,6 @@
 //! Nsight-style CUDA kernel summary: per-kernel-name statistics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dgnn_device::{DurationNs, Timeline};
 
@@ -24,9 +24,11 @@ pub struct KernelStat {
 }
 
 /// Summarizes GPU kernels by name, like Nsight Systems' "CUDA GPU Kernel
-/// Summary" view — sorted by total time, largest first.
+/// Summary" view — sorted by total time, largest first. The accumulator
+/// is a `BTreeMap` so kernels tied on total time keep a stable
+/// (name-ordered) position across runs.
 pub fn kernel_summary(timeline: &Timeline) -> Vec<KernelStat> {
-    let mut acc: HashMap<&'static str, (usize, u64, f64)> = HashMap::new();
+    let mut acc: BTreeMap<&'static str, (usize, u64, f64)> = BTreeMap::new();
     let mut grand_total = 0u64;
     for e in timeline.events() {
         if !e.category.is_gpu_compute() {

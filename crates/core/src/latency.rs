@@ -49,7 +49,10 @@ impl LatencyStats {
         sorted.sort_unstable();
         let n = sorted.len();
         let sum: u128 = sorted.iter().map(|&x| u128::from(x)).sum();
-        #[allow(clippy::cast_possible_truncation)] // mean ≤ max, which fits u64
+        #[expect(
+            clippy::cast_possible_truncation,
+            reason = "mean ≤ max, which fits u64"
+        )]
         let mean = (sum / n as u128) as u64;
         // Nearest rank ⌈q·n⌉ in exact integer arithmetic. The obvious
         // float version — `(q * n as f64).ceil()` — is wrong whenever

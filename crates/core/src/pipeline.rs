@@ -75,7 +75,10 @@ pub fn delta_transfer_bytes(sizes: &[u64], similarity: f64) -> u64 {
         if i == 0 {
             total += s;
         } else {
-            #[allow(clippy::cast_possible_truncation)] // rounded byte fraction fits u64
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "rounded byte fraction fits u64"
+            )]
             {
                 total += (s as f64 * (1.0 - similarity)).round() as u64;
             }

@@ -69,7 +69,10 @@ impl UtilizationReport {
     pub fn render_series(series: &[(DurationNs, f64)], title: &str) -> String {
         let mut t = TextTable::new(title, &["t (ms)", "util", "bar"]);
         for &(start, u) in series {
-            #[allow(clippy::cast_possible_truncation)] // utilization bar length ≤ 50
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "utilization bar length ≤ 50"
+            )]
             let bars = (u * 50.0).round() as usize;
             t.row(&[
                 format!("{:.2}", start.as_millis_f64()),

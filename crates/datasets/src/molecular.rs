@@ -68,7 +68,7 @@ pub fn iso17(scale: Scale, seed: u64) -> TrajectoryDataset {
                 graph,
             });
             for c in &coords {
-                #[allow(clippy::cast_possible_truncation)] // f32 coordinates suffice
+                #[expect(clippy::cast_possible_truncation, reason = "f32 coordinates suffice")]
                 positions.extend(c.iter().map(|&x| x as f32));
             }
         }

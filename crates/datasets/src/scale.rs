@@ -27,7 +27,10 @@ impl Scale {
     }
 
     /// Scales a full-size count, keeping at least `min`.
-    #[allow(clippy::cast_possible_truncation)] // rounded scaled count fits usize
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "rounded scaled count fits usize"
+    )]
     pub fn apply(self, full: usize, min: usize) -> usize {
         ((full as f64 * self.factor()).round() as usize).max(min)
     }

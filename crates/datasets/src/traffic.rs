@@ -53,7 +53,10 @@ pub fn pems(scale: Scale, seed: u64) -> TimeSeriesDataset {
             let flow = b * (0.3 + rush) + rng.uniform_f64(-0.05, 0.05);
             let occupancy = (flow * 0.6 + rng.uniform_f64(-0.02, 0.02)).clamp(0.0, 1.0);
             let speed = (1.2 - occupancy + rng.uniform_f64(-0.05, 0.05)).clamp(0.1, 1.5);
-            #[allow(clippy::cast_possible_truncation)] // f32 sensor channels suffice
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "f32 sensor channels suffice"
+            )]
             {
                 data.push(flow as f32);
                 data.push(occupancy as f32);

@@ -146,7 +146,10 @@ impl DeviceTensor {
     }
 
     /// Bytes this tensor logically occupies (physical bytes × scale).
-    #[allow(clippy::cast_possible_truncation)] // rounded byte counts fit u64
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "rounded byte counts fit u64"
+    )]
     pub fn logical_bytes(&self) -> u64 {
         (cost::f32_bytes(self.data.len()) as f64 * self.scale).round() as u64
     }
@@ -364,7 +367,10 @@ impl<'a> Dispatcher<'a> {
         if self.ex.mode() != ExecMode::Gpu {
             return CacheFetch::default();
         }
-        #[allow(clippy::cast_possible_truncation)] // rounded byte counts fit u64
+        #[expect(
+            clippy::cast_possible_truncation,
+            reason = "rounded byte counts fit u64"
+        )]
         #[allow(clippy::cast_sign_loss)] // row_bytes and scale are non-negative
         let scaled_row = (row_bytes as f64 * scale).round() as u64;
         let mut fetch = CacheFetch::default();

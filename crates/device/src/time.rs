@@ -35,7 +35,7 @@ impl DurationNs {
     /// # Panics
     ///
     /// Panics on negative or non-finite input.
-    #[allow(clippy::cast_possible_truncation)] // rounded ns count fits u64
+    #[expect(clippy::cast_possible_truncation, reason = "rounded ns count fits u64")]
     pub fn from_secs_f64(s: f64) -> Self {
         assert!(
             s.is_finite() && s >= 0.0,

@@ -24,7 +24,7 @@ impl WarmupModel {
     /// GPU model initialization: fixed stream-capture/plan cost, plus the
     /// weight upload over PCIe, plus a per-parameter-tensor allocation
     /// and registration cost.
-    #[allow(clippy::cast_possible_truncation)] // rounded ns count fits u64
+    #[expect(clippy::cast_possible_truncation, reason = "rounded ns count fits u64")]
     pub fn model_init_gpu(
         gpu: &GpuSpec,
         pcie: &PcieSpec,
@@ -43,7 +43,7 @@ impl WarmupModel {
     /// CPU model initialization: just materializing the weights in host
     /// memory. This is the denominator of the paper's "model
     /// initialization on GPU takes 40×–937× compared to CPU" claim.
-    #[allow(clippy::cast_possible_truncation)] // rounded ns count fits u64
+    #[expect(clippy::cast_possible_truncation, reason = "rounded ns count fits u64")]
     pub fn model_init_cpu(cpu: &CpuSpec, weight_bytes: u64, n_param_tensors: u64) -> DurationNs {
         let copy = weight_bytes as f64 / cpu.mem_bw * 1e9;
         DurationNs::from_nanos(cpu.model_init_per_tensor_ns * n_param_tensors + copy.round() as u64)
@@ -52,7 +52,7 @@ impl WarmupModel {
     /// Per-run activation allocation warm-up: constant base plus a term
     /// proportional to the peak activation footprint. Reproduces Table 2's
     /// growth of warm-up share with batch size.
-    #[allow(clippy::cast_possible_truncation)] // rounded ns count fits u64
+    #[expect(clippy::cast_possible_truncation, reason = "rounded ns count fits u64")]
     pub fn alloc(gpu: &GpuSpec, activation_bytes: u64) -> DurationNs {
         DurationNs::from_nanos(
             gpu.alloc_base_ns + (gpu.alloc_per_byte_ns * activation_bytes as f64).round() as u64,

@@ -97,7 +97,10 @@ fn sort_charge_matches_cost_estimator() {
 }
 
 #[test]
-#[allow(clippy::cast_possible_truncation)] // rounded scaled charges fit u64
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "rounded scaled charges fit u64"
+)]
 fn representative_scale_multiplies_the_charge_exactly() {
     let (m, k, n) = (8, 16, 8);
     let scale = 37.0;

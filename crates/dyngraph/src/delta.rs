@@ -465,7 +465,7 @@ impl TemporalView for StreamingView<'_> {
         let b0 = s.base_offsets[node];
         let in_base = s.base_times[b0..b0 + base].partition_point(|&x| x < t);
         let in_delta = s.delta_rows[node][..delta].partition_point(|&p| s.delta_times[p] < t);
-        #[allow(clippy::cast_possible_truncation)] // log2 of a length fits u64
+        #[expect(clippy::cast_possible_truncation, reason = "log2 of a length fits u64")]
         let steps = (len as f64).log2().ceil() as u64 + 1;
         (in_base + in_delta, steps)
     }

@@ -176,7 +176,7 @@ impl TemporalAdjacency {
             return (0, 0);
         }
         let idx = times.partition_point(|&x| x < t);
-        #[allow(clippy::cast_possible_truncation)] // log2 of a length fits u64
+        #[expect(clippy::cast_possible_truncation, reason = "log2 of a length fits u64")]
         let steps = (times.len() as f64).log2().ceil() as u64 + 1;
         (idx, steps)
     }
@@ -314,7 +314,7 @@ impl NeighborSampler {
                 // gather walks forward — the "node index sorting" the
                 // paper mentions.
                 idx.sort_unstable();
-                #[allow(clippy::cast_possible_truncation)] // k·log₂k op count fits u64
+                #[expect(clippy::cast_possible_truncation, reason = "k·log₂k op count fits u64")]
                 {
                     cost.ops += (k as f64 * (k.max(2) as f64).log2()) as u64;
                 }

@@ -47,6 +47,8 @@ impl TBatcher {
     /// batch(last event touching e.dst))`. Also returns the work estimate
     /// in hash-map operations for host pricing.
     pub fn build(&self, events: &[TemporalEvent]) -> (Vec<TBatch>, u64) {
+        // Point lookups only (get/insert by node id, never iterated), so
+        // hasher state cannot leak into batch assignment — LINT1-legal.
         let mut last_batch: HashMap<NodeId, usize> = HashMap::new();
         let mut batches: Vec<TBatch> = Vec::new();
         let mut ops = 0u64;

@@ -24,7 +24,10 @@ fn splitmix(z: &mut u64) -> u64 {
 
 /// A random, time-sorted event sequence with repeated timestamps and
 /// hub-skewed endpoints (hubs stress long adjacency rows).
-#[allow(clippy::cast_possible_truncation)] // test draws are reduced mod small n_nodes
+#[expect(
+    clippy::cast_possible_truncation,
+    reason = "test draws are reduced mod small n_nodes"
+)]
 fn random_events(seed: u64, n_nodes: usize, n_events: usize) -> Vec<TemporalEvent> {
     let mut state = seed;
     let mut t = 0.0f64;

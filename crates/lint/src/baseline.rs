@@ -1,0 +1,108 @@
+//! Grandfathered-finding baselines.
+//!
+//! A baseline is a plain-text file of [`Finding::baseline_key`] lines
+//! (`<RULE-ID>\t<file>\t<excerpt>`). Findings whose key appears in the
+//! baseline are suppressed (counted, not listed), which lets the CI
+//! gate turn red only for *new* violations while a grandfathered debt
+//! is paid down. The acceptance bar for this workspace is an **empty
+//! baseline**: the checked-in tree lints clean with no suppressions.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::report::Finding;
+
+/// A set of grandfathered finding keys.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// The empty baseline (nothing suppressed).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Loads a baseline file: one key per line, `#` comments and blank
+    /// lines ignored.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        let text = fs::read_to_string(path)?;
+        let keys = text
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Ok(Baseline { keys })
+    }
+
+    /// Number of grandfathered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline suppresses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether a finding is grandfathered.
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.keys.contains(&finding.baseline_key())
+    }
+
+    /// Serializes findings as a baseline file body (sorted, stable).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut keys: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+        keys.sort();
+        keys.dedup();
+        let mut out = String::from(
+            "# dgnn-lint baseline: grandfathered findings (one key per line).\n\
+             # Regenerate with `dgnn-lint --write-baseline <path>`.\n",
+        );
+        for k in keys {
+            out.push_str(&k);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::LintRule;
+
+    fn finding(file: &str) -> Finding {
+        Finding {
+            rule: LintRule::HashIteration,
+            file: file.into(),
+            line: 1,
+            function: None,
+            excerpt: "m.keys()".into(),
+            message: "test".into(),
+            suggestion: LintRule::HashIteration.suggestion(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_covers_rendered_findings() {
+        let f1 = finding("a.rs");
+        let f2 = finding("b.rs");
+        let body = Baseline::render(&[f1.clone(), f2.clone(), f1.clone()]);
+        let dir = std::env::temp_dir().join("dgnn-lint-baseline-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        fs::write(&path, &body).unwrap();
+        let b = Baseline::load(&path).unwrap();
+        assert_eq!(b.len(), 2, "dedup across identical findings");
+        assert!(b.covers(&f1));
+        assert!(b.covers(&f2));
+        assert!(!b.covers(&finding("c.rs")));
+        assert!(Baseline::empty().is_empty());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,470 @@
+//! A minimal Rust surface lexer for the static analyzer.
+//!
+//! The workspace builds offline with no external crates, so this module
+//! stands in for a `syn` parse: it does not build a grammar-level AST,
+//! but it produces everything the LINT rules need to reason about a
+//! source file *without* being fooled by comments or string literals:
+//!
+//! * `cleaned` — the source text with every comment, string, char and
+//!   byte-string literal blanked to spaces (byte-for-byte, newlines
+//!   preserved), so pattern scans over it see only real code tokens and
+//!   line/column arithmetic stays valid.
+//! * `allows` — every `// lint: allow(<slug>) — <rationale>` escape
+//!   hatch, with its line, slug and (possibly empty) rationale.
+//! * `test_regions` — line ranges covered by `#[cfg(test)]` modules, so
+//!   decision-path rules can exempt test code.
+//! * `fns` — `(line, name)` for every `fn` item, so findings can name
+//!   the enclosing function.
+//!
+//! The lexer handles line comments, nested block comments, string
+//! escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth), byte and
+//! raw-byte strings, char literals, and distinguishes lifetimes (`'a`)
+//! from char literals.
+
+/// One `// lint: allow(<slug>) — <rationale>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Rule slug inside the parentheses.
+    pub slug: String,
+    /// Free-text rationale after the closing parenthesis (separator
+    /// dashes/colons stripped). Empty means the escape hatch is invalid.
+    pub rationale: String,
+    /// Whether code precedes the comment on the same line (a trailing
+    /// allow applies to its own line; a standalone one to the next).
+    pub trailing: bool,
+}
+
+/// Lexed view of one source file (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Comment/string-blanked source, same byte length as the input.
+    pub cleaned: String,
+    /// All lint-allow escape hatches found in comments.
+    pub allows: Vec<Allow>,
+    /// 1-based inclusive line ranges of `#[cfg(test)]` modules.
+    pub test_regions: Vec<(usize, usize)>,
+    /// `(1-based line, name)` of every `fn` item, in file order.
+    pub fns: Vec<(usize, String)>,
+}
+
+impl Lexed {
+    /// Whether a 1-based line falls inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// The escape hatch covering `line` for `slug`, if any: a trailing
+    /// allow on the line itself, or a standalone allow on the line above.
+    pub fn allow_for(&self, slug: &str, line: usize) -> Option<&Allow> {
+        self.allows.iter().find(|a| {
+            a.slug == slug
+                && ((a.trailing && a.line == line) || (!a.trailing && a.line + 1 == line))
+        })
+    }
+
+    /// Name of the innermost-started `fn` at or before `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&str> {
+        self.fns
+            .iter()
+            .take_while(|&&(l, _)| l <= line)
+            .last()
+            .map(|(_, n)| n.as_str())
+    }
+}
+
+/// Lexes `src` (see module docs for what is extracted).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut cleaned: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut allows = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Columns of the first code (non-blank) byte per line, to classify
+    // trailing vs standalone comments.
+    let mut line_has_code = false;
+
+    // Push a blanked byte (newlines kept so line math survives).
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                cleaned.push(b'\n');
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: capture text, blank it out.
+                let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
+                let text = &src[i + 2..end];
+                if let Some(a) = parse_allow(text, line, line_has_code) {
+                    allows.push(a);
+                }
+                for &c in &bytes[i..end] {
+                    blank(&mut cleaned, c);
+                }
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, nested.
+                let mut depth = 1usize;
+                blank(&mut cleaned, bytes[i]);
+                blank(&mut cleaned, bytes[i + 1]);
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut cleaned, bytes[i]);
+                        blank(&mut cleaned, bytes[i + 1]);
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut cleaned, bytes[i]);
+                        blank(&mut cleaned, bytes[i + 1]);
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                            line_has_code = false;
+                        }
+                        blank(&mut cleaned, bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                i = skip_string(bytes, i, &mut cleaned, &mut line);
+                line_has_code = true;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i) => {
+                i = skip_raw_or_byte(bytes, i, &mut cleaned, &mut line);
+                line_has_code = true;
+            }
+            b'\'' => {
+                // Char literal vs lifetime.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: consume to closing quote.
+                    blank(&mut cleaned, bytes[i]);
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        blank(&mut cleaned, bytes[i]);
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        blank(&mut cleaned, bytes[i]);
+                        i += 1;
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    // 'x' — plain char literal.
+                    blank(&mut cleaned, bytes[i]);
+                    blank(&mut cleaned, bytes[i + 1]);
+                    blank(&mut cleaned, bytes[i + 2]);
+                    i += 3;
+                } else {
+                    // Lifetime: keep the tick (harmless) and move on.
+                    cleaned.push(b'\'');
+                    i += 1;
+                }
+                line_has_code = true;
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                cleaned.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    let cleaned = String::from_utf8(cleaned).expect("blanking preserves UTF-8");
+    let test_regions = find_test_regions(&cleaned);
+    let fns = find_fns(&cleaned);
+    Lexed {
+        cleaned,
+        allows,
+        test_regions,
+        fns,
+    }
+}
+
+/// Whether `bytes[i..]` starts a raw/byte string (`r"`, `r#`, `b"`,
+/// `br"`, `br#`) rather than an identifier that merely begins with the
+/// letter.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Don't fire in the middle of an identifier (e.g. `var"` is not
+    // possible, but `expr` ending in r followed by "..." would be).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let rest = &bytes[i..];
+    // `r#ident` is a raw identifier, not a raw string: after the
+    // prefix and any hashes there must be an opening quote.
+    let hashes_then_quote = |s: &[u8]| {
+        let n = s.iter().take_while(|&&c| c == b'#').count();
+        s.get(n) == Some(&b'"')
+    };
+    match rest {
+        [b'r', b'"', ..] | [b'b', b'"', ..] | [b'b', b'r', b'"', ..] => true,
+        [b'r', b'#', ..] => hashes_then_quote(&rest[1..]),
+        [b'b', b'r', b'#', ..] => hashes_then_quote(&rest[2..]),
+        _ => false,
+    }
+}
+
+/// Skips a plain (or byte) string starting at the opening quote,
+/// blanking its contents. Returns the index just past the close.
+fn skip_string(bytes: &[u8], start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    out.push(b'"');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the prefix.
+fn skip_raw_or_byte(bytes: &[u8], start: usize, out: &mut Vec<u8>, line: &mut usize) -> usize {
+    let mut i = start;
+    // Consume prefix letters.
+    while i < bytes.len() && (bytes[i] == b'r' || bytes[i] == b'b') {
+        out.push(b' ');
+        i += 1;
+    }
+    // Plain byte string `b"…"` delegates to the escape-aware skipper.
+    if i < bytes.len() && bytes[i] == b'"' && !bytes[start..i].contains(&b'r') {
+        return skip_string(bytes, i, out, line);
+    }
+    // Raw string: count hashes, then scan for `"#…#` of the same depth.
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        out.push(b' ');
+        hashes += 1;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'"' {
+        out.push(b'"');
+        i += 1;
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let close_ok = bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes;
+            if close_ok {
+                out.push(b'"');
+                i += 1;
+                for _ in 0..hashes {
+                    out.push(b' ');
+                    i += 1;
+                }
+                return i;
+            }
+        }
+        if bytes[i] == b'\n' {
+            out.push(b'\n');
+            *line += 1;
+        } else {
+            out.push(b' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a `lint: allow(<slug>)` escape hatch out of one line-comment
+/// body (the text after `//`).
+fn parse_allow(text: &str, line: usize, trailing: bool) -> Option<Allow> {
+    let t = text.trim();
+    let rest = t.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let slug = rest[..close].trim().to_string();
+    let mut rationale = rest[close + 1..].trim();
+    // Strip any leading separator (em-dash, hyphen, colon).
+    rationale = rationale.trim_start_matches(['—', '-', ':', ' ']).trim();
+    Some(Allow {
+        line,
+        slug,
+        rationale: rationale.to_string(),
+        trailing,
+    })
+}
+
+/// Finds `#[cfg(test)] mod … { … }` line ranges in cleaned source.
+fn find_test_regions(cleaned: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut search_from = 0usize;
+    while let Some(p) = cleaned[search_from..].find("#[cfg(test)]") {
+        let attr_at = search_from + p;
+        // The module body is the first `{` after the attribute; match
+        // braces to its close.
+        if let Some(open_rel) = cleaned[attr_at..].find('{') {
+            let open = attr_at + open_rel;
+            let close = match_brace(cleaned.as_bytes(), open);
+            let start_line = line_of(cleaned, attr_at);
+            let end_line = line_of(cleaned, close.min(cleaned.len().saturating_sub(1)));
+            regions.push((start_line, end_line));
+            search_from = open + 1;
+        } else {
+            break;
+        }
+    }
+    regions
+}
+
+/// Index of the brace matching the `{` at `open` (or end of input).
+fn match_brace(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len().saturating_sub(1)
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(s: &str, at: usize) -> usize {
+    1 + s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Extracts `(line, name)` of every `fn` item from cleaned source.
+fn find_fns(cleaned: &str) -> Vec<(usize, String)> {
+    let mut fns = Vec::new();
+    let bytes = cleaned.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = cleaned[from..].find("fn ") {
+        let at = from + p;
+        // Must be a token boundary ("fn" not the tail of an ident).
+        let boundary = at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        if boundary {
+            let rest = cleaned[at + 3..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                fns.push((line_of(cleaned, at), name));
+            }
+        }
+        from = at + 3;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"HashMap in a string\"; // HashMap in a comment\nlet y = 1;";
+        let l = lex(src);
+        assert!(!l.cleaned.contains("HashMap"));
+        assert!(l.cleaned.contains("let y = 1;"));
+        assert_eq!(l.cleaned.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_but_lifetimes_survive() {
+        let src = "let s = r#\"Instant::now\"#; let c = 'x'; fn f<'a>(v: &'a u8) {}";
+        let l = lex(src);
+        assert!(!l.cleaned.contains("Instant::now"));
+        assert!(!l.cleaned.contains('x'));
+        assert!(l.cleaned.contains("&'a u8"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "a /* one /* two */ still comment */ b";
+        let l = lex(src);
+        assert!(l.cleaned.starts_with('a'));
+        assert!(l.cleaned.ends_with('b'));
+        assert!(!l.cleaned.contains("comment"));
+    }
+
+    #[test]
+    fn allow_comments_are_parsed_with_rationale() {
+        let src = "let m = HashMap::new(); // lint: allow(hash-iteration) — point lookups only\n\
+                   // lint: allow(nondeterminism-source): pacing only\n\
+                   let t = 1;\n\
+                   // lint: allow(hash-iteration)\n";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 3);
+        assert!(l.allows[0].trailing);
+        assert_eq!(l.allows[0].slug, "hash-iteration");
+        assert_eq!(l.allows[0].rationale, "point lookups only");
+        assert!(!l.allows[1].trailing);
+        assert_eq!(l.allows[1].rationale, "pacing only");
+        assert!(l.allows[2].rationale.is_empty(), "no rationale given");
+        // Coverage: trailing applies to its own line, standalone to next.
+        assert!(l.allow_for("hash-iteration", 1).is_some());
+        assert!(l.allow_for("nondeterminism-source", 3).is_some());
+        assert!(l.allow_for("nondeterminism-source", 2).is_none());
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_module_lines() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let l = lex(src);
+        assert_eq!(l.test_regions, vec![(2, 5)]);
+        assert!(!l.is_test_line(1));
+        assert!(l.is_test_line(4));
+        assert!(!l.is_test_line(6));
+    }
+
+    #[test]
+    fn fn_map_names_enclosing_functions() {
+        let src = "pub fn alpha() {}\n\nfn beta_2(x: u8) {}\n";
+        let l = lex(src);
+        assert_eq!(
+            l.fns,
+            vec![(1, "alpha".to_string()), (3, "beta_2".to_string())]
+        );
+        assert_eq!(l.enclosing_fn(2), Some("alpha"));
+        assert_eq!(l.enclosing_fn(3), Some("beta_2"));
+    }
+}

@@ -1,0 +1,117 @@
+//! `dgnn-lint` CLI: static determinism & pricing-discipline gate.
+//!
+//! ```text
+//! dgnn-lint [--root DIR] [--json] [--baseline FILE] [--write-baseline FILE]
+//! ```
+//!
+//! Exit status: `0` when no live finding remains (grandfathered
+//! findings don't fail the gate), `1` on any live finding, `2` on
+//! usage or I/O errors. CI runs `dgnn-lint --json` with no baseline:
+//! the checked-in tree must lint clean with an empty baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dgnn_lint::{analyze_root, Baseline, RuleSet};
+
+struct Opts {
+    root: Option<PathBuf>,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dgnn-lint [--root DIR] [--json] [--baseline FILE] \
+         [--write-baseline FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        root: None,
+        json: false,
+        baseline: None,
+        write_baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => opts.root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--json" => opts.json = true,
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Nearest ancestor of the current directory holding a `[workspace]`
+/// manifest (falls back to the current directory).
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return PathBuf::from("."),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let root = opts.root.unwrap_or_else(find_root);
+    let baseline = match &opts.baseline {
+        Some(p) => match Baseline::load(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("dgnn-lint: cannot read baseline {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => Baseline::empty(),
+    };
+    let report = match analyze_root(Path::new(&root), &RuleSet::all(), &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dgnn-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.write_baseline {
+        let body = Baseline::render(&report.findings);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("dgnn-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "dgnn-lint: wrote {} finding(s) to baseline {}",
+            report.findings.len(),
+            path.display()
+        );
+    }
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,175 @@
+//! Workspace model: walks every Rust source file of the workspace,
+//! lexes it, and classifies it (owning crate, production vs test
+//! context) so the rule scanners can decide what applies where.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{lex, Lexed};
+
+/// One lexed, classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Owning crate: the directory name under `crates/` (e.g. `serve`),
+    /// or `suite` for the facade crate's root `src/`, `tests/` and
+    /// `examples/`.
+    pub crate_name: String,
+    /// Whether the whole file is test/bench/example context (under a
+    /// `tests/`, `benches/` or `examples/` directory). `#[cfg(test)]`
+    /// modules inside production files are tracked per-line in
+    /// [`Lexed::test_regions`].
+    pub in_tests_dir: bool,
+    /// Raw file contents (LINT4 reads string literals from these).
+    pub raw: String,
+    /// Lexed view (cleaned code, allows, test regions, fn map).
+    pub lex: Lexed,
+}
+
+impl SourceFile {
+    /// Whether a 1-based line is test context (file-level or module).
+    pub fn is_test_context(&self, line: usize) -> bool {
+        self.in_tests_dir || self.lex.is_test_line(line)
+    }
+
+    /// Builds a file from in-memory contents (fixtures and tests).
+    pub fn from_source(rel_path: &str, raw: String) -> SourceFile {
+        let lexed = lex(&raw);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_of(rel_path),
+            in_tests_dir: tests_dir(rel_path),
+            raw,
+            lex: lexed,
+        }
+    }
+}
+
+/// The loaded workspace: every source file, in sorted path order (so
+/// reports are deterministic regardless of directory-entry order).
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All source files, sorted by `rel_path`.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Loads every `.rs` file under `crates/*/{src,tests,benches}`,
+    /// plus the facade crate's `src/`, `tests/` and `examples/`.
+    /// Directories named `target` or `fixtures` are skipped (fixtures
+    /// are seeded-bad lint inputs, not workspace code).
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for top in ["crates", "src", "tests", "examples"] {
+            let dir = root.join(top);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for p in paths {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let raw = fs::read_to_string(&p)?;
+            files.push(SourceFile::from_source(&rel, raw));
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// The file at a workspace-relative path, if loaded.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel_path == rel_path)
+    }
+}
+
+/// Recursively collects `.rs` files, skipping `target` and `fixtures`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Crate name from a workspace-relative path.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("unknown").to_string(),
+        _ => "suite".to_string(),
+    }
+}
+
+/// Whether the path sits under a tests/benches/examples directory.
+fn tests_dir(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_derives_crate_and_test_context() {
+        let f = SourceFile::from_source("crates/serve/src/sim.rs", "fn a() {}".into());
+        assert_eq!(f.crate_name, "serve");
+        assert!(!f.in_tests_dir);
+        let t = SourceFile::from_source("crates/dyngraph/tests/properties.rs", String::new());
+        assert_eq!(t.crate_name, "dyngraph");
+        assert!(t.in_tests_dir);
+        let e = SourceFile::from_source("examples/quickstart.rs", String::new());
+        assert_eq!(e.crate_name, "suite");
+        assert!(e.in_tests_dir);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_context_inside_prod_files() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let f = SourceFile::from_source("crates/serve/src/sim.rs", src.into());
+        assert!(!f.is_test_context(1));
+        assert!(f.is_test_context(4));
+    }
+
+    #[test]
+    fn loads_the_live_workspace_sorted() {
+        // CARGO_MANIFEST_DIR/../.. is the workspace root in-tree.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let ws = Workspace::load(root).expect("load workspace");
+        assert!(ws.files.len() > 50, "workspace has many sources");
+        assert!(ws.file("crates/device/src/timeline.rs").is_some());
+        assert!(
+            ws.files.windows(2).all(|w| w[0].rel_path < w[1].rel_path),
+            "files sorted for deterministic reports"
+        );
+        assert!(
+            ws.files.iter().all(|f| !f.rel_path.contains("fixtures")),
+            "fixtures are not workspace code"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! LINT4: cross-file structural coverage checks.
+//!
+//! Two invariants that no single-file scan can see:
+//!
+//! 1. **Sanitizer rule coverage** — every `RULE<n>` the dynamic
+//!    sanitizer defines in `crates/analysis/src/report.rs` must be
+//!    proven by ≥ 1 *adversarial* test (a hand-built trace that MUST be
+//!    flagged) and ≥ 1 *clean-twin* test (the corrected trace that must
+//!    pass) in `crates/analysis/tests/`. A rule without an adversarial
+//!    test may silently never fire; one without a clean twin may flag
+//!    everything.
+//! 2. **Config-knob coverage** — every public `InferenceConfig` field in
+//!    `crates/models/src/common.rs` must be exercised by at least one
+//!    bench bin or ablation under `crates/bench/src/`, otherwise the
+//!    knob is dead weight that no experiment prices.
+
+use crate::model::Workspace;
+use crate::report::Finding;
+use crate::rules::LintRule;
+
+/// Where the sanitizer's rule catalogue lives.
+const SANITIZER_REPORT: &str = "crates/analysis/src/report.rs";
+/// Where its adversarial/clean-twin tests live.
+const SANITIZER_TESTS_DIR: &str = "crates/analysis/tests/";
+/// Where `InferenceConfig` is defined.
+const CONFIG_FILE: &str = "crates/models/src/common.rs";
+/// Where bench bins and ablations live.
+const BENCH_SRC_DIR: &str = "crates/bench/src/";
+
+/// Test-name fragments marking an adversarial (must-flag) test.
+const ADVERSARIAL_MARKERS: [&str; 2] = ["flagged", "panics"];
+/// Test-name fragments marking a clean-twin (must-pass) test.
+const CLEAN_MARKERS: [&str; 4] = ["clean", "passes", "legal", "heals"];
+
+/// Runs both structural checks over the loaded workspace.
+pub fn scan_workspace(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    scan_sanitizer_coverage(ws, &mut out);
+    scan_knob_coverage(ws, &mut out);
+    out
+}
+
+/// Check 1: every sanitizer rule has an adversarial and a clean twin.
+fn scan_sanitizer_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(report) = ws.file(SANITIZER_REPORT) else {
+        return; // Fixture trees without an analysis crate skip check 1.
+    };
+    // Rule ids are string literals `"RULE<n>"` in the catalogue; read
+    // them from the *raw* text (the lexer blanks literals).
+    let mut rule_nums: Vec<u32> = Vec::new();
+    for at in find_all(&report.raw, "\"RULE") {
+        let digits: String = report.raw[at + 5..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(n) = digits.parse::<u32>() {
+            if !rule_nums.contains(&n) {
+                rule_nums.push(n);
+            }
+        }
+    }
+    rule_nums.sort_unstable();
+
+    // Test function names across the sanitizer's integration tests.
+    let mut test_fns: Vec<String> = Vec::new();
+    for f in &ws.files {
+        if f.rel_path.starts_with(SANITIZER_TESTS_DIR) {
+            test_fns.extend(f.lex.fns.iter().map(|(_, n)| n.clone()));
+        }
+    }
+
+    for n in rule_nums {
+        let prefix = format!("rule{n}_");
+        let named: Vec<&String> = test_fns.iter().filter(|t| t.contains(&prefix)).collect();
+        let has_adversarial = named
+            .iter()
+            .any(|t| ADVERSARIAL_MARKERS.iter().any(|m| t.contains(m)));
+        let has_clean = named
+            .iter()
+            .any(|t| CLEAN_MARKERS.iter().any(|m| t.contains(m)));
+        let line = line_of_pattern(&report.raw, &format!("\"RULE{n}\""));
+        if !has_adversarial {
+            out.push(coverage_finding(
+                report.rel_path.clone(),
+                line,
+                format!(
+                    "sanitizer RULE{n} has no adversarial test (no \
+                     `rule{n}_*` test whose name marks it as flagged) under \
+                     {SANITIZER_TESTS_DIR}"
+                ),
+                format!("RULE{n} adversarial coverage"),
+            ));
+        }
+        if !has_clean {
+            out.push(coverage_finding(
+                report.rel_path.clone(),
+                line,
+                format!(
+                    "sanitizer RULE{n} has no clean-twin test (no `rule{n}_*` \
+                     test whose name marks it as clean/passing) under \
+                     {SANITIZER_TESTS_DIR}"
+                ),
+                format!("RULE{n} clean-twin coverage"),
+            ));
+        }
+    }
+}
+
+/// Check 2: every `InferenceConfig` knob is exercised by a bench.
+fn scan_knob_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(config) = ws.file(CONFIG_FILE) else {
+        return; // Fixture trees without a models crate skip check 2.
+    };
+    let fields = config_fields(&config.lex.cleaned, "InferenceConfig");
+    if fields.is_empty() {
+        return;
+    }
+    // One concatenated haystack over all bench sources is enough: we
+    // only ask "is the knob mentioned anywhere", not where.
+    let mut bench_code = String::new();
+    for f in &ws.files {
+        if f.rel_path.starts_with(BENCH_SRC_DIR) {
+            bench_code.push_str(&f.lex.cleaned);
+            bench_code.push('\n');
+        }
+    }
+    for (line, field) in fields {
+        let exercised = word_present(&bench_code, &format!("with_{field}"))
+            || word_present(&bench_code, &field)
+            || builder_fns(config, &field)
+                .iter()
+                .any(|b| word_present(&bench_code, b));
+        if !exercised {
+            out.push(coverage_finding(
+                config.rel_path.clone(),
+                line,
+                format!(
+                    "InferenceConfig knob `{field}` is exercised by no bench \
+                     bin or ablation under {BENCH_SRC_DIR}"
+                ),
+                format!("InferenceConfig::{field}"),
+            ));
+        }
+    }
+}
+
+fn coverage_finding(file: String, line: usize, message: String, excerpt: String) -> Finding {
+    Finding {
+        rule: LintRule::StructuralCoverage,
+        file,
+        line,
+        function: None,
+        excerpt,
+        message,
+        suggestion: LintRule::StructuralCoverage.suggestion(),
+    }
+}
+
+/// Builder-method aliases for a config field: every fn in the config
+/// file whose body assigns `self.<field> =` (e.g. `with_neighbors` sets
+/// `n_neighbors`). A bench exercising the builder exercises the knob.
+fn builder_fns(config: &crate::model::SourceFile, field: &str) -> Vec<String> {
+    let assign = format!("self.{field} ");
+    let mut fns = Vec::new();
+    for at in find_all(&config.lex.cleaned, &assign) {
+        let rest = config.lex.cleaned[at + assign.len()..].trim_start();
+        if !rest.starts_with('=') || rest.starts_with("==") {
+            continue;
+        }
+        if let Some(name) = config.lex.enclosing_fn(line_of(&config.lex.cleaned, at)) {
+            if !fns.iter().any(|f| f == name) {
+                fns.push(name.to_string());
+            }
+        }
+    }
+    fns
+}
+
+/// Public field `(line, name)` pairs of `pub struct <name> { … }`.
+fn config_fields(cleaned: &str, name: &str) -> Vec<(usize, String)> {
+    let decl = format!("pub struct {name}");
+    let Some(at) = cleaned.find(&decl) else {
+        return Vec::new();
+    };
+    let Some(open_rel) = cleaned[at..].find('{') else {
+        return Vec::new();
+    };
+    let open = at + open_rel;
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, b) in cleaned.as_bytes()[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &cleaned[open + 1..end];
+    let mut fields = Vec::new();
+    let mut offset = 0usize;
+    for seg in body.split(',') {
+        // `pub <ident>: <ty>` — attributes/docs are already blanked.
+        if let Some(p) = seg.find("pub ") {
+            let rest = &seg[p + 4..];
+            if let Some(colon) = rest.find(':') {
+                let ident = rest[..colon].trim();
+                if !ident.is_empty() && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    let field_at = open + 1 + offset + p;
+                    fields.push((line_of(cleaned, field_at), ident.to_string()));
+                }
+            }
+        }
+        offset += seg.len() + 1;
+    }
+    fields
+}
+
+/// All occurrences of `pattern` (no boundary requirement).
+fn find_all(haystack: &str, pattern: &str) -> Vec<usize> {
+    let mut offs = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = haystack[from..].find(pattern) {
+        offs.push(from + p);
+        from += p + pattern.len().max(1);
+    }
+    offs
+}
+
+/// Whether `word` appears with identifier boundaries on both sides.
+fn word_present(haystack: &str, word: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = haystack[from..].find(word) {
+        let at = from + p;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + word.len().max(1);
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// 1-based line of the first occurrence of `pattern` (1 if absent).
+fn line_of_pattern(s: &str, pattern: &str) -> usize {
+    s.find(pattern).map_or(1, |at| line_of(s, at))
+}
+
+/// 1-based line number of byte offset `at`.
+fn line_of(s: &str, at: usize) -> usize {
+    1 + s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/synthetic"),
+            files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::from_source(p, s.to_string()))
+                .collect(),
+        }
+    }
+
+    const REPORT_TWO_RULES: &str = r#"
+        pub fn id(self) -> &'static str {
+            match self {
+                R::A => "RULE1",
+                R::B => "RULE2",
+            }
+        }
+    "#;
+
+    #[test]
+    fn missing_adversarial_or_clean_twin_is_flagged() {
+        let tests = "#[test]\nfn rule1_bad_is_flagged() {}\n\
+                     #[test]\nfn rule1_clean_twin_passes() {}\n\
+                     #[test]\nfn rule2_bad_is_flagged() {}\n";
+        let w = ws(vec![
+            ("crates/analysis/src/report.rs", REPORT_TWO_RULES),
+            ("crates/analysis/tests/adversarial.rs", tests),
+        ]);
+        let findings = scan_workspace(&w);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("RULE2"));
+        assert!(findings[0].message.contains("clean-twin"));
+    }
+
+    #[test]
+    fn full_coverage_passes() {
+        let tests = "#[test]\nfn rule1_bad_is_flagged() {}\n\
+                     #[test]\nfn rule1_clean_twin_passes() {}\n\
+                     #[test]\nfn rule2_overlap_is_legal() {}\n\
+                     #[test]\nfn rule2_bad_is_flagged() {}\n";
+        let w = ws(vec![
+            ("crates/analysis/src/report.rs", REPORT_TWO_RULES),
+            ("crates/analysis/tests/adversarial.rs", tests),
+        ]);
+        assert!(scan_workspace(&w).is_empty());
+    }
+
+    #[test]
+    fn unexercised_config_knob_is_flagged() {
+        let config = "pub struct InferenceConfig {\n\
+                      pub batch_size: usize,\n\
+                      pub dead_knob: bool,\n\
+                      }\n";
+        let bench = "fn main() { let c = InferenceConfig::default().with_batch_size(8); }\n";
+        let w = ws(vec![
+            ("crates/models/src/common.rs", config),
+            ("crates/bench/src/bin/sweep.rs", bench),
+        ]);
+        let findings = scan_workspace(&w);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("dead_knob"));
+        assert_eq!(findings[0].line, 3);
+    }
+
+    #[test]
+    fn builder_alias_counts_as_exercised() {
+        // The builder name (`with_neighbors`) differs from the field
+        // (`n_neighbors`); the assignment inside it links the two.
+        let config = "pub struct InferenceConfig { pub n_neighbors: usize }\n\
+                      impl InferenceConfig {\n\
+                      pub fn with_neighbors(mut self, n: usize) -> Self {\n\
+                      self.n_neighbors = n; self } }\n";
+        let bench = "fn main() { let c = InferenceConfig::default().with_neighbors(20); }\n";
+        let w = ws(vec![
+            ("crates/models/src/common.rs", config),
+            ("crates/bench/src/bin/sweep.rs", bench),
+        ]);
+        assert!(scan_workspace(&w).is_empty(), "{:#?}", scan_workspace(&w));
+    }
+
+    #[test]
+    fn bare_field_mention_counts_as_exercised() {
+        let config = "pub struct InferenceConfig { pub shards: usize }\n";
+        let bench = "fn main() { let mut c = InferenceConfig::default(); c.shards = 4; }\n";
+        let w = ws(vec![
+            ("crates/models/src/common.rs", config),
+            ("crates/bench/src/bin/sweep.rs", bench),
+        ]);
+        assert!(scan_workspace(&w).is_empty());
+    }
+}

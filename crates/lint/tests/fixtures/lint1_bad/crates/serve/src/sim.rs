@@ -1,0 +1,18 @@
+//! LINT1 adversarial fixture: hash iteration on the decision path.
+//! Visit order depends on hasher state, so batch formation built this
+//! way is not bit-deterministic per seed.
+use std::collections::{HashMap, HashSet};
+
+pub fn drain_pending(pending: &mut HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    for (_k, v) in pending.iter() {
+        total += *v;
+    }
+    let live: HashSet<u64> = HashSet::new();
+    let mut first = 0;
+    for id in &live {
+        first = *id;
+        break;
+    }
+    total + first
+}

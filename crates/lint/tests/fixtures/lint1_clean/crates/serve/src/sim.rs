@@ -1,0 +1,17 @@
+//! LINT1 clean twin: ordered iteration, point lookups, and one
+//! escape hatch with a rationale.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn drain_pending(pending: &BTreeMap<u64, u64>, cache: &HashMap<u64, u64>) -> u64 {
+    let mut total = 0;
+    // BTreeMap iterates in key order: deterministic, legal.
+    for (_k, v) in pending.iter() {
+        total += *v;
+    }
+    // Point lookup into a hash map is order-free, legal.
+    total += cache.get(&7).copied().unwrap_or(0);
+    // lint: allow(hash-iteration) — keys are drained into a sort directly below
+    let mut keys: Vec<u64> = cache.keys().copied().collect();
+    keys.sort_unstable();
+    total + keys.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,9 @@
+//! LINT2 adversarial fixture: host time, entropy and environment reads
+//! inside simulated code. Any of these makes a run unreproducible.
+
+pub fn jitter_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    let _stamp = std::time::SystemTime::now();
+    let _threads = std::env::var("NUM_THREADS").ok();
+    t0.elapsed().as_nanos()
+}

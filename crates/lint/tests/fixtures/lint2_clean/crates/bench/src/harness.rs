@@ -1,0 +1,7 @@
+//! LINT2 clean twin: the bench harness is the one allowlisted owner of
+//! the wall clock — timings it reads are report-only and never feed
+//! back into simulated pricing.
+
+pub fn walltime() -> std::time::Instant {
+    std::time::Instant::now()
+}

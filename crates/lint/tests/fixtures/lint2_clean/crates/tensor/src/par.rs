@@ -1,0 +1,10 @@
+//! LINT2 clean twin: an environment read behind a rationaled escape
+//! hatch (thread-count knob that shapes pacing, not outputs).
+
+pub fn max_threads() -> usize {
+    // lint: allow(nondeterminism-source) — thread count shapes pacing only; outputs stay order-preserving
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,9 @@
+//! LINT3 adversarial fixture: the serving layer writes the timeline
+//! itself instead of routing work through the Dispatcher/Executor, so
+//! priced work and computed work can drift apart.
+
+pub fn record(tl: &mut Timeline) {
+    tl.push(TimelineEvent { lane: 0, start_ns: 0, end_ns: 10 });
+    let clock = tl.clock_mut(0);
+    *clock += 10;
+}

@@ -1,0 +1,8 @@
+//! LINT3 clean twin (1/2): the same constructs inside `dgnn-device`
+//! are the implementation — the device crate owns the timeline.
+
+pub fn record(tl: &mut Timeline) {
+    tl.push(TimelineEvent { lane: 0, start_ns: 0, end_ns: 10 });
+    let clock = tl.clock_mut(0);
+    *clock += 10;
+}

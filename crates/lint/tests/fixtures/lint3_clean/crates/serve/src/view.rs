@@ -1,0 +1,7 @@
+//! LINT3 clean twin (2/2): outside the device crate, *reading* the
+//! timeline is fine, and a `TimelineEvent` in return-type position is
+//! not a construction.
+
+pub fn last_event(timeline: &[dgnn_device::TimelineEvent]) -> dgnn_device::TimelineEvent {
+    timeline.last().cloned().unwrap_or_default()
+}

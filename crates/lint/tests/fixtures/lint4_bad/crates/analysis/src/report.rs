@@ -1,0 +1,16 @@
+//! LINT4 adversarial fixture (1/4): a sanitizer catalogue with two
+//! rules; RULE2 has no clean-twin test in the tests directory.
+
+pub enum HazardRule {
+    OverlapOnLane,
+    GapBeforeDependency,
+}
+
+impl HazardRule {
+    pub fn id(self) -> &'static str {
+        match self {
+            HazardRule::OverlapOnLane => "RULE1",
+            HazardRule::GapBeforeDependency => "RULE2",
+        }
+    }
+}

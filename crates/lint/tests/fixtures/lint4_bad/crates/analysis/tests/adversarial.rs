@@ -1,0 +1,11 @@
+//! LINT4 adversarial fixture (2/4): RULE1 has both halves, RULE2 only
+//! the adversarial half — its clean twin is missing.
+
+#[test]
+fn rule1_overlap_on_lane_is_flagged() {}
+
+#[test]
+fn rule1_serial_twin_passes() {}
+
+#[test]
+fn rule2_gap_before_dependency_is_flagged() {}

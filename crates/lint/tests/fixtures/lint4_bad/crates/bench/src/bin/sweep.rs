@@ -1,0 +1,7 @@
+//! LINT4 adversarial fixture (4/4): the sweep touches `batch_size` but
+//! never `dead_knob`.
+
+fn main() {
+    let cfg = InferenceConfig::default().with_batch_size(8);
+    run(cfg);
+}

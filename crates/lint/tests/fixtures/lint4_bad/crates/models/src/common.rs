@@ -1,0 +1,7 @@
+//! LINT4 adversarial fixture (3/4): `dead_knob` is never exercised by
+//! any bench bin or ablation.
+
+pub struct InferenceConfig {
+    pub batch_size: usize,
+    pub dead_knob: bool,
+}

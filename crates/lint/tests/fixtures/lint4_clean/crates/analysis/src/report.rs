@@ -1,0 +1,15 @@
+//! LINT4 clean twin (1/4): same two-rule catalogue.
+
+pub enum HazardRule {
+    OverlapOnLane,
+    GapBeforeDependency,
+}
+
+impl HazardRule {
+    pub fn id(self) -> &'static str {
+        match self {
+            HazardRule::OverlapOnLane => "RULE1",
+            HazardRule::GapBeforeDependency => "RULE2",
+        }
+    }
+}

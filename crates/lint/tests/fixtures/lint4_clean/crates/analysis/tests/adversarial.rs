@@ -1,0 +1,14 @@
+//! LINT4 clean twin (2/4): every rule has an adversarial test and a
+//! clean twin.
+
+#[test]
+fn rule1_overlap_on_lane_is_flagged() {}
+
+#[test]
+fn rule1_serial_twin_passes() {}
+
+#[test]
+fn rule2_gap_before_dependency_is_flagged() {}
+
+#[test]
+fn rule2_spaced_dependency_is_legal() {}

@@ -1,0 +1,8 @@
+//! LINT4 clean twin (4/4): every knob is exercised — `batch_size` by
+//! name, `n_neighbors` via the `with_neighbors` builder.
+
+fn main() {
+    let cfg = InferenceConfig::default().with_neighbors(20);
+    let rows = cfg.batch_size * 2;
+    run(cfg, rows);
+}

@@ -1,0 +1,14 @@
+//! LINT4 clean twin (3/4): `n_neighbors` is reached through its
+//! builder alias `with_neighbors` — the assignment links the two.
+
+pub struct InferenceConfig {
+    pub batch_size: usize,
+    pub n_neighbors: usize,
+}
+
+impl InferenceConfig {
+    pub fn with_neighbors(mut self, k: usize) -> Self {
+        self.n_neighbors = k;
+        self
+    }
+}

@@ -1,0 +1,9 @@
+//! LINT5 adversarial fixture: a float reduction over an unordered
+//! source in a module that spawns threads — the sum's value depends on
+//! hasher visit order.
+use std::collections::HashMap;
+
+pub fn total(per_lane: &HashMap<u32, f32>) -> f32 {
+    std::thread::scope(|_s| {});
+    per_lane.values().copied().sum::<f32>()
+}

@@ -1,0 +1,7 @@
+//! LINT5 clean twin: the same parallel module reduces over an ordered
+//! slice, so the summation order is fixed.
+
+pub fn total(lanes: &[f32]) -> f32 {
+    std::thread::scope(|_s| {});
+    lanes.iter().sum::<f32>()
+}

@@ -306,7 +306,7 @@ pub fn shard_barrier(dx: &mut Dispatcher, shards: usize) {
 pub fn split_bytes(total: u64, n: u64) -> Vec<u64> {
     let n = n.max(1);
     let each = total / n;
-    #[allow(clippy::cast_possible_truncation)] // piece counts are small
+    #[expect(clippy::cast_possible_truncation, reason = "piece counts are small")]
     let mut pieces = vec![each; n as usize];
     *pieces.last_mut().expect("n >= 1") = total - each * (n - 1);
     pieces

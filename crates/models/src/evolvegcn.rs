@@ -33,7 +33,11 @@ const PREP_NODE_OPS: u64 = 1_000;
 const PREP_EDGE_OPS: u64 = 500;
 
 /// A shard's share of a byte total (`share` in `[0, 1]`; floors).
-#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+#[expect(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    reason = "share is clamped to [0, 1], so the product is a non-negative byte count"
+)]
 fn share_bytes(total: u64, share: f64) -> u64 {
     (total as f64 * share) as u64
 }

@@ -139,7 +139,10 @@ impl IngestMemory {
         // The "message" each endpoint receives: a time-and-partner
         // dependent scalar, matching the shape (not the weights) of the
         // real models' message functions.
-        #[allow(clippy::cast_possible_truncation)] // f32 message precision is the model's
+        #[expect(
+            clippy::cast_possible_truncation,
+            reason = "f32 message precision is the model's"
+        )]
         let t = ev.time as f32;
         let msg_src = (t * 0.01 + ev.dst as f32 * 1e-3).sin();
         let msg_dst = (t * 0.01 + ev.src as f32 * 1e-3).cos();

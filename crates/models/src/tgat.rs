@@ -282,7 +282,7 @@ impl Tgat {
                             (Tensor::zeros(&[1, self.data.node_dim()]), vec![0.0f32])
                         } else {
                             let ids: Vec<usize> = neigh.iter().map(|s| s.node).collect();
-                            #[allow(clippy::cast_possible_truncation)] // f32 timestamps
+                            #[expect(clippy::cast_possible_truncation, reason = "f32 timestamps")]
                             let times: Vec<f32> = neigh.iter().map(|s| s.time as f32).collect();
                             (self.data.node_features.gather_rows(&ids)?, times)
                         };
@@ -533,7 +533,7 @@ impl DgnnModel for Tgat {
                     (Tensor::zeros(&[1, self.data.node_dim()]), vec![0.0f32])
                 } else {
                     let ids: Vec<usize> = neigh.iter().map(|s| s.node).collect();
-                    #[allow(clippy::cast_possible_truncation)] // f32 timestamps suffice
+                    #[expect(clippy::cast_possible_truncation, reason = "f32 timestamps suffice")]
                     let times: Vec<f32> = neigh.iter().map(|s| s.time as f32).collect();
                     (self.data.node_features.gather_rows(&ids)?, times)
                 };

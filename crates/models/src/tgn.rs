@@ -306,7 +306,10 @@ impl Tgn {
                                 let feats: Vec<usize> =
                                     slice.iter().take(rep).map(|e| e.feature_idx).collect();
                                 let edge = self.data.edge_features.gather_rows(&feats)?;
-                                #[allow(clippy::cast_possible_truncation)] // f32 timestamps
+                                #[expect(
+                                    clippy::cast_possible_truncation,
+                                    reason = "f32 timestamps"
+                                )]
                                 let deltas = Tensor::from_vec(
                                     slice.iter().take(rep).map(|e| e.time as f32).collect(),
                                     &[rep],
@@ -600,7 +603,10 @@ impl DgnnModel for Tgn {
                         let feats: Vec<usize> =
                             batch.iter().take(rep).map(|e| e.feature_idx).collect();
                         let edge = self.data.edge_features.gather_rows(&feats)?;
-                        #[allow(clippy::cast_possible_truncation)] // f32 timestamps suffice
+                        #[expect(
+                            clippy::cast_possible_truncation,
+                            reason = "f32 timestamps suffice"
+                        )]
                         let deltas = Tensor::from_vec(
                             batch.iter().take(rep).map(|e| e.time as f32).collect(),
                             &[rep],

@@ -124,7 +124,7 @@ pub fn generate_ingest(seed: u64, n: usize, rate_eps: f64) -> Vec<DurationNs> {
         .map(|_| {
             let u = rng.unit_f64();
             let gap_s = -(1.0 - u).ln() / rate_eps;
-            #[allow(clippy::cast_possible_truncation)] // gaps are ≪ u64::MAX ns
+            #[expect(clippy::cast_possible_truncation, reason = "gaps are ≪ u64::MAX ns")]
             #[allow(clippy::cast_sign_loss)] // gap_s ≥ 0 by construction
             let gap_ns = ((gap_s * 1e9).round() as u64).max(1);
             t_ns += gap_ns;

@@ -111,8 +111,8 @@ pub fn generate(seed: u64, n: usize, rate_rps: f64, weights: &[f64]) -> Vec<Requ
             // Exponential gap: -ln(1 - u) / rate, u ∈ [0, 1).
             let u = gap_rng.unit_f64();
             let gap_s = -(1.0 - u).ln() / rate_rps;
-            #[allow(clippy::cast_possible_truncation)] // gaps are ≪ u64::MAX ns
-            #[allow(clippy::cast_sign_loss)] // gap_s ≥ 0 by construction
+            #[expect(clippy::cast_possible_truncation, reason = "gaps are ≪ u64::MAX ns")]
+            #[expect(clippy::cast_sign_loss, reason = "gap_s ≥ 0 by construction")]
             let gap_ns = ((gap_s * 1e9).round() as u64).max(1);
             t_ns += gap_ns;
 

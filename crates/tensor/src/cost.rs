@@ -154,7 +154,10 @@ impl OpDescriptor {
     /// `factor×` the flops, bytes and parallel lanes.
     pub fn scaled(mut self, factor: f64) -> Self {
         if factor != 1.0 {
-            #[allow(clippy::cast_possible_truncation)] // rounded cost scaling fits u64
+            #[expect(
+                clippy::cast_possible_truncation,
+                reason = "rounded cost scaling fits u64"
+            )]
             let mul = |v: u64| (v as f64 * factor).round() as u64;
             self.flops = mul(self.flops);
             self.bytes = mul(self.bytes);

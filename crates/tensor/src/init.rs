@@ -105,7 +105,10 @@ impl TensorRng {
     /// # Panics
     ///
     /// Panics when `n == 0`.
-    #[allow(clippy::cast_possible_truncation)] // high 64 bits of a 128-bit product
+    #[expect(
+        clippy::cast_possible_truncation,
+        reason = "high 64 bits of a 128-bit product"
+    )]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
         // Multiply-shift range reduction (Lemire); bias is < 2^-64 for the

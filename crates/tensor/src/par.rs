@@ -20,6 +20,7 @@ const MIN_CHUNK: usize = 8;
 /// Worker threads the process should use: `RAYON_NUM_THREADS` when set
 /// to a positive integer, otherwise the machine's available parallelism.
 pub fn max_threads() -> usize {
+    // lint: allow(nondeterminism-source) — thread count shapes pacing only; par_map output is chunk-ordered and identical at any width
     match std::env::var("RAYON_NUM_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n > 0 => n,
