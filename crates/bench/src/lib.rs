@@ -17,6 +17,22 @@
 //! | §4.1 utilization summary      | `util_summary` |
 //! | §5 / Fig 10 optimizations     | `ablation_optimizations` |
 //! | §4.4 amortized (serving)      | `serve_sweep` |
+//!
+//! Extensions beyond the paper's figures keep the same shape — one
+//! binary per question, `BENCH {json}` lines per cell, `--smoke` as
+//! the CI determinism + sanitizer gate:
+//!
+//! | Extension | Binary |
+//! |---|---|
+//! | Sampling fan-out throughput    | `sampling_throughput` |
+//! | Pipeline overlap / coalescing  | `pipeline_overlap` |
+//! | Parameter sensitivity          | `sensitivity_sweep` |
+//! | Streaming ingest vs queries    | `streaming_ingest` |
+//! | Feature cache × transfer mode  | `feature_cache` |
+//! | Multi-GPU shard matrix         | `multi_gpu` |
+//! | Fleet: router × autoscaler     | `fleet_sweep` |
+//! | Timeline sanitizer gate        | `sanitize` |
+//! | Timeline export (nsys-like)    | `nsys_export` |
 
 #![forbid(unsafe_code)]
 

@@ -9,8 +9,11 @@
 //!    pass) in `crates/analysis/tests/`. A rule without an adversarial
 //!    test may silently never fire; one without a clean twin may flag
 //!    everything.
-//! 2. **Config-knob coverage** — every public `InferenceConfig` field in
-//!    `crates/models/src/common.rs` must be exercised by at least one
+//! 2. **Config-knob coverage** — every public field of the workspace's
+//!    experiment-facing config structs (`InferenceConfig` in
+//!    `crates/models/src/common.rs`, `ServeConfig` in
+//!    `crates/serve/src/lib.rs`, `FleetConfig` in
+//!    `crates/serve/src/fleet.rs`) must be exercised by at least one
 //!    bench bin or ablation under `crates/bench/src/`, otherwise the
 //!    knob is dead weight that no experiment prices.
 
@@ -22,8 +25,14 @@ use crate::rules::LintRule;
 const SANITIZER_REPORT: &str = "crates/analysis/src/report.rs";
 /// Where its adversarial/clean-twin tests live.
 const SANITIZER_TESTS_DIR: &str = "crates/analysis/tests/";
-/// Where `InferenceConfig` is defined.
-const CONFIG_FILE: &str = "crates/models/src/common.rs";
+/// Experiment-facing config structs whose knobs a bench must price:
+/// `(defining file, struct name)`. A struct whose file is absent from
+/// the tree is skipped (fixture trees carry only what they test).
+const KNOB_CONFIGS: [(&str, &str); 3] = [
+    ("crates/models/src/common.rs", "InferenceConfig"),
+    ("crates/serve/src/lib.rs", "ServeConfig"),
+    ("crates/serve/src/fleet.rs", "FleetConfig"),
+];
 /// Where bench bins and ablations live.
 const BENCH_SRC_DIR: &str = "crates/bench/src/";
 
@@ -106,15 +115,9 @@ fn scan_sanitizer_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
     }
 }
 
-/// Check 2: every `InferenceConfig` knob is exercised by a bench.
+/// Check 2: every knob of every [`KNOB_CONFIGS`] struct is exercised
+/// by a bench.
 fn scan_knob_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
-    let Some(config) = ws.file(CONFIG_FILE) else {
-        return; // Fixture trees without a models crate skip check 2.
-    };
-    let fields = config_fields(&config.lex.cleaned, "InferenceConfig");
-    if fields.is_empty() {
-        return;
-    }
     // One concatenated haystack over all bench sources is enough: we
     // only ask "is the knob mentioned anywhere", not where.
     let mut bench_code = String::new();
@@ -124,22 +127,27 @@ fn scan_knob_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
             bench_code.push('\n');
         }
     }
-    for (line, field) in fields {
-        let exercised = word_present(&bench_code, &format!("with_{field}"))
-            || word_present(&bench_code, &field)
-            || builder_fns(config, &field)
-                .iter()
-                .any(|b| word_present(&bench_code, b));
-        if !exercised {
-            out.push(coverage_finding(
-                config.rel_path.clone(),
-                line,
-                format!(
-                    "InferenceConfig knob `{field}` is exercised by no bench \
-                     bin or ablation under {BENCH_SRC_DIR}"
-                ),
-                format!("InferenceConfig::{field}"),
-            ));
+    for (file, name) in KNOB_CONFIGS {
+        let Some(config) = ws.file(file) else {
+            continue; // Fixture trees carry only the configs they test.
+        };
+        for (line, field) in config_fields(&config.lex.cleaned, name) {
+            let exercised = word_present(&bench_code, &format!("with_{field}"))
+                || word_present(&bench_code, &field)
+                || builder_fns(config, &field)
+                    .iter()
+                    .any(|b| word_present(&bench_code, b));
+            if !exercised {
+                out.push(coverage_finding(
+                    config.rel_path.clone(),
+                    line,
+                    format!(
+                        "{name} knob `{field}` is exercised by no bench \
+                         bin or ablation under {BENCH_SRC_DIR}"
+                    ),
+                    format!("{name}::{field}"),
+                ));
+            }
         }
     }
 }
@@ -362,5 +370,44 @@ mod tests {
             ("crates/bench/src/bin/sweep.rs", bench),
         ]);
         assert!(scan_workspace(&w).is_empty());
+    }
+
+    #[test]
+    fn unexercised_serve_config_knob_is_flagged() {
+        let config = "pub struct ServeConfig {\n\
+                      pub queue_bound: usize,\n\
+                      pub ghost_knob: bool,\n\
+                      }\n";
+        let bench = "fn main() { let c = ServeConfig { queue_bound: 8 }; }\n";
+        let w = ws(vec![
+            ("crates/serve/src/lib.rs", config),
+            ("crates/bench/src/bin/sweep.rs", bench),
+        ]);
+        let findings = scan_workspace(&w);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("ServeConfig"));
+        assert!(findings[0].message.contains("ghost_knob"));
+    }
+
+    #[test]
+    fn fleet_config_knobs_are_checked_independently_of_serve() {
+        // Both serve-crate configs are scanned; a bench covering one
+        // does not excuse a hole in the other.
+        let serve = "pub struct ServeConfig { pub seed: u64 }\n";
+        let fleet = "pub struct FleetConfig {\n\
+                     pub policy: usize,\n\
+                     pub orphan_knob: u64,\n\
+                     }\n";
+        let bench = "fn main() { let s = 1; let seed = s; let policy = 0; }\n";
+        let w = ws(vec![
+            ("crates/serve/src/lib.rs", serve),
+            ("crates/serve/src/fleet.rs", fleet),
+            ("crates/bench/src/bin/sweep.rs", bench),
+        ]);
+        let findings = scan_workspace(&w);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert!(findings[0].message.contains("FleetConfig"));
+        assert!(findings[0].message.contains("orphan_knob"));
+        assert_eq!(findings[0].line, 3);
     }
 }

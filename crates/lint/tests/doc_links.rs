@@ -1,0 +1,110 @@
+//! Docs drift check: every intra-repo markdown link in the top-level
+//! docs must point at a file (or directory) that actually exists.
+//!
+//! The top-level docs (README, ARCHITECTURE, DESIGN, EXPERIMENTS,
+//! ROADMAP, …) cross-link each other and point into `crates/`; a
+//! rename or file move silently strands those links because nothing
+//! compiles them. This test walks every root-level `*.md`, extracts
+//! `](target)` links, and asserts each relative target resolves.
+//! External links (`http://`, `https://`, `mailto:`) and pure
+//! in-page anchors (`#section`) are out of scope; anchors on file
+//! links (`FILE.md#section`) are stripped before the existence check
+//! (section-level drift is not detectable without a markdown parser).
+
+use std::path::Path;
+
+/// Extracts markdown link targets — the `(…)` part of `[text](…)` —
+/// from one document. Fenced code blocks are skipped so that example
+/// snippets containing `](` sequences cannot produce false positives.
+fn link_targets(doc: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        let mut col = 0usize;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else { break };
+            out.push((i + 1, tail[..close].trim().to_string()));
+            col += open + 2 + close + 1;
+            rest = &line[col..];
+        }
+    }
+    out
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut checked = 0usize;
+    let mut broken: Vec<String> = Vec::new();
+
+    let mut docs: Vec<_> = std::fs::read_dir(&root)
+        .expect("read workspace root")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    docs.sort();
+    assert!(
+        docs.iter()
+            .any(|p| p.file_name().is_some_and(|n| n == "README.md")),
+        "workspace root has no README.md — wrong root?"
+    );
+
+    for doc in docs {
+        let name = doc.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&doc).expect("read doc");
+        for (line, target) in link_targets(&text) {
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // `FILE.md#section` → `FILE.md`; section anchors are not
+            // checkable without a markdown parser.
+            let path_part = target.split('#').next().unwrap();
+            let resolved = root.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!("{name}:{line}: ]({target})"));
+            }
+        }
+    }
+
+    assert!(
+        checked >= 5,
+        "only {checked} intra-repo links found — extraction broken?"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken intra-repo markdown links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn link_extraction_sees_links_and_skips_fences() {
+    let doc = "see [design](DESIGN.md#goals) and [web](https://x.y)\n\
+               ```\n[not a link](ignored.md)\n```\n\
+               also [up](../sibling.md)\n";
+    let targets = link_targets(doc);
+    assert_eq!(
+        targets,
+        vec![
+            (1, "DESIGN.md#goals".to_string()),
+            (1, "https://x.y".to_string()),
+            (5, "../sibling.md".to_string()),
+        ]
+    );
+}

@@ -1,0 +1,554 @@
+//! Fleet-scale serving: N warm pools behind a router, with a
+//! warm-up-priced autoscaler.
+//!
+//! The single-pool loop ([`crate::serve`]) amortizes the paper's §4.4
+//! warm-up inside one box. This module scales the same discrete-event
+//! discipline to a fleet:
+//!
+//! ```text
+//! workload ──▶ router ──▶ pool 0 ─▶ replica sessions
+//!   (shaped)    (policy)  pool 1 ─▶ replica sessions
+//!                  ▲      pool …
+//!                  │        ▲
+//!              autoscaler ──┘ (spawn = provisioning warm-up,
+//!                              drain = replica-seconds stop accruing)
+//! ```
+//!
+//! * Every arrival is placed by the [`Router`] using only queue depths
+//!   and model residency ([`PoolLoad`]); backpressure sheds at the
+//!   *destination* pool's queue bound.
+//! * The [`Autoscaler`] reads fleet-wide queue depth at each arrival —
+//!   the deterministic latency signal, by Little's law — and can spawn
+//!   a pool (whose replicas pay the full context + model-init
+//!   provisioning warm-up before their first service, so scale-out is
+//!   priced exactly like the paper's cold process start) or drain one
+//!   (it finishes its queue, then stops accruing replica-seconds).
+//! * Event ordering keeps the single-pool total order — `(time,
+//!   priority, seq)` in one `BTreeMap`, `ReplicaFree < Arrival <
+//!   BatchClose` at equal instants — so a fleet run replays bit for bit
+//!   from its seed.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dgnn_device::{DurationNs, ExecMode, Executor, PlatformSpec};
+use dgnn_graph::WindowBatcher;
+use dgnn_profile::ServicePhases;
+
+use crate::autoscaler::{Autoscaler, AutoscalerConfig, ScaleEvent, ScaleKind};
+use crate::pool::WarmPool;
+use crate::report::{FleetReport, ServedBatch, ServedRequest};
+use crate::router::{PoolLoad, Router, RouterPolicy};
+use crate::workload::{generate_shaped, RateError, Request, WorkloadShape};
+use crate::{ServedModel, UNBOUNDED};
+
+/// Full configuration of one fleet serving run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Seed for arrivals, mix assignment and router probes.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub n_requests: usize,
+    /// Long-run average arrivals per simulated second.
+    pub arrival_rate_rps: f64,
+    /// Traffic shape layered on the base Poisson process.
+    pub shape: WorkloadShape,
+    /// Placement policy.
+    pub policy: RouterPolicy,
+    /// Micro-batch window (per pool, per model).
+    pub batch_window: DurationNs,
+    /// Maximum requests per batch (capacity close).
+    pub max_batch: usize,
+    /// Pools provisioned before the first arrival.
+    pub initial_pools: usize,
+    /// Warm replica slots per pool.
+    pub replicas_per_pool: usize,
+    /// Admitted-but-unstarted requests a single pool holds before
+    /// arrivals routed to it are shed ([`UNBOUNDED`] disables shedding).
+    pub queue_bound: usize,
+    /// End-to-end latency target a served request must meet to count
+    /// as SLO-attained; shed requests always count as misses.
+    pub slo: DurationNs,
+    /// Autoscaler thresholds; `None` freezes the fleet at
+    /// `initial_pools` (the static baseline).
+    pub autoscaler: Option<AutoscalerConfig>,
+    /// Execution mode for every replica session.
+    pub mode: ExecMode,
+    /// Record timelines + provenance traces for sanitizer audits.
+    pub trace: bool,
+    /// Simulated platform replicas run on.
+    pub spec: PlatformSpec,
+}
+
+impl Default for FleetConfig {
+    /// A small, always-valid smoke configuration: two static pools
+    /// under join-shortest-queue.
+    fn default() -> Self {
+        FleetConfig {
+            seed: 42,
+            n_requests: 64,
+            arrival_rate_rps: 100.0,
+            shape: WorkloadShape::Poisson,
+            policy: RouterPolicy::JoinShortestQueue,
+            batch_window: DurationNs::from_millis(5),
+            max_batch: 4,
+            initial_pools: 2,
+            replicas_per_pool: 2,
+            queue_bound: UNBOUNDED,
+            slo: DurationNs::from_millis(250),
+            autoscaler: None,
+            mode: ExecMode::Gpu,
+            trace: false,
+            spec: PlatformSpec::default(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the arrival rate and the shape parameters (see
+    /// [`WorkloadShape::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RateError`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), RateError> {
+        self.shape.validate(self.arrival_rate_rps)
+    }
+}
+
+/// One dispatched batch, tagged with the pool that served it.
+#[derive(Debug, Clone)]
+pub struct FleetBatch {
+    /// Fleet-wide id of the pool that served the batch.
+    pub pool: usize,
+    /// The underlying batch record.
+    pub batch: ServedBatch,
+}
+
+/// Everything a fleet run produced: the report plus raw records, the
+/// scale-decision audit trail, and every replica session for post-hoc
+/// sanitizer audits.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Aggregated statistics.
+    pub report: FleetReport,
+    /// Per-request records of served requests, in arrival order.
+    pub requests: Vec<ServedRequest>,
+    /// Requests rejected by backpressure, in arrival order.
+    pub shed: Vec<Request>,
+    /// Per-batch service records, in dispatch order.
+    pub batches: Vec<FleetBatch>,
+    /// Scale decisions, in virtual-time order.
+    pub scale_events: Vec<ScaleEvent>,
+    /// Every replica session, pools in spawn order, slots in slot
+    /// order within a pool.
+    pub sessions: Vec<Executor>,
+}
+
+/// Event kinds, in tie-break priority order (the single-pool
+/// discipline, extended with a pool coordinate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A replica finished its service (or its provisioning).
+    ReplicaFree { pool: usize, slot: usize },
+    /// A request arrives at the router.
+    Arrival(usize),
+    /// A batch window expires for one pool's model queue.
+    BatchClose {
+        pool: usize,
+        model: usize,
+        token: u64,
+    },
+}
+
+impl Ev {
+    fn priority(&self) -> u8 {
+        match self {
+            Ev::ReplicaFree { .. } => 0,
+            Ev::Arrival(_) => 1,
+            Ev::BatchClose { .. } => 3,
+        }
+    }
+}
+
+/// A closed batch waiting for a replica, within one pool.
+#[derive(Debug)]
+struct PendingBatch {
+    model: usize,
+    members: Vec<usize>,
+    ready: DurationNs,
+}
+
+/// One pool plus its admission state and lifetime accounting.
+struct PoolState {
+    id: usize,
+    pool: WarmPool,
+    queues: Vec<VecDeque<usize>>,
+    open_token: Vec<Option<u64>>,
+    ready: VecDeque<PendingBatch>,
+    /// Admitted but not yet dispatched (model queues + ready members).
+    queued: usize,
+    /// Replicas currently busy (provisioning or serving).
+    busy: usize,
+    spawned_at: DurationNs,
+    retired_at: Option<DurationNs>,
+    draining: bool,
+}
+
+impl PoolState {
+    fn routable(&self) -> bool {
+        !self.draining && self.retired_at.is_none()
+    }
+
+    fn holds(&self, model: usize) -> bool {
+        (0..self.pool.len()).any(|i| self.pool.replica(i).resident() == Some(model))
+    }
+
+    /// A draining pool retires the instant it runs dry; from then on
+    /// it accrues no replica-seconds.
+    fn maybe_retire(&mut self, now: DurationNs) {
+        if self.draining && self.retired_at.is_none() && self.queued == 0 && self.busy == 0 {
+            debug_assert!(self.ready.is_empty());
+            self.retired_at = Some(now);
+        }
+    }
+}
+
+/// Runs the fleet simulation to completion.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (empty mix, zero pools or
+/// replicas, a rate or shape [`FleetConfig::validate`] rejects) or when
+/// a model service fails.
+///
+/// ```
+/// use dgnn_datasets::{wikipedia, Scale};
+/// use dgnn_models::{InferenceConfig, Jodie, JodieConfig, ReplicaHandle};
+/// use dgnn_serve::{serve_fleet, FleetConfig, ServedModel};
+///
+/// let data = wikipedia(Scale::Tiny, 11);
+/// let zoo = vec![ServedModel {
+///     handle: ReplicaHandle::new("jodie", move || {
+///         Box::new(Jodie::new(data.clone(), JodieConfig::default(), 11))
+///     }),
+///     cfg: InferenceConfig::default().with_max_units(1),
+///     weight: 1.0,
+/// }];
+/// let cfg = FleetConfig { n_requests: 6, initial_pools: 2, replicas_per_pool: 1, ..FleetConfig::default() };
+/// let outcome = serve_fleet(&cfg, &zoo);
+/// assert_eq!(outcome.report.served, 6);
+/// assert!(outcome.report.replica_seconds > 0.0);
+/// ```
+pub fn serve_fleet(cfg: &FleetConfig, zoo: &[ServedModel]) -> FleetOutcome {
+    assert!(!zoo.is_empty(), "model mix must not be empty");
+    assert!(cfg.initial_pools >= 1, "fleet needs at least one pool");
+    assert!(
+        cfg.replicas_per_pool >= 1,
+        "pools need at least one replica"
+    );
+    let weights: Vec<f64> = zoo.iter().map(|m| m.weight).collect();
+    let requests = generate_shaped(
+        cfg.seed,
+        cfg.n_requests,
+        cfg.arrival_rate_rps,
+        &weights,
+        &cfg.shape,
+    );
+    let batcher = WindowBatcher::new(cfg.batch_window.as_nanos(), cfg.max_batch);
+    let mut router = Router::new(cfg.policy, cfg.seed);
+    let mut autoscaler = cfg.autoscaler.map(Autoscaler::new);
+
+    let mut events: BTreeMap<(u64, u8, u64), Ev> = BTreeMap::new();
+    let mut seq = 0u64;
+    let push = |events: &mut BTreeMap<(u64, u8, u64), Ev>, seq: &mut u64, t: DurationNs, ev: Ev| {
+        *seq += 1;
+        events.insert((t.as_nanos(), ev.priority(), *seq), ev);
+    };
+
+    let mut pools: Vec<PoolState> = Vec::new();
+    let spawn = |pools: &mut Vec<PoolState>,
+                 events: &mut BTreeMap<(u64, u8, u64), Ev>,
+                 seq: &mut u64,
+                 at: DurationNs| {
+        let id = pools.len();
+        let mut pool = WarmPool::new(cfg.replicas_per_pool, cfg.spec.clone(), cfg.mode, cfg.trace);
+        // Scale-out pricing: each replica pays context + model init
+        // before its first service, exactly like the t = 0 pools.
+        for (slot, done) in pool.provision(zoo).into_iter().enumerate() {
+            push(events, seq, at + done, Ev::ReplicaFree { pool: id, slot });
+        }
+        pools.push(PoolState {
+            id,
+            pool,
+            queues: vec![VecDeque::new(); zoo.len()],
+            open_token: vec![None; zoo.len()],
+            ready: VecDeque::new(),
+            queued: 0,
+            busy: cfg.replicas_per_pool,
+            spawned_at: at,
+            retired_at: None,
+            draining: false,
+        });
+    };
+    for _ in 0..cfg.initial_pools {
+        spawn(&mut pools, &mut events, &mut seq, DurationNs::ZERO);
+    }
+    for r in &requests {
+        push(&mut events, &mut seq, r.arrival, Ev::Arrival(r.id));
+    }
+
+    let mut served: Vec<ServedRequest> = Vec::new();
+    let mut shed: Vec<Request> = Vec::new();
+    let mut batches: Vec<FleetBatch> = Vec::new();
+    let mut dispatch_seq = 0u64;
+    let mut peak_pools = cfg.initial_pools;
+    let mut makespan = DurationNs::ZERO;
+
+    while let Some((&key, &ev)) = events.iter().next() {
+        events.remove(&key);
+        let now = DurationNs::from_nanos(key.0);
+        match ev {
+            Ev::Arrival(id) => {
+                let req = requests[id];
+                // The autoscaler reads the fleet before placement, so a
+                // spawned pool is routable for this very arrival.
+                if let Some(scaler) = autoscaler.as_mut() {
+                    let queued_total: usize = pools
+                        .iter()
+                        .filter(|p| p.routable())
+                        .map(|p| p.queued)
+                        .sum();
+                    let active = pools.iter().filter(|p| p.routable()).count();
+                    match scaler.decide(now, queued_total, active) {
+                        Some(ScaleKind::Out) => {
+                            spawn(&mut pools, &mut events, &mut seq, now);
+                            peak_pools = peak_pools.max(active + 1);
+                        }
+                        Some(ScaleKind::In) => {
+                            // Drain the least-loaded routable pool,
+                            // newest on ties.
+                            if let Some(pid) = pools
+                                .iter()
+                                .filter(|p| p.routable())
+                                .min_by_key(|p| (p.queued, std::cmp::Reverse(p.id)))
+                                .map(|p| p.id)
+                            {
+                                pools[pid].draining = true;
+                                pools[pid].maybe_retire(now);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+
+                let loads: Vec<PoolLoad> = pools
+                    .iter()
+                    .filter(|p| p.routable())
+                    .map(|p| PoolLoad {
+                        pool: p.id,
+                        queued: p.queued,
+                        resident: p.holds(req.model),
+                    })
+                    .collect();
+                let dest = router.place(&loads);
+                let p = &mut pools[dest];
+                if p.queued >= cfg.queue_bound {
+                    shed.push(req);
+                    continue;
+                }
+                p.queued += 1;
+                p.queues[req.model].push_back(id);
+                if batcher.is_full(p.queues[req.model].len()) {
+                    p.open_token[req.model] = None;
+                    close_batch(p, req.model, now, &batcher);
+                    try_dispatch(
+                        now,
+                        zoo,
+                        &mut pools[dest],
+                        &requests,
+                        &mut served,
+                        &mut batches,
+                        &mut dispatch_seq,
+                        &mut events,
+                        &mut seq,
+                    );
+                } else if p.queues[req.model].len() == 1 {
+                    seq += 1;
+                    let token = seq;
+                    p.open_token[req.model] = Some(token);
+                    let deadline = DurationNs::from_nanos(batcher.deadline(now.as_nanos()));
+                    let ev = Ev::BatchClose {
+                        pool: dest,
+                        model: req.model,
+                        token,
+                    };
+                    events.insert((deadline.as_nanos(), ev.priority(), token), ev);
+                }
+            }
+            Ev::BatchClose { pool, model, token } => {
+                if pools[pool].open_token[model] != Some(token) {
+                    continue; // stale: already closed by capacity
+                }
+                pools[pool].open_token[model] = None;
+                close_batch(&mut pools[pool], model, now, &batcher);
+                try_dispatch(
+                    now,
+                    zoo,
+                    &mut pools[pool],
+                    &requests,
+                    &mut served,
+                    &mut batches,
+                    &mut dispatch_seq,
+                    &mut events,
+                    &mut seq,
+                );
+            }
+            Ev::ReplicaFree { pool, slot } => {
+                // Every service or provisioning completion passes
+                // through here, so the last one is the makespan (a
+                // stale window token can outlive it and must not
+                // stretch the clock).
+                makespan = makespan.max(now);
+                pools[pool].pool.mark_free(slot);
+                pools[pool].busy -= 1;
+                try_dispatch(
+                    now,
+                    zoo,
+                    &mut pools[pool],
+                    &requests,
+                    &mut served,
+                    &mut batches,
+                    &mut dispatch_seq,
+                    &mut events,
+                    &mut seq,
+                );
+                pools[pool].maybe_retire(now);
+            }
+        }
+    }
+
+    assert!(
+        pools.iter().all(|p| p.queued == 0
+            && p.ready.is_empty()
+            && p.queues.iter().all(VecDeque::is_empty)),
+        "fleet loop terminated with work still queued"
+    );
+
+    served.sort_by_key(|r| r.id);
+    let mut provision = ServicePhases::default();
+    let mut cold_services = 0usize;
+    for p in &pools {
+        provision.accumulate(&p.pool.provision_phases());
+        cold_services += p.pool.cold_starts();
+    }
+    let pool_spans: Vec<(DurationNs, Option<DurationNs>)> =
+        pools.iter().map(|p| (p.spawned_at, p.retired_at)).collect();
+    let final_pools = pools.iter().filter(|p| p.routable()).count();
+    let scale_events: Vec<ScaleEvent> = autoscaler
+        .as_ref()
+        .map(|s| s.events().to_vec())
+        .unwrap_or_default();
+
+    let report = FleetReport::build(
+        cfg,
+        &requests,
+        &served,
+        &shed,
+        &batches,
+        &scale_events,
+        &provision,
+        cold_services,
+        &pool_spans,
+        peak_pools,
+        final_pools,
+        makespan,
+    );
+    FleetOutcome {
+        report,
+        requests: served,
+        shed,
+        batches,
+        scale_events,
+        sessions: pools
+            .into_iter()
+            .flat_map(|p| p.pool.into_sessions())
+            .collect(),
+    }
+}
+
+/// Drains up to one batch from a pool's model queue into its ready
+/// FIFO.
+fn close_batch(p: &mut PoolState, model: usize, now: DurationNs, batcher: &WindowBatcher) {
+    let q = &mut p.queues[model];
+    debug_assert!(!q.is_empty(), "closing an empty batch");
+    let take = q.len().min(batcher.max_batch);
+    let members: Vec<usize> = q.drain(..take).collect();
+    p.ready.push_back(PendingBatch {
+        model,
+        members,
+        ready: now,
+    });
+}
+
+/// Starts ready batches on the pool's free replicas (FIFO with
+/// affinity skip — the single-pool dispatch rule, scoped to one pool).
+#[allow(clippy::too_many_arguments)] // event-loop state is deliberately flat
+fn try_dispatch(
+    now: DurationNs,
+    zoo: &[ServedModel],
+    p: &mut PoolState,
+    requests: &[Request],
+    served: &mut Vec<ServedRequest>,
+    batches: &mut Vec<FleetBatch>,
+    dispatch_seq: &mut u64,
+    events: &mut BTreeMap<(u64, u8, u64), Ev>,
+    seq: &mut u64,
+) {
+    while let Some((pos, slot)) = p
+        .ready
+        .iter()
+        .enumerate()
+        .find_map(|(i, b)| p.pool.pick(b.model).map(|(slot, _cold)| (i, slot)))
+    {
+        let batch = p.ready.remove(pos).expect("index from enumerate");
+        *dispatch_seq += 1;
+        let record = p
+            .pool
+            .service(slot, batch.model, zoo, batch.members.len(), *dispatch_seq);
+        let completed = now + record.duration;
+        p.queued -= batch.members.len();
+        p.busy += 1;
+
+        let batch_id = batches.len();
+        for &id in &batch.members {
+            served.push(ServedRequest {
+                id,
+                model: batch.model,
+                arrival: requests[id].arrival,
+                batch: batch_id,
+                assembled: batch.ready,
+                started: now,
+                completed,
+                cold: record.cold,
+                staleness: DurationNs::ZERO,
+            });
+        }
+        batches.push(FleetBatch {
+            pool: p.id,
+            batch: ServedBatch {
+                model: batch.model,
+                requests: batch.members,
+                ready: batch.ready,
+                started: now,
+                completed,
+                cold: record.cold,
+                replica: record.replica,
+                phases: record.phases,
+                summary: record.summary,
+            },
+        });
+        let ev = Ev::ReplicaFree { pool: p.id, slot };
+        *seq += 1;
+        events.insert((completed.as_nanos(), ev.priority(), *seq), ev);
+    }
+}

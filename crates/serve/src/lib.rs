@@ -23,6 +23,22 @@
 //! * [`ServeReport`] — p50/p95/p99 decomposition of request latency
 //!   into assembly, queue wait, service (and staleness) phases.
 //!
+//! On top of the single pool sits the **fleet layer**:
+//!
+//! * [`WorkloadShape`] — traffic shapes beyond homogeneous Poisson:
+//!   diurnal sinusoid, flash-crowd burst, heavy-tailed per-user
+//!   sessions with per-session model affinity;
+//! * [`Router`] — placement across N pools under [`RouterPolicy`]
+//!   (affinity-first, power-of-two-choices, join-shortest-queue), all
+//!   deterministically tie-broken;
+//! * [`Autoscaler`] — queue-depth-driven scale-out/in where every
+//!   spawned pool pays the full provisioning warm-up (the §4.4 cost as
+//!   a *scaling* penalty) and every drained pool stops accruing
+//!   replica-seconds;
+//! * [`serve_fleet`] — the fleet event loop, reported by
+//!   [`FleetReport`] with SLO attainment, shed rate, replica-seconds
+//!   and scale-event counts.
+//!
 //! Everything runs on the virtual clock: no wall-clock time, no thread
 //! scheduling, no hash-map iteration order anywhere in a decision path.
 //! The same seed and configuration replay the same nanosecond schedule
@@ -61,8 +77,11 @@
 
 #![forbid(unsafe_code)]
 
+mod autoscaler;
+mod fleet;
 mod pool;
 mod report;
+mod router;
 mod sim;
 mod streaming;
 pub mod workload;
@@ -71,14 +90,22 @@ use dgnn_device::{DurationNs, ExecMode, PlatformSpec};
 use dgnn_graph::WindowBatcher;
 use dgnn_models::{InferenceConfig, ReplicaHandle};
 
+pub use autoscaler::{Autoscaler, AutoscalerConfig, ScaleEvent, ScaleKind};
+pub use fleet::{serve_fleet, FleetBatch, FleetConfig, FleetOutcome};
 pub use pool::{Replica, ServiceRecord, WarmPool};
-pub use report::{ServeReport, ServedBatch, ServedRequest};
+pub use report::{FleetReport, ServeReport, ServedBatch, ServedRequest};
+pub use router::{PoolLoad, Router, RouterPolicy};
 pub use sim::{serve, ServeOutcome};
 pub use streaming::{
     generate_ingest, mean_staleness_ms, serve_streaming, StreamingConfig, StreamingOutcome,
     StreamingState,
 };
-pub use workload::{validate_rate, RateError, Request, MIN_RATE};
+pub use workload::{generate_shaped, validate_rate, RateError, Request, WorkloadShape, MIN_RATE};
+
+/// Queue-bound value that disables backpressure shedding entirely.
+/// Reports render a run at this bound as "shedding disabled" rather
+/// than "0 shed", because a zero count is structural, not observed.
+pub const UNBOUNDED: usize = usize::MAX;
 
 /// One entry in the served model mix: how to build the model, how to
 /// run one request unit of it, and its share of the request stream.
@@ -118,7 +145,8 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Number of warm replica slots.
     pub pool_size: usize,
-    /// Admitted-but-unstarted requests beyond which arrivals are shed.
+    /// Admitted-but-unstarted requests beyond which arrivals are shed
+    /// ([`UNBOUNDED`] disables shedding).
     pub queue_bound: usize,
     /// Execution mode for every replica session.
     pub mode: ExecMode,

@@ -19,8 +19,22 @@ use dgnn_device::{CacheStats, ClassCacheStats, DurationNs, TensorClass};
 use dgnn_models::RunSummary;
 use dgnn_profile::{LatencyStats, ServicePhases, TextTable};
 
+use crate::autoscaler::{ScaleEvent, ScaleKind};
+use crate::fleet::{FleetBatch, FleetConfig};
+use crate::router::RouterPolicy;
 use crate::workload::Request;
-use crate::ServeConfig;
+use crate::{ServeConfig, UNBOUNDED};
+
+/// Renders the shed side of a "requests:" line so a zero is never
+/// ambiguous: with shedding disabled there is no count to report, and
+/// with a bound the bound is named even when nothing was shed.
+fn shed_summary(shed: usize, queue_bound: usize) -> String {
+    if queue_bound == UNBOUNDED {
+        "shedding disabled".to_string()
+    } else {
+        format!("{shed} shed (bound {queue_bound})")
+    }
+}
 
 /// Per-request serving record.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +117,11 @@ pub struct ServeReport {
     pub served: usize,
     /// Requests rejected by backpressure.
     pub shed: usize,
+    /// The queue bound shedding was enforced at ([`UNBOUNDED`] when
+    /// shedding was disabled — then `shed` is structurally zero, which
+    /// [`ServeReport::render`] distinguishes from a bounded run that
+    /// happened to shed nothing).
+    pub queue_bound: usize,
     /// Batches dispatched.
     pub batches: usize,
     /// Services that paid a model swap (cold starts, post-provisioning).
@@ -188,6 +207,7 @@ impl ServeReport {
             offered: offered.len(),
             served: served.len(),
             shed: shed.len(),
+            queue_bound: cfg.queue_bound,
             batches: batches.len(),
             cold_services,
             warm_services: batches.len() - cold_services,
@@ -242,12 +262,12 @@ impl ServeReport {
         }
         let mut out = t.render();
         out.push_str(&format!(
-            "requests: {} offered, {} served, {} shed | batches: {} (mean size {:.2}) | \
+            "requests: {} offered, {} served, {} | batches: {} (mean size {:.2}) | \
              services: {} cold / {} warm | pool: {} | warm-up share: {:.1}% | \
              throughput: {:.1} rps | makespan: {:.1} ms\n",
             self.offered,
             self.served,
-            self.shed,
+            shed_summary(self.shed, self.queue_bound),
             self.batches,
             self.mean_batch_size,
             self.cold_services,
@@ -282,5 +302,296 @@ impl ServeReport {
             }
         }
         out
+    }
+}
+
+/// Aggregated statistics over one fleet serving run — the policy-level
+/// metrics (SLO attainment, shed rate, replica-seconds, scale events)
+/// on top of the per-request decomposition [`ServeReport`] introduced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Placement policy the run used.
+    pub policy: RouterPolicy,
+    /// Workload-shape label ([`crate::WorkloadShape::label`]).
+    pub shape: &'static str,
+    /// Requests generated (offered load).
+    pub offered: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Requests rejected by backpressure.
+    pub shed: usize,
+    /// Per-pool queue bound shedding was enforced at ([`UNBOUNDED`]
+    /// when shedding was disabled).
+    pub queue_bound: usize,
+    /// Batches dispatched, fleet-wide.
+    pub batches: usize,
+    /// Services that paid a model swap (cold starts, post-provisioning).
+    pub cold_services: usize,
+    /// Services that hit a resident model (warm).
+    pub warm_services: usize,
+    /// Pools ever spawned (initial + scale-outs).
+    pub pools_spawned: usize,
+    /// Most pools routable at once.
+    pub peak_pools: usize,
+    /// Pools still routable when the run ended.
+    pub final_pools: usize,
+    /// Warm replica slots per pool.
+    pub replicas_per_pool: usize,
+    /// Scale-out decisions taken.
+    pub scale_outs: usize,
+    /// Scale-in decisions taken.
+    pub scale_ins: usize,
+    /// Replica-seconds accrued: each pool contributes
+    /// `replicas_per_pool × (retirement − spawn)`, with never-retired
+    /// pools billed to the makespan. The capacity cost the autoscaler
+    /// trades against SLO attainment.
+    pub replica_seconds: f64,
+    /// The end-to-end latency target.
+    pub slo: DurationNs,
+    /// Served requests whose latency met the target.
+    pub slo_attained: usize,
+    /// Warm-up paid at provisioning time, across all pools and slots
+    /// (initial pools *and* autoscaler spawns — the scale-out price).
+    pub provision: ServicePhases,
+    /// Busy-time phases summed over all services.
+    pub service_phases: ServicePhases,
+    /// End-to-end latency statistics (served requests).
+    pub latency: LatencyStats,
+    /// Batch-assembly wait statistics.
+    pub assembly: LatencyStats,
+    /// Queue-wait statistics.
+    pub queue_wait: LatencyStats,
+    /// Service-time statistics.
+    pub service: LatencyStats,
+    /// Last service or provisioning completion.
+    pub makespan: DurationNs,
+    /// Served requests per simulated second of makespan.
+    pub throughput_rps: f64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+}
+
+impl FleetReport {
+    /// Builds the report from the raw fleet records. `pool_spans`
+    /// holds each pool's `(spawned_at, retired_at)` lifetime.
+    #[allow(clippy::too_many_arguments)] // one arg per raw record stream
+    pub fn build(
+        cfg: &FleetConfig,
+        offered: &[Request],
+        served: &[ServedRequest],
+        shed: &[Request],
+        batches: &[FleetBatch],
+        scale_events: &[ScaleEvent],
+        provision: &ServicePhases,
+        cold_services: usize,
+        pool_spans: &[(DurationNs, Option<DurationNs>)],
+        peak_pools: usize,
+        final_pools: usize,
+        makespan: DurationNs,
+    ) -> Self {
+        let latencies: Vec<DurationNs> = served.iter().map(ServedRequest::latency).collect();
+        let assembly: Vec<DurationNs> = served.iter().map(ServedRequest::assembly_wait).collect();
+        let queueing: Vec<DurationNs> = served.iter().map(ServedRequest::queue_wait).collect();
+        let service: Vec<DurationNs> = served.iter().map(ServedRequest::service_time).collect();
+
+        let mut service_phases = ServicePhases::default();
+        for b in batches {
+            service_phases.accumulate(&b.batch.phases);
+        }
+        let replica_seconds: f64 = pool_spans
+            .iter()
+            .map(|&(spawned, retired)| {
+                (retired.unwrap_or(makespan).saturating_sub(spawned)).as_secs_f64()
+                    * cfg.replicas_per_pool as f64
+            })
+            .sum();
+        let slo_attained = served.iter().filter(|r| r.latency() <= cfg.slo).count();
+        let throughput_rps = if makespan.as_nanos() == 0 {
+            0.0
+        } else {
+            served.len() as f64 / makespan.as_secs_f64()
+        };
+        let mean_batch_size = if batches.is_empty() {
+            0.0
+        } else {
+            served.len() as f64 / batches.len() as f64
+        };
+
+        FleetReport {
+            policy: cfg.policy,
+            shape: cfg.shape.label(),
+            offered: offered.len(),
+            served: served.len(),
+            shed: shed.len(),
+            queue_bound: cfg.queue_bound,
+            batches: batches.len(),
+            cold_services,
+            warm_services: batches.len() - cold_services,
+            pools_spawned: pool_spans.len(),
+            peak_pools,
+            final_pools,
+            replicas_per_pool: cfg.replicas_per_pool,
+            scale_outs: scale_events
+                .iter()
+                .filter(|e| e.kind == ScaleKind::Out)
+                .count(),
+            scale_ins: scale_events
+                .iter()
+                .filter(|e| e.kind == ScaleKind::In)
+                .count(),
+            replica_seconds,
+            slo: cfg.slo,
+            slo_attained,
+            provision: *provision,
+            service_phases,
+            latency: LatencyStats::from_durations(&latencies),
+            assembly: LatencyStats::from_durations(&assembly),
+            queue_wait: LatencyStats::from_durations(&queueing),
+            service: LatencyStats::from_durations(&service),
+            makespan,
+            throughput_rps,
+            mean_batch_size,
+        }
+    }
+
+    /// SLO attainment over *offered* load: attained ÷ offered, so a
+    /// fleet cannot buy attainment by shedding — every shed request is
+    /// a miss.
+    pub fn slo_attainment(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.slo_attained as f64 / self.offered as f64
+    }
+
+    /// Shed requests over offered load.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.offered as f64
+    }
+
+    /// Warm-up share of all busy time, provisioning (including
+    /// autoscaler spawns) included.
+    pub fn warmup_share(&self) -> f64 {
+        let warm = self.provision.warmup + self.service_phases.warmup;
+        let total = self.provision.total() + self.service_phases.total();
+        if total.as_nanos() == 0 {
+            return 0.0;
+        }
+        warm.as_nanos() as f64 / total.as_nanos() as f64
+    }
+
+    /// Renders the report as an aligned text table plus fleet lines.
+    pub fn render(&self, title: &str) -> String {
+        let ms = |d: DurationNs| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let mut t = TextTable::new(
+            title,
+            &["metric", "p50 (ms)", "p95 (ms)", "p99 (ms)", "mean (ms)"],
+        );
+        for (name, s) in [
+            ("latency", &self.latency),
+            ("assembly", &self.assembly),
+            ("queue wait", &self.queue_wait),
+            ("service", &self.service),
+        ] {
+            t.row(&[
+                name.to_string(),
+                ms(s.p50),
+                ms(s.p95),
+                ms(s.p99),
+                ms(s.mean),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "policy: {} | shape: {} | requests: {} offered, {} served, {} | \
+             batches: {} (mean size {:.2}) | services: {} cold / {} warm\n",
+            self.policy.label(),
+            self.shape,
+            self.offered,
+            self.served,
+            shed_summary(self.shed, self.queue_bound),
+            self.batches,
+            self.mean_batch_size,
+            self.cold_services,
+            self.warm_services,
+        ));
+        out.push_str(&format!(
+            "fleet: {} spawned, peak {}, final {} × {} replicas | scale: {} out / {} in | \
+             replica-seconds: {:.2} | SLO {:.0} ms: {:.1}% attained | warm-up share: {:.1}% | \
+             throughput: {:.1} rps | makespan: {:.1} ms\n",
+            self.pools_spawned,
+            self.peak_pools,
+            self.final_pools,
+            self.replicas_per_pool,
+            self.scale_outs,
+            self.scale_ins,
+            self.replica_seconds,
+            self.slo.as_secs_f64() * 1e3,
+            self.slo_attainment() * 100.0,
+            self.warmup_share() * 100.0,
+            self.throughput_rps,
+            self.makespan.as_secs_f64() * 1e3,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shed clause never reads "0 shed" for a run that *couldn't*
+    /// shed: disabled shedding and an unhit bound render differently.
+    #[test]
+    fn shed_summary_disambiguates_disabled_from_zero() {
+        assert_eq!(shed_summary(0, UNBOUNDED), "shedding disabled");
+        assert_eq!(shed_summary(0, 64), "0 shed (bound 64)");
+        assert_eq!(shed_summary(12, 64), "12 shed (bound 64)");
+    }
+
+    fn report(shed: usize, queue_bound: usize) -> ServeReport {
+        let cfg = ServeConfig {
+            queue_bound,
+            ..ServeConfig::default()
+        };
+        ServeReport::build(
+            &cfg,
+            &[],
+            &[],
+            &vec![
+                Request {
+                    id: 0,
+                    model: 0,
+                    arrival: DurationNs::from_nanos(1),
+                };
+                shed
+            ],
+            &[],
+            &ServicePhases::default(),
+            0,
+            CacheStats::default(),
+            ClassCacheStats::default(),
+        )
+    }
+
+    #[test]
+    fn render_pins_the_requests_line_format() {
+        let bounded = report(2, 64).render("t");
+        assert!(
+            bounded.contains("requests: 0 offered, 0 served, 2 shed (bound 64) |"),
+            "unexpected requests line in:\n{bounded}"
+        );
+        let unbounded = report(0, UNBOUNDED).render("t");
+        assert!(
+            unbounded.contains("requests: 0 offered, 0 served, shedding disabled |"),
+            "unexpected requests line in:\n{unbounded}"
+        );
+        assert!(
+            !unbounded.contains("0 shed"),
+            "disabled shedding must not print a shed count:\n{unbounded}"
+        );
     }
 }
